@@ -1,0 +1,37 @@
+"""Shared helpers for the benchmark harness.
+
+Every file in this directory regenerates one table or figure of the paper
+(see DESIGN.md's experiment index and EXPERIMENTS.md for the recorded
+outcomes).  Each benchmark
+
+* computes the figure's rows/series through the public API,
+* prints them (run ``pytest benchmarks/ --benchmark-only -s`` to see the
+  tables),
+* asserts the qualitative shape the paper reports (who wins, where the
+  crossover/optimum sits), and
+* times the computation via the ``benchmark`` fixture so the harness doubles
+  as a performance regression check for the library itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.platforms import cray_xt4, cray_xt4_single_core
+
+
+@pytest.fixture(scope="session")
+def xt4():
+    return cray_xt4()
+
+
+@pytest.fixture(scope="session")
+def xt4_single():
+    return cray_xt4_single_core()
+
+
+def emit(text: str) -> None:
+    """Print a rendered table with surrounding blank lines."""
+    print()
+    print(text)
+    print()

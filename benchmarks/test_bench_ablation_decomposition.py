@@ -1,0 +1,82 @@
+"""Ablation: processor-array aspect ratio and parameter sensitivity.
+
+Two model applications beyond the paper's explicit figures, exercising the
+"evaluate design changes quickly" use-case:
+
+* the data-decomposition study (which ``n x m`` factorisation of P is best -
+  near-square for cubic problems, as assumed throughout the paper);
+* the parameter-sensitivity study (which platform/application parameter
+  dominates the runtime at a given scale - ``Wg`` below the Figure 11
+  crossover, the communication overhead ``o`` above it).
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.analysis.decomposition_study import decomposition_study
+from repro.analysis.sensitivity import dominant_parameter, sensitivity_study
+from repro.apps.workloads import chimaera_240cubed
+from repro.util.tables import Table
+
+
+def test_decomposition_aspect_ratio_study(benchmark, xt4):
+    spec = chimaera_240cubed(htile=2)
+    points = benchmark(
+        decomposition_study, spec, xt4, 4096, max_aspect_ratio=256.0
+    )
+    points = sorted(points, key=lambda p: p.aspect_ratio)
+    table = Table(
+        ["grid", "aspect", "iteration (ms)", "pipeline fill (ms)"],
+        title="Ablation: processor-array shape for Chimaera 240^3 on 4096 cores",
+    )
+    for point in points:
+        table.add_row(
+            f"{point.grid.n}x{point.grid.m}",
+            round(point.aspect_ratio, 3),
+            point.time_per_iteration_us / 1000.0,
+            point.pipeline_fill_us / 1000.0,
+        )
+    emit(table.render())
+
+    best = min(points, key=lambda p: p.time_per_iteration_us)
+    worst = max(points, key=lambda p: p.time_per_iteration_us)
+    # The near-square decomposition the paper assumes is (close to) optimal.
+    assert max(best.grid.n / best.grid.m, best.grid.m / best.grid.n) <= 2
+    # Extreme aspect ratios are much worse - the decomposition matters.
+    assert worst.time_per_iteration_us > 1.5 * best.time_per_iteration_us
+
+
+def test_parameter_sensitivity_study(benchmark, xt4):
+    spec = chimaera_240cubed(htile=2)
+
+    def run():
+        return {
+            1024: sensitivity_study(spec, xt4, 1024),
+            32768: sensitivity_study(spec, xt4, 32768),
+        }
+
+    studies = benchmark(run)
+    table = Table(
+        ["parameter", "kind", "elasticity @1K cores", "elasticity @32K cores"],
+        title="Ablation: runtime elasticity to +10% in each parameter",
+    )
+    for name in studies[1024]:
+        table.add_row(
+            name,
+            studies[1024][name].kind,
+            round(studies[1024][name].elasticity, 3),
+            round(studies[32768][name].elasticity, 3),
+        )
+    emit(table.render())
+
+    # Below the Figure 11 crossover the per-cell work dominates...
+    assert dominant_parameter(studies[1024], kind="application").parameter == "wg"
+    assert studies[1024]["wg"].elasticity > 0.5
+    # ...and above it the communication overhead matters more than it did,
+    # while Wg matters less.
+    assert studies[32768]["overhead"].elasticity > studies[1024]["overhead"].elasticity
+    assert studies[32768]["wg"].elasticity < studies[1024]["wg"].elasticity
+    # Latency is never the bottleneck on the XT4 (the paper's observation that
+    # synchronisation/latency effects are negligible).
+    assert abs(studies[32768]["latency"].elasticity) < 0.05

@@ -1,0 +1,61 @@
+"""MPI all-reduce model (equation (9)) vs the simulated collective.
+
+The paper reports < 2% error against the real XT4 MPI_Allreduce on up to
+1024 dual-core nodes.  Our "measurement" is a simulated recursive-doubling
+all-reduce built from the same point-to-point machinery, which follows the
+model's shape (logarithmic growth, on-chip first rounds) but is not the
+vendor implementation, so the tolerance here is looser (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.util.tables import Table
+from repro.validation.compare import validate_allreduce
+
+CORE_COUNTS = (4, 16, 64, 256, 1024, 2048)
+
+
+def test_allreduce_model_vs_simulation(benchmark, xt4):
+    results = benchmark.pedantic(
+        validate_allreduce, args=(xt4, CORE_COUNTS), rounds=1, iterations=1
+    )
+    table = Table(
+        ["cores", "model eq.(9) (us)", "simulated (us)", "error"],
+        title="All-reduce: equation (9) vs simulated recursive doubling (dual-core nodes)",
+    )
+    for result in results:
+        table.add_row(
+            result.total_cores,
+            result.model_us,
+            result.simulated_us,
+            f"{result.relative_error:+.1%}",
+        )
+    emit(table.render())
+    # Shape: both grow logarithmically (roughly constant increment per doubling
+    # of the core count beyond the on-chip rounds).
+    model = [r.model_us for r in results]
+    simulated = [r.simulated_us for r in results]
+    assert model == sorted(model)
+    assert simulated == sorted(simulated)
+    # Agreement band (relaxed relative to the paper's 2% against real MPI).
+    for result in results[1:]:
+        assert abs(result.relative_error) < 0.5
+    # Absolute magnitude: tens to a couple of hundred microseconds - negligible
+    # against iteration times of tens of milliseconds (the paper's conclusion
+    # that synchronisation/collective costs are negligible on the XT4).
+    assert max(simulated) < 1000.0
+
+
+def test_allreduce_single_core_matches_log_p(benchmark, xt4_single):
+    """With one core per node the simulated exchange does not overlap the two
+    directions of each recursive-doubling round, so the model (which assumes
+    log2(P) fully pipelined rounds) undershoots by up to ~50%; the absolute
+    difference stays below 100 us (see EXPERIMENTS.md)."""
+    results = benchmark.pedantic(
+        validate_allreduce, args=(xt4_single, (16, 64, 256)), rounds=1, iterations=1
+    )
+    for result in results:
+        assert abs(result.relative_error) < 0.55
+        assert abs(result.model_us - result.simulated_us) < 100.0

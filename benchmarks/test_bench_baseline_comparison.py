@@ -1,0 +1,80 @@
+"""Table 4 baseline: the Sundaram-Stukel & Vernon Sweep3D model vs the
+plug-and-play model (and the Hoisie-style single-sweep model).
+
+The paper's argument is that the reusable model loses no accuracy relative to
+the application-specific model it generalises; this bench quantifies the gap
+over a range of processor counts.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.apps.sweep3d import Sweep3DConfig, sweep3d
+from repro.baselines.hoisie import hoisie_iteration_time
+from repro.baselines.sundaram_vernon import sundaram_vernon_iteration_time
+from repro.core.decomposition import ProblemSize, decompose
+from repro.core.model import iteration_prediction
+from repro.util.tables import Table
+
+PROCESSOR_COUNTS = (64, 256, 1024, 4096, 16384)
+
+
+def _compare(xt4_single):
+    spec = sweep3d(ProblemSize.of_total(20e6), config=Sweep3DConfig(mk=4), iterations=1)
+    rows = []
+    for cores in PROCESSOR_COUNTS:
+        grid = decompose(cores)
+        reusable = iteration_prediction(spec, xt4_single, grid).time_per_iteration
+        # The Table 4 model carries the SP/2-era synchronisation terms
+        # ((m-1)L, (n-2)L per k-block) whose form the paper could not verify
+        # on the XT4 and which the reusable model therefore omits; compare
+        # both without them (the headline comparison) and with them.
+        table4 = sundaram_vernon_iteration_time(
+            spec, xt4_single, grid, include_sync_terms=False
+        ).iteration_time
+        table4_sync = sundaram_vernon_iteration_time(
+            spec, xt4_single, grid, include_sync_terms=True
+        ).iteration_time
+        hoisie = hoisie_iteration_time(spec, xt4_single, grid)
+        rows.append((cores, reusable, table4, table4_sync, hoisie))
+    return rows
+
+
+def test_baseline_model_comparison(benchmark, xt4_single):
+    rows = benchmark(_compare, xt4_single)
+    table = Table(
+        ["P", "plug-and-play (ms)", "Table 4 model (ms)", "Table 4 + sync (ms)",
+         "Hoisie-style (ms)", "vs Table 4", "vs Hoisie"],
+        title="Sweep3D 20M cells: reusable model vs application-specific baselines",
+    )
+    for cores, reusable, table4, table4_sync, hoisie in rows:
+        table.add_row(
+            cores,
+            reusable / 1000.0,
+            table4 / 1000.0,
+            table4_sync / 1000.0,
+            hoisie / 1000.0,
+            f"{(reusable - table4) / table4:+.1%}",
+            f"{(reusable - hoisie) / hoisie:+.1%}",
+        )
+    emit(table.render())
+
+    for cores, reusable, table4, table4_sync, hoisie in rows:
+        # Generality costs (essentially) nothing relative to the Table 4 model
+        # while computation dominates; at very large P the two differ by the
+        # 1-2 per-tile receive/send operations that Table 4's corner-processor
+        # critical path omits and the reusable model charges every stack
+        # (Section 4.2's "all processors compute their tiles at the same
+        # rate" argument).  See EXPERIMENTS.md.
+        relative_gap = abs(reusable - table4) / table4
+        if cores <= 256:
+            assert relative_gap < 0.05
+        assert relative_gap < 0.30
+        # Table 4 tracks a corner processor that performs fewer per-tile
+        # operations, so it never exceeds the reusable model's estimate.
+        assert reusable >= table4
+        # The SP/2 synchronisation terms only ever add time.
+        assert table4_sync >= table4
+        # The coarser single-sweep model stays within a factor but deviates more.
+        assert 0.5 < reusable / hoisie < 2.0

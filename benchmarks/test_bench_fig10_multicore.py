@@ -1,0 +1,102 @@
+"""Figure 10: execution time on multi-core nodes (Sweep3D 10^9, 10^4 steps).
+
+The paper varies the number of cores per node (1-16, all on one shared bus)
+for 8K-128K nodes and concludes that (a) more cores per node help but with
+diminishing returns, (b) two cores on N nodes slightly beat four cores on N/2
+nodes, (c) beyond four cores per bus the contention erases the gains, and
+(d) a 16-core node with a separate bus/NIC per group of four cores recovers
+the quad-core behaviour.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.analysis.multicore_design import cores_per_node_study
+from repro.apps.workloads import sweep3d_production_1billion
+from repro.util.tables import Table
+
+NODE_COUNTS = (8192, 16384, 32768, 65536, 131072)
+CORE_OPTIONS = (1, 2, 4, 8, 16)
+
+
+def test_fig10_cores_per_node_study(benchmark, xt4):
+    spec = sweep3d_production_1billion()
+    points = benchmark.pedantic(
+        cores_per_node_study,
+        args=(spec, xt4, NODE_COUNTS),
+        kwargs={"cores_per_node_options": CORE_OPTIONS},
+        rounds=1,
+        iterations=1,
+    )
+    lookup = {(p.nodes, p.cores_per_node): p.total_time_days for p in points}
+
+    table = Table(
+        ["nodes"] + [f"{c} cores/node" for c in CORE_OPTIONS],
+        title="Figure 10: execution time (days) vs number of nodes and cores per node",
+    )
+    for nodes in NODE_COUNTS:
+        table.add_row(nodes, *(round(lookup[(nodes, c)], 1) for c in CORE_OPTIONS))
+    emit(table.render())
+
+    for nodes in NODE_COUNTS:
+        days = [lookup[(nodes, c)] for c in CORE_OPTIONS]
+        # Going from one to two cores per node helps while there is still
+        # computation left to share; at the very largest node counts the
+        # curves converge (and can cross slightly) because the run is almost
+        # entirely communication and pipeline fill.
+        if nodes <= 65536:
+            assert days[1] < days[0]
+        else:
+            assert days[1] < 1.15 * days[0]
+        # ...but the gain per doubling shrinks (shared-bus contention), and
+        # sixteen cores on a single bus is never better than eight.
+        gain_1_2 = days[0] / days[1]
+        gain_2_4 = days[1] / days[2]
+        gain_8_16 = days[3] / days[4]
+        assert gain_1_2 > gain_2_4
+        assert gain_2_4 > gain_8_16
+        # Beyond 4 cores on one bus the returns are marginal or negative.
+        assert gain_8_16 < 1.05
+
+    # Four cores per node still pays off while the nodes are few enough for
+    # computation to dominate (the smaller half of the node range).
+    assert lookup[(8192, 4)] < lookup[(8192, 2)]
+    assert lookup[(16384, 4)] < lookup[(16384, 2)]
+    # At the largest node counts, piling cores onto one bus turns negative:
+    # 16 cores/node is worse than 4 cores/node.
+    assert lookup[(131072, 16)] > lookup[(131072, 4)]
+
+    # Two cores on N nodes vs four cores on N/2 nodes (same total cores).
+    assert lookup[(65536, 2)] <= lookup[(32768, 4)]
+    assert lookup[(32768, 2)] <= lookup[(16384, 4)]
+
+
+def test_fig10_sixteen_core_with_four_buses(benchmark, xt4):
+    """The alternative node design: one bus/NIC per group of four cores."""
+    spec = sweep3d_production_1billion()
+
+    def study():
+        single_bus = cores_per_node_study(
+            spec, xt4, (8192,), cores_per_node_options=(16,), buses_per_node=1
+        )[0]
+        four_bus = cores_per_node_study(
+            spec, xt4, (8192,), cores_per_node_options=(16,), buses_per_node=4
+        )[0]
+        quad_core = cores_per_node_study(
+            spec, xt4, (32768,), cores_per_node_options=(4,), buses_per_node=1
+        )[0]
+        return single_bus, four_bus, quad_core
+
+    single_bus, four_bus, quad_core = benchmark(study)
+    print(
+        f"8192 nodes x 16 cores: single bus {single_bus.total_time_days:.1f} days, "
+        f"four buses {four_bus.total_time_days:.1f} days; "
+        f"32K quad-core nodes: {quad_core.total_time_days:.1f} days"
+    )
+    # Splitting the bus recovers most of the loss...
+    assert four_bus.total_time_days < single_bus.total_time_days
+    # ...and lands close to the 32K-node quad-core system with the same
+    # total number of cores (the paper says "the same"; we allow a small gap
+    # because the on-chip/off-node mix differs slightly for a 4x4 rectangle).
+    assert abs(four_bus.total_time_days - quad_core.total_time_days) / quad_core.total_time_days < 0.15

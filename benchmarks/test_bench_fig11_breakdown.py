@@ -1,0 +1,56 @@
+"""Figure 11: cost breakdown for Chimaera 240^3 (total, computation,
+communication time vs processor count, 10^4 time steps).
+
+The crossover point - where communication begins to dominate - marks the end
+of worthwhile strong scaling for the configuration.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.analysis.bottleneck import communication_crossover, cost_breakdown
+from repro.apps.workloads import chimaera_240cubed
+from repro.util.tables import Table
+
+PROCESSOR_COUNTS = (1024, 2048, 4096, 8192, 16384, 32768)
+
+
+def test_fig11_cost_breakdown(benchmark, xt4):
+    spec = chimaera_240cubed(htile=2, time_steps=10_000)
+    points = benchmark(cost_breakdown, spec, xt4, PROCESSOR_COUNTS)
+
+    table = Table(
+        ["P", "total (days)", "computation (days)", "communication (days)", "comm share"],
+        title="Figure 11: Chimaera 240^3 cost breakdown (10^4 time steps)",
+    )
+    for point in points:
+        table.add_row(
+            point.total_cores,
+            round(point.total_time_days, 2),
+            round(point.computation_days, 2),
+            round(point.communication_days, 2),
+            f"{point.communication_days / point.total_time_days:.0%}",
+        )
+    emit(table.render())
+    crossover = communication_crossover(points)
+    print(f"communication overtakes computation at P = {crossover}")
+
+    by_p = {p.total_cores: p for p in points}
+    # Computation time falls ~linearly with P; communication time does not.
+    comp = [by_p[p].computation_days for p in PROCESSOR_COUNTS]
+    assert comp == sorted(comp, reverse=True)
+    assert by_p[1024].computation_days / by_p[16384].computation_days > 8
+    comm_drop = by_p[1024].communication_days / by_p[32768].communication_days
+    assert comm_drop < 3  # communication barely improves with more processors
+    # Total time flattens out: the last doubling buys almost nothing.
+    assert by_p[16384].total_time_days / by_p[32768].total_time_days < 1.15
+    # A crossover exists inside the studied range (the paper's conclusion that
+    # beyond it only better interconnects - not more processors - can help).
+    assert crossover is not None
+    assert 1024 < crossover <= 32768
+    # Consistency of the decomposition.
+    for point in points:
+        assert point.computation_days + point.communication_days == (
+            __import__("pytest").approx(point.total_time_days)
+        )

@@ -1,0 +1,74 @@
+"""Figure 12: pipeline-fill overhead and the pipelined-energy-group redesign.
+
+Weak-scaling configuration (4 x 4 x 1000 cells per processor, 30 energy
+groups, 10^4 time steps): the pipeline-fill share of the run grows with the
+machine size, and re-ordering the sweeps so that all energy groups share one
+pipeline fill eliminates nearly all of that overhead.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.analysis.redesign import energy_group_redesign_study
+from repro.util.tables import Table
+
+PROCESSOR_COUNTS = (1024, 4096, 16384, 65536)
+
+
+def test_fig12_pipelined_energy_groups(benchmark, xt4):
+    points = benchmark.pedantic(
+        energy_group_redesign_study,
+        args=(xt4, PROCESSOR_COUNTS),
+        rounds=1,
+        iterations=1,
+    )
+    table = Table(
+        ["P", "sequential (days)", "fill (days)", "pipelined (days)", "saving"],
+        title="Figure 12: sequential vs pipelined energy groups (4x4x1000 cells/PE)",
+    )
+    for point in points:
+        table.add_row(
+            point.total_cores,
+            round(point.sequential_days, 1),
+            round(point.sequential_fill_days, 1),
+            round(point.pipelined_days, 1),
+            f"{point.improvement:.0%}",
+        )
+    emit(table.render())
+
+    # Fill overhead grows with the machine (weak scaling lengthens the pipeline).
+    fill_fractions = [p.fill_fraction_sequential for p in points]
+    assert fill_fractions == sorted(fill_fractions)
+    assert fill_fractions[-1] > 0.15
+
+    for point in points:
+        # The redesign always helps, and recovers most of the fill overhead.
+        assert point.pipelined_days < point.sequential_days
+        saved = point.sequential_days - point.pipelined_days
+        assert saved > 0.6 * point.sequential_fill_days
+
+    # The pipelined curve is nearly flat (the fill no longer grows with P).
+    pipelined = [p.pipelined_days for p in points]
+    assert max(pipelined) / min(pipelined) < 1.15
+    # The sequential curve is not flat.
+    sequential = [p.sequential_days for p in points]
+    assert max(sequential) / min(sequential) > 1.15
+
+
+def test_fig12_with_convergence_penalty(benchmark, xt4):
+    """If pipelining the groups costs 10% more iterations, it must still win
+    at scale (where fill dominates) - the decision the model lets users make."""
+    points = benchmark.pedantic(
+        energy_group_redesign_study,
+        args=(xt4, (65536,)),
+        kwargs={"extra_iteration_factor": 1.1},
+        rounds=1,
+        iterations=1,
+    )
+    point = points[0]
+    print(
+        f"P=65536 with a 10% iteration penalty: sequential {point.sequential_days:.1f} days, "
+        f"pipelined {point.pipelined_days:.1f} days"
+    )
+    assert point.pipelined_days < point.sequential_days

@@ -1,0 +1,85 @@
+"""Figure 5: execution time vs Htile (Chimaera 240^3 and Sweep3D 20M cells).
+
+The paper finds that Htile in the 2-5 range minimises execution time on the
+XT4 (versus 5-10 on the SP/2 with its far more expensive messages), and that
+the blocking parameter is worth implementing in Chimaera (~20% gain at 16K
+processors for the elongated problem).
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.analysis.htile import htile_study
+from repro.apps.workloads import chimaera_240cubed, chimaera_elongated, sweep3d_20m
+from repro.platforms import ibm_sp2
+from repro.util.tables import Table
+
+HTILE_VALUES = (1, 2, 3, 4, 5, 6, 8, 10)
+
+
+def _figure5(xt4):
+    curves = {}
+    for label, builder, cores in (
+        ("chimaera-240^3 @4K", lambda h: chimaera_240cubed(htile=h), 4096),
+        ("chimaera-240^3 @16K", lambda h: chimaera_240cubed(htile=h), 16384),
+        ("sweep3d-20M @4K", lambda h: sweep3d_20m(htile=h), 4096),
+        ("sweep3d-20M @16K", lambda h: sweep3d_20m(htile=h), 16384),
+    ):
+        curves[label] = htile_study(builder, xt4, cores, HTILE_VALUES)
+    return curves
+
+
+def test_fig5_htile_curves(benchmark, xt4):
+    curves = benchmark(_figure5, xt4)
+    table = Table(
+        ["Htile"] + list(curves.keys()),
+        title="Figure 5: execution time per time step (seconds) vs Htile",
+    )
+    for index, htile in enumerate(HTILE_VALUES):
+        table.add_row(
+            htile,
+            *(round(curves[label].points[index].time_per_time_step_s, 2) for label in curves),
+        )
+    emit(table.render())
+    for label, study in curves.items():
+        print(f"optimal Htile for {label}: {study.optimal.htile}")
+
+    for label, study in curves.items():
+        best = study.optimal.htile
+        # The optimum is never at Htile = 1 (blocking always helps on the XT4)
+        # and never at the largest tested tile (fill costs eventually dominate).
+        assert 2 <= best <= 8, label
+        # The curve is convex-ish: the endpoints are worse than the optimum.
+        times = {p.htile: p.time_per_time_step_s for p in study.points}
+        assert times[1] > times[best]
+        assert times[10] > times[best]
+
+    # The paper's headline: Htile in 2..5 minimises the 240^3 problem.
+    chim_4k = curves["chimaera-240^3 @4K"]
+    assert 2 <= chim_4k.optimal.htile <= 5
+
+
+def test_fig5_chimaera_blocking_gain_at_16k(benchmark, xt4):
+    """Section 5.1: Htile = 2..5 gives ~20% improvement over Htile = 1 for the
+    elongated 240x240x960 Chimaera problem on 16K processors."""
+    study = benchmark(
+        htile_study, lambda h: chimaera_elongated(htile=h), xt4, 16384, HTILE_VALUES
+    )
+    gain = study.improvement_over(1.0)
+    print(f"Chimaera 240x240x960 @16K: optimal Htile {study.optimal.htile}, gain {gain:.0%}")
+    assert gain > 0.12
+    assert 2 <= study.optimal.htile <= 6
+
+
+def test_fig5_sp2_prefers_taller_tiles(benchmark, xt4):
+    """Contrast with prior SP/2 results: expensive messages push the optimum up."""
+    def optima():
+        xt4_study = htile_study(lambda h: sweep3d_20m(htile=h), xt4, 4096, HTILE_VALUES)
+        sp2_study = htile_study(lambda h: sweep3d_20m(htile=h), ibm_sp2(), 4096, HTILE_VALUES)
+        return xt4_study.optimal.htile, sp2_study.optimal.htile
+
+    xt4_best, sp2_best = benchmark(optima)
+    print(f"optimal Htile: XT4 {xt4_best}, SP/2 {sp2_best}")
+    assert sp2_best >= 5
+    assert sp2_best >= xt4_best

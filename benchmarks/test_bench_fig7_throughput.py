@@ -1,0 +1,77 @@
+"""Figure 7: time steps solved per problem per month vs partition count.
+
+(a) Sweep3D 10^9 cells on 32K-128K processors; (b) Chimaera 240^3 on
+16K-32K processors.  Partitioning the machine lowers each job's rate but
+raises the machine's aggregate throughput; at 128K cores two half-machine
+Sweep3D jobs each run at roughly 7/8 the rate of a single full-machine job.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.analysis.partitioning import throughput_study
+from repro.apps.workloads import chimaera_240cubed, sweep3d_production_1billion
+from repro.util.tables import Table
+
+JOB_COUNTS = (1, 2, 4, 8)
+
+
+def _render(points, title):
+    table = Table(
+        ["P total", "jobs", "partition", "steps/month/job", "steps/month total"],
+        title=title,
+    )
+    for point in points:
+        table.add_row(
+            point.total_cores,
+            point.parallel_jobs,
+            point.partition_cores,
+            round(point.time_steps_per_month_per_job),
+            round(point.total_time_steps_per_month),
+        )
+    emit(table.render())
+
+
+def test_fig7a_sweep3d_throughput(benchmark, xt4):
+    spec = sweep3d_production_1billion()
+    points = benchmark(
+        throughput_study, spec, xt4, (32768, 65536, 131072), parallel_jobs_options=JOB_COUNTS
+    )
+    _render(points, "Figure 7(a): Sweep3D 10^9 cells")
+
+    by_key = {(p.total_cores, p.parallel_jobs): p for p in points}
+    for total in (32768, 65536, 131072):
+        rates = [by_key[(total, jobs)].time_steps_per_month_per_job for jobs in JOB_COUNTS]
+        aggregates = [by_key[(total, jobs)].total_time_steps_per_month for jobs in JOB_COUNTS]
+        # Per-job rate falls, aggregate rises, as the machine is partitioned.
+        assert rates == sorted(rates, reverse=True)
+        assert aggregates == sorted(aggregates)
+    # The 7/8 observation at 128K cores.
+    ratio = (
+        by_key[(131072, 2)].time_steps_per_month_per_job
+        / by_key[(131072, 1)].time_steps_per_month_per_job
+    )
+    print(f"two half-machine jobs at 128K run at {ratio:.2f} of the full-machine rate")
+    assert 0.70 < ratio < 0.98
+
+
+def test_fig7b_chimaera_throughput(benchmark, xt4):
+    spec = chimaera_240cubed(htile=2, time_steps=1)
+    points = benchmark(
+        throughput_study, spec, xt4, (16384, 32768), parallel_jobs_options=(1, 2, 4, 8, 16)
+    )
+    _render(points, "Figure 7(b): Chimaera 240^3")
+
+    by_key = {(p.total_cores, p.parallel_jobs): p for p in points}
+    # Section 5.2: a single 240^3 problem on 32K processors is barely faster
+    # than two problems on 16K each.
+    single = by_key[(32768, 1)].time_steps_per_month_per_job
+    halved = by_key[(32768, 2)].time_steps_per_month_per_job
+    assert halved > 0.75 * single
+    # ...while four partitions of 4096 are much better per problem than
+    # sixteen partitions of 1024 on a 16K machine (better than 50% reduction
+    # in execution time per problem, i.e. more than 2x the rate).
+    four = by_key[(16384, 4)].time_steps_per_month_per_job
+    sixteen = by_key[(16384, 16)].time_steps_per_month_per_job
+    assert four > 2.0 * sixteen

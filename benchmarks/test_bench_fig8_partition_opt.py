@@ -1,0 +1,53 @@
+"""Figure 8: optimising the partition size with the R/X and R^2/X metrics.
+
+For Sweep3D 10^9 cells on a 128K-core machine the paper finds R/X minimised
+at 16K-core partitions (8 parallel jobs) and R^2/X at 64K-core partitions.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.analysis.partitioning import partition_tradeoff
+from repro.apps.workloads import sweep3d_production_1billion
+from repro.util.tables import Table
+
+AVAILABLE = 131072
+PARTITIONS = (131072, 65536, 32768, 16384, 8192, 4096)
+
+
+def test_fig8_partition_size_optimisation(benchmark, xt4):
+    spec = sweep3d_production_1billion()
+    points = benchmark(partition_tradeoff, spec, xt4, AVAILABLE, PARTITIONS)
+
+    min_rx = min(p.r_over_x for p in points)
+    min_r2x = min(p.r2_over_x for p in points)
+    table = Table(
+        ["partition", "jobs", "runtime (days)", "R/X (normalised)", "R^2/X (normalised)"],
+        title="Figure 8: partition-size trade-off on 128K cores (Sweep3D 10^9)",
+    )
+    for point in points:
+        table.add_row(
+            point.partition_cores,
+            point.parallel_jobs,
+            round(point.runtime_s / 86400.0, 1),
+            round(point.r_over_x / min_rx, 3),
+            round(point.r2_over_x / min_r2x, 3),
+        )
+    emit(table.render())
+
+    best_rx = min(points, key=lambda p: p.r_over_x)
+    best_r2x = min(points, key=lambda p: p.r2_over_x)
+    print(
+        f"R/X optimum: {best_rx.partition_cores}-core partitions ({best_rx.parallel_jobs} jobs); "
+        f"R^2/X optimum: {best_r2x.partition_cores}-core partitions ({best_r2x.parallel_jobs} jobs)"
+    )
+
+    # Shape claims from the paper:
+    # - the throughput-weighted metric favours smaller partitions than the
+    #   turnaround-weighted one;
+    assert best_rx.partition_cores < best_r2x.partition_cores
+    # - R/X is not minimised by giving one job the whole machine;
+    assert best_rx.parallel_jobs >= 4
+    # - R^2/X is minimised by a large partition (at least a quarter machine).
+    assert best_r2x.partition_cores >= AVAILABLE // 4

@@ -1,0 +1,55 @@
+"""Table 2: XT4 communication parameters re-derived from (simulated) ping-pong.
+
+The Section 3 procedure - measure half round-trip times, fit the Table 1
+equations - must recover the platform's LogGP constants.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import emit
+
+from repro.calibration.fitting import derive_platform_parameters
+from repro.platforms.xt4 import (
+    XT4_G,
+    XT4_G_COPY,
+    XT4_G_DMA,
+    XT4_L,
+    XT4_O,
+    XT4_O_COPY,
+    XT4_O_ONCHIP,
+)
+from repro.util.tables import Table
+
+PAPER_VALUES = {
+    "G (us/byte)": XT4_G,
+    "L (us)": XT4_L,
+    "o (us)": XT4_O,
+    "Gcopy (us/byte)": XT4_G_COPY,
+    "Gdma (us/byte)": XT4_G_DMA,
+    "o_onchip (us)": XT4_O_ONCHIP,
+    "ocopy (us)": XT4_O_COPY,
+}
+
+
+def test_table2_parameter_recovery(benchmark, xt4):
+    fitted = benchmark(derive_platform_parameters, xt4, repetitions=3)
+    table = Table(
+        ["parameter", "fitted", "paper (Table 2)", "error"],
+        title="Table 2: XT4 communication parameters (fitted from simulated ping-pong)",
+    )
+    for name, value in fitted.table2_rows():
+        reference = PAPER_VALUES[name]
+        error = (value - reference) / reference
+        table.add_row(name, value, reference, f"{error:+.2%}")
+        assert value == pytest.approx(reference, rel=1e-3), name
+    emit(table.render())
+    assert fitted.off_node_quality.max_relative_error < 1e-6
+    assert fitted.on_chip_quality.max_relative_error < 1e-6
+
+
+def test_table2_derived_bandwidth(benchmark, xt4):
+    """1/G corresponds to the paper's quoted 2.5 GB/s inter-node bandwidth."""
+    fitted = benchmark(derive_platform_parameters, xt4, repetitions=2)
+    bandwidth_gb_s = 1.0 / fitted.off_node.gap_per_byte / 1000.0
+    assert bandwidth_gb_s == pytest.approx(2.5, rel=0.01)

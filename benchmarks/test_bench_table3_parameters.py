@@ -1,0 +1,41 @@
+"""Table 3: model application parameters for LU, Sweep3D and Chimaera."""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.apps.workloads import chimaera_240cubed, lu_class, sweep3d_20m
+from repro.util.tables import Table
+
+
+def _build_rows():
+    specs = [lu_class("C"), sweep3d_20m(), chimaera_240cubed()]
+    return [spec.table3_row() for spec in specs]
+
+
+def test_table3_application_parameters(benchmark):
+    rows = benchmark(_build_rows)
+    lu_row, sweep_row, chimaera_row = rows
+    table = Table(
+        ["parameter", "LU", "Sweep3D", "Chimaera"],
+        title="Table 3: model application parameters",
+    )
+    for key in lu_row:
+        table.add_row(key, str(lu_row[key]), str(sweep_row[key]), str(chimaera_row[key]))
+    emit(table.render())
+
+    # The published parameter values.
+    assert (lu_row["nsweeps"], lu_row["nfull"], lu_row["ndiag"]) == (2, 2, 0)
+    assert (sweep_row["nsweeps"], sweep_row["nfull"], sweep_row["ndiag"]) == (8, 2, 2)
+    assert (chimaera_row["nsweeps"], chimaera_row["nfull"], chimaera_row["ndiag"]) == (8, 4, 2)
+    assert lu_row["Wg,pre (us)"] > 0
+    assert sweep_row["Wg,pre (us)"] == 0 and chimaera_row["Wg,pre (us)"] == 0
+    assert lu_row["Htile"] == 1.0 and chimaera_row["Htile"] == 1.0
+    assert sweep_row["Htile"] == 2.0  # mk=4, mmi=3, mmo=6
+    assert "stencil" in lu_row["Tnonwavefront"]
+    assert "2 x allreduce" == sweep_row["Tnonwavefront"]
+    assert "1 x allreduce" == chimaera_row["Tnonwavefront"]
+    # Message-size constants: 40 B/cell for LU, 8 * #angles for the transport codes.
+    assert lu_row["boundary bytes/cell"] == 40
+    assert sweep_row["boundary bytes/cell"] == 48
+    assert chimaera_row["boundary bytes/cell"] == 80

@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Platform design study: cores per node and application bottlenecks.
+
+Reproduces the Section 5.3 / 5.4 / 5.5 analyses:
+
+* how many cores per node are worthwhile for particle transport (Figure 10),
+  including the alternative 16-core node with one bus per four cores;
+* where the computation / communication crossover sits for Chimaera
+  (Figure 11);
+* how much of the run is pipeline fill and what the pipelined-energy-group
+  redesign would recover (Figure 12).
+
+Run with::
+
+    python examples/multicore_design_study.py
+"""
+
+from __future__ import annotations
+
+from repro import cray_xt4
+from repro.analysis.bottleneck import communication_crossover, cost_breakdown
+from repro.analysis.multicore_design import cores_per_node_study
+from repro.analysis.redesign import energy_group_redesign_study
+from repro.apps.workloads import chimaera_240cubed, sweep3d_production_1billion
+from repro.util.tables import Table
+
+
+def cores_per_node(platform) -> None:
+    spec = sweep3d_production_1billion()
+    node_counts = (8192, 16384, 32768, 65536)
+    points = cores_per_node_study(
+        spec, platform, node_counts, cores_per_node_options=(1, 2, 4, 8, 16)
+    )
+    table = Table(
+        ["nodes"] + [f"{c} cores/node" for c in (1, 2, 4, 8, 16)],
+        title="Figure 10 analogue: run time (days) vs nodes and cores per node",
+    )
+    lookup = {(p.nodes, p.cores_per_node): p.total_time_days for p in points}
+    for nodes in node_counts:
+        table.add_row(nodes, *(round(lookup[(nodes, c)], 1) for c in (1, 2, 4, 8, 16)))
+    print(table.render())
+
+    # The Section 5.3 alternative: 16 cores per node, one bus per 4 cores.
+    alt = cores_per_node_study(
+        spec, platform, (8192,), cores_per_node_options=(16,), buses_per_node=4
+    )[0]
+    single_bus = lookup[(8192, 16)]
+    print(
+        f"\n16-core node, 8192 nodes: single bus = {single_bus:.1f} days, "
+        f"four buses = {alt.total_time_days:.1f} days "
+        f"(recovers the quad-core-per-bus behaviour)\n"
+    )
+
+
+def bottleneck(platform) -> None:
+    spec = chimaera_240cubed(htile=2, time_steps=10_000)
+    counts = (1024, 2048, 4096, 8192, 16384, 32768)
+    points = cost_breakdown(spec, platform, counts)
+    table = Table(
+        ["P", "total (days)", "computation (days)", "communication (days)"],
+        title="Figure 11 analogue: Chimaera 240^3 cost breakdown",
+    )
+    for point in points:
+        table.add_row(
+            point.total_cores,
+            round(point.total_time_days, 2),
+            round(point.computation_days, 2),
+            round(point.communication_days, 2),
+        )
+    print(table.render())
+    crossover = communication_crossover(points)
+    print(f"\ncommunication overtakes computation at P = {crossover}\n")
+
+
+def redesign(platform) -> None:
+    counts = (1024, 4096, 16384, 65536)
+    points = energy_group_redesign_study(platform, counts)
+    table = Table(
+        ["P", "sequential (days)", "fill share", "pipelined (days)", "saving"],
+        title="Figure 12 analogue: pipelining the energy groups (weak scaling)",
+    )
+    for point in points:
+        table.add_row(
+            point.total_cores,
+            round(point.sequential_days, 1),
+            f"{point.fill_fraction_sequential:.0%}",
+            round(point.pipelined_days, 1),
+            f"{point.improvement:.0%}",
+        )
+    print(table.render())
+
+
+if __name__ == "__main__":
+    xt4 = cray_xt4()
+    cores_per_node(xt4)
+    bottleneck(xt4)
+    redesign(xt4)

@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Procurement and configuration study (the paper's Section 5.2 workflow).
+
+Given a production particle-transport problem (Sweep3D, 10^9 cells, 30 energy
+groups, 10^4 time steps), this example answers the questions a site asks when
+buying or partitioning a machine:
+
+* How does the total run time fall as the machine grows (Figure 6)?
+* If several simulations must run, how much throughput does partitioning the
+  machine buy, and what does it cost each individual job (Figure 7)?
+* Where do the R/X and R^2/X criteria place the sweet spot (Figures 8 and 9)?
+
+Run with::
+
+    python examples/procurement_study.py
+"""
+
+from __future__ import annotations
+
+from repro import cray_xt4
+from repro.analysis.partitioning import optimal_parallel_jobs, partition_tradeoff, throughput_study
+from repro.analysis.scaling import strong_scaling
+from repro.apps.workloads import sweep3d_production_1billion
+from repro.util.tables import Table
+
+
+def scaling_curve(platform) -> None:
+    spec = sweep3d_production_1billion()
+    curve = strong_scaling(spec, platform, (1024, 2048, 4096, 8192, 16384, 32768, 65536, 131072))
+    table = Table(
+        ["P", "total time (days)", "speed-up", "comm share"],
+        title="Figure 6 analogue: Sweep3D 10^9 cells, 30 groups, 10^4 time steps",
+    )
+    speedups = dict(curve.speedup())
+    for point in curve.points:
+        table.add_row(
+            point.total_cores,
+            round(point.total_time_days, 1),
+            round(speedups[point.total_cores], 2),
+            f"{point.communication_fraction:.0%}",
+        )
+    print(table.render())
+    print()
+
+
+def throughput_tradeoff(platform) -> None:
+    spec = sweep3d_production_1billion()
+    table = Table(
+        ["P total", "parallel jobs", "partition", "steps/month/job", "steps/month total"],
+        title="Figure 7 analogue: throughput when partitioning the machine",
+    )
+    for point in throughput_study(spec, platform, (32768, 65536, 131072)):
+        table.add_row(
+            point.total_cores,
+            point.parallel_jobs,
+            point.partition_cores,
+            round(point.time_steps_per_month_per_job),
+            round(point.total_time_steps_per_month),
+        )
+    print(table.render())
+    print()
+
+
+def partition_criteria(platform) -> None:
+    spec = sweep3d_production_1billion()
+    sizes = (131072, 65536, 32768, 16384, 8192, 4096)
+    points = partition_tradeoff(spec, platform, 131072, sizes)
+    table = Table(
+        ["partition", "jobs", "runtime (days)", "R/X (norm.)", "R^2/X (norm.)"],
+        title="Figure 8 analogue: R/X vs R^2/X on a 128K-core machine",
+    )
+    min_rx = min(p.r_over_x for p in points)
+    min_r2x = min(p.r2_over_x for p in points)
+    for point in points:
+        table.add_row(
+            point.partition_cores,
+            point.parallel_jobs,
+            round(point.runtime_s / 86400.0, 1),
+            round(point.r_over_x / min_rx, 2),
+            round(point.r2_over_x / min_r2x, 2),
+        )
+    print(table.render())
+    print()
+
+    table9 = Table(
+        ["available P", "jobs (min R/X)", "jobs (min R^2/X)"],
+        title="Figure 9 analogue: optimal number of parallel simulations",
+    )
+    for available in (16384, 32768, 65536, 131072):
+        rx = optimal_parallel_jobs(spec, platform, available, criterion="r_over_x")
+        r2x = optimal_parallel_jobs(spec, platform, available, criterion="r2_over_x")
+        table9.add_row(available, rx.parallel_jobs, r2x.parallel_jobs)
+    print(table9.render())
+
+
+if __name__ == "__main__":
+    xt4 = cray_xt4()
+    scaling_curve(xt4)
+    throughput_tradeoff(xt4)
+    partition_criteria(xt4)

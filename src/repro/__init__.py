@@ -1,0 +1,68 @@
+"""repro - plug-and-play LogGP performance models for wavefront computations.
+
+A reproduction of *"A Plug-and-Play Model for Evaluating Wavefront
+Computations on Parallel Architectures"* (Mudalige, Vernon & Jarvis,
+IPDPS 2008).
+
+The library predicts the runtime and scaling behaviour of MPI pipelined
+wavefront applications (LU, Sweep3D, Chimaera, or any user-specified
+wavefront code) on parallel platforms with multi-core nodes from a handful of
+application and platform parameters, and provides:
+
+* LogGP models of MPI send/receive/all-reduce on the Cray XT4 and other
+  platforms (:mod:`repro.core.comm`, :mod:`repro.platforms`);
+* the reusable Table 5 / Table 6 wavefront model (:mod:`repro.core`);
+* a discrete-event simulator of a wavefront run on an XT4-like machine that
+  plays the role of the paper's measurements (:mod:`repro.simulator`);
+* real numpy wavefront kernels and a shared-memory executor for small-scale
+  correctness runs and work-rate calibration (:mod:`repro.kernels`);
+* the Section 5 analyses - Htile optimisation, platform sizing, partitioning
+  metrics, cores-per-node studies, bottleneck breakdowns and the pipelined
+  energy-group redesign (:mod:`repro.analysis`).
+
+Quick start
+-----------
+
+>>> from repro import predict, cray_xt4
+>>> from repro.apps.workloads import chimaera_240cubed
+>>> prediction = predict(chimaera_240cubed(), cray_xt4(), total_cores=4096)
+>>> prediction.time_per_time_step_s  # doctest: +SKIP
+21.4
+"""
+
+from repro.core import (
+    CoreMapping,
+    Corner,
+    Platform,
+    Prediction,
+    ProblemSize,
+    ProcessorGrid,
+    allreduce_time,
+    decompose,
+    predict,
+)
+from repro.apps.base import SweepPhase, SweepSchedule, WavefrontSpec
+from repro.platforms import cray_xt3, cray_xt4, cray_xt4_single_core, custom_platform, ibm_sp2
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CoreMapping",
+    "Corner",
+    "Platform",
+    "Prediction",
+    "ProblemSize",
+    "ProcessorGrid",
+    "SweepPhase",
+    "SweepSchedule",
+    "WavefrontSpec",
+    "allreduce_time",
+    "cray_xt3",
+    "cray_xt4",
+    "cray_xt4_single_core",
+    "custom_platform",
+    "decompose",
+    "ibm_sp2",
+    "predict",
+    "__version__",
+]

@@ -1,0 +1,78 @@
+"""Application bottleneck analysis (Section 5.4, Figure 11).
+
+The model decomposes the predicted critical path into computation and
+communication components ("the communication component ... is derived from
+the Send, Receive, TotalComm and Tallreduce terms; the computation component
+is the rest").  Plotting both against the processor count shows where
+communication starts to dominate - the point past which adding processors
+yields greatly diminished returns, and the point at which only faster
+inter-core communication (not more cores) can help.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.apps.base import WavefrontSpec
+from repro.core.loggp import Platform
+from repro.core.predictor import Prediction, predict
+
+__all__ = ["BreakdownPoint", "cost_breakdown", "communication_crossover"]
+
+
+@dataclass(frozen=True)
+class BreakdownPoint:
+    """Total / computation / communication time at one processor count."""
+
+    total_cores: int
+    total_time_days: float
+    computation_days: float
+    communication_days: float
+    pipeline_fill_days: float
+    prediction: Prediction
+
+    @property
+    def communication_dominates(self) -> bool:
+        return self.communication_days > self.computation_days
+
+
+def cost_breakdown(
+    spec: WavefrontSpec,
+    platform: Platform,
+    processor_counts: Sequence[int],
+) -> list[BreakdownPoint]:
+    """The Figure 11 curves: total, computation and communication time vs P."""
+    points: list[BreakdownPoint] = []
+    for count in processor_counts:
+        prediction = predict(spec, platform, total_cores=count)
+        total_days = prediction.total_time_days
+        comp_days = total_days * prediction.computation_fraction
+        iteration = prediction.time_per_iteration_us
+        fill_fraction = (
+            prediction.pipeline_fill_per_iteration_us / iteration if iteration > 0 else 0.0
+        )
+        points.append(
+            BreakdownPoint(
+                total_cores=count,
+                total_time_days=total_days,
+                computation_days=comp_days,
+                communication_days=total_days - comp_days,
+                pipeline_fill_days=total_days * fill_fraction,
+                prediction=prediction,
+            )
+        )
+    return points
+
+
+def communication_crossover(points: Sequence[BreakdownPoint]) -> Optional[int]:
+    """Smallest processor count at which communication exceeds computation.
+
+    Returns ``None`` when communication never dominates within the studied
+    range.  The paper identifies this crossover as the practical scaling
+    limit of the configuration.
+    """
+    dominated = [p for p in points if p.communication_dominates]
+    if not dominated:
+        return None
+    return min(p.total_cores for p in dominated)

@@ -1,0 +1,99 @@
+"""Processor-array aspect-ratio study (an ablation on the data decomposition).
+
+The paper (and the earlier Mathis et al. work it cites) notes that the data
+decomposition is itself a design choice.  For a fixed processor count ``P``
+the logical array can be any ``n x m`` factorisation; the aspect ratio trades
+the two pipeline-fill directions against each other and changes the east-west
+vs north-south message sizes.  This study evaluates every factorisation (or a
+requested subset) with the plug-and-play model and reports the best one -
+near-square for cubic problems, elongated when the problem itself is
+elongated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.apps.base import WavefrontSpec
+from repro.core.decomposition import ProcessorGrid
+from repro.core.loggp import Platform
+from repro.core.predictor import Prediction, predict
+
+__all__ = ["DecompositionPoint", "all_factorisations", "decomposition_study", "best_decomposition"]
+
+
+@dataclass(frozen=True)
+class DecompositionPoint:
+    """Model outputs for one ``n x m`` factorisation of the processor count."""
+
+    grid: ProcessorGrid
+    time_per_iteration_us: float
+    pipeline_fill_us: float
+    prediction: Prediction
+
+    @property
+    def aspect_ratio(self) -> float:
+        """Width over height of the logical array (>= values mean wider)."""
+        return self.grid.n / self.grid.m
+
+
+def all_factorisations(total_processors: int) -> List[ProcessorGrid]:
+    """Every ``n x m`` factorisation of ``total_processors`` (n, m >= 1)."""
+    if total_processors < 1:
+        raise ValueError("total_processors must be positive")
+    grids = []
+    for m in range(1, total_processors + 1):
+        if total_processors % m == 0:
+            grids.append(ProcessorGrid(n=total_processors // m, m=m))
+    return grids
+
+
+def decomposition_study(
+    spec: WavefrontSpec,
+    platform: Platform,
+    total_processors: int,
+    *,
+    grids: Sequence[ProcessorGrid] | None = None,
+    max_aspect_ratio: float | None = 64.0,
+) -> List[DecompositionPoint]:
+    """Evaluate the model for each candidate factorisation of ``total_processors``.
+
+    ``max_aspect_ratio`` discards extremely elongated arrays (1 x P and
+    friends) which are never competitive and only slow the study down; pass
+    ``None`` to keep them all.
+    """
+    if grids is None:
+        grids = all_factorisations(total_processors)
+    points: List[DecompositionPoint] = []
+    for grid in grids:
+        if grid.total_processors != total_processors:
+            raise ValueError(
+                f"grid {grid.n}x{grid.m} does not match P={total_processors}"
+            )
+        ratio = max(grid.n / grid.m, grid.m / grid.n)
+        if max_aspect_ratio is not None and ratio > max_aspect_ratio:
+            continue
+        prediction = predict(spec, platform, grid=grid)
+        points.append(
+            DecompositionPoint(
+                grid=grid,
+                time_per_iteration_us=prediction.time_per_iteration_us,
+                pipeline_fill_us=prediction.pipeline_fill_per_iteration_us,
+                prediction=prediction,
+            )
+        )
+    if not points:
+        raise ValueError("no factorisations left after filtering")
+    return points
+
+
+def best_decomposition(
+    spec: WavefrontSpec,
+    platform: Platform,
+    total_processors: int,
+    **kwargs,
+) -> DecompositionPoint:
+    """The factorisation with the smallest predicted iteration time."""
+    points = decomposition_study(spec, platform, total_processors, **kwargs)
+    return min(points, key=lambda p: p.time_per_iteration_us)

@@ -1,0 +1,105 @@
+"""Application design study: tile height ``Htile`` (Section 5.1, Figure 5).
+
+A larger tile raises the computation-to-communication ratio (fewer, larger
+messages) but lengthens the pipeline fill.  The study sweeps ``Htile`` for a
+given application, problem size and processor count and reports the execution
+time per time step, from which the optimal blocking factor can be read off -
+the paper finds 2-5 on the XT4 versus 5-10 on the older SP/2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.apps.base import WavefrontSpec
+from repro.core.loggp import Platform
+from repro.core.predictor import Prediction, predict
+
+__all__ = ["HtilePoint", "HtileStudy", "htile_study", "optimal_htile"]
+
+
+@dataclass(frozen=True)
+class HtilePoint:
+    """One point of the Htile sweep."""
+
+    htile: float
+    time_per_time_step_s: float
+    pipeline_fill_fraction: float
+    communication_fraction: float
+    prediction: Prediction
+
+
+@dataclass(frozen=True)
+class HtileStudy:
+    """Results of an Htile sweep for one (application, P) configuration."""
+
+    application: str
+    platform: str
+    total_cores: int
+    points: tuple[HtilePoint, ...]
+
+    @property
+    def optimal(self) -> HtilePoint:
+        return min(self.points, key=lambda p: p.time_per_time_step_s)
+
+    def improvement_over(self, htile: float) -> float:
+        """Fractional speed-up of the optimum relative to ``Htile = htile``."""
+        baseline = next((p for p in self.points if p.htile == htile), None)
+        if baseline is None:
+            raise ValueError(f"no point with Htile = {htile} in this study")
+        return 1.0 - self.optimal.time_per_time_step_s / baseline.time_per_time_step_s
+
+
+def htile_study(
+    spec_builder: Callable[[float], WavefrontSpec],
+    platform: Platform,
+    total_cores: int,
+    htile_values: Sequence[float],
+) -> HtileStudy:
+    """Sweep ``Htile`` for the application produced by ``spec_builder``.
+
+    ``spec_builder(htile)`` must return the application spec configured with
+    that tile height (for Sweep3D this maps Htile back onto ``mk``; for
+    Chimaera / custom codes it sets the blocking factor directly).
+    """
+    if not htile_values:
+        raise ValueError("htile_values must not be empty")
+    points = []
+    application = None
+    for htile in htile_values:
+        spec = spec_builder(htile)
+        application = spec.name
+        prediction = predict(spec, platform, total_cores=total_cores)
+        iteration = prediction.time_per_iteration_us
+        points.append(
+            HtilePoint(
+                htile=float(htile),
+                time_per_time_step_s=prediction.time_per_time_step_s,
+                pipeline_fill_fraction=(
+                    prediction.pipeline_fill_per_iteration_us / iteration
+                    if iteration > 0
+                    else 0.0
+                ),
+                communication_fraction=prediction.communication_fraction,
+                prediction=prediction,
+            )
+        )
+    assert application is not None
+    return HtileStudy(
+        application=application,
+        platform=platform.name,
+        total_cores=total_cores,
+        points=tuple(points),
+    )
+
+
+def optimal_htile(
+    spec_builder: Callable[[float], WavefrontSpec],
+    platform: Platform,
+    total_cores: int,
+    htile_values: Sequence[float],
+) -> float:
+    """The Htile value minimising execution time over the given candidates."""
+    study = htile_study(spec_builder, platform, total_cores, htile_values)
+    return study.optimal.htile

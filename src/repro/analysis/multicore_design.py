@@ -1,0 +1,89 @@
+"""Platform design: how many cores per node? (Section 5.3, Figure 10).
+
+The study fixes the application and the number of *nodes* and varies the
+number of cores per node (1, 2, 4, 8, 16), all sharing one memory bus /
+NIC, plus the alternative 16-core node with a separate bus per group of four
+cores.  Because the off-node constants stay the same, the differences come
+from (a) more of the neighbour traffic moving on-chip and (b) the Table 6
+shared-bus contention - which is why more than four cores per bus shows
+diminishing or negative returns for transport codes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.apps.base import WavefrontSpec
+from repro.core.loggp import Platform
+from repro.core.predictor import Prediction, predict
+
+__all__ = ["MulticoreDesignPoint", "cores_per_node_study", "equivalent_node_counts"]
+
+
+@dataclass(frozen=True)
+class MulticoreDesignPoint:
+    """One (nodes, cores-per-node, buses-per-node) design point."""
+
+    nodes: int
+    cores_per_node: int
+    buses_per_node: int
+    total_cores: int
+    total_time_days: float
+    prediction: Prediction
+
+    @property
+    def label(self) -> str:
+        if self.buses_per_node > 1:
+            return f"{self.cores_per_node} cores/node ({self.buses_per_node} buses)"
+        return f"{self.cores_per_node} cores/node"
+
+
+def cores_per_node_study(
+    spec: WavefrontSpec,
+    base_platform: Platform,
+    node_counts: Sequence[int],
+    *,
+    cores_per_node_options: Sequence[int] = (1, 2, 4, 8, 16),
+    buses_per_node: int = 1,
+) -> list[MulticoreDesignPoint]:
+    """Evaluate the Figure 10 design space.
+
+    ``base_platform`` supplies the communication constants (typically the
+    XT4); its node architecture is overridden per design point.
+    """
+    points: list[MulticoreDesignPoint] = []
+    for cores in cores_per_node_options:
+        buses = min(buses_per_node, cores)
+        platform = base_platform.with_cores_per_node(cores, buses)
+        for nodes in node_counts:
+            total_cores = nodes * cores
+            prediction = predict(spec, platform, total_cores=total_cores)
+            points.append(
+                MulticoreDesignPoint(
+                    nodes=nodes,
+                    cores_per_node=cores,
+                    buses_per_node=buses,
+                    total_cores=total_cores,
+                    total_time_days=prediction.total_time_days,
+                    prediction=prediction,
+                )
+            )
+    return points
+
+
+def equivalent_node_counts(
+    points: Sequence[MulticoreDesignPoint], target_days: float, tolerance: float = 0.10
+) -> list[MulticoreDesignPoint]:
+    """Design points whose run time is within ``tolerance`` of ``target_days``.
+
+    Used to answer questions such as "which (nodes, cores/node) combinations
+    match the performance of 64K single-core nodes?" (Section 5.3).
+    """
+    if target_days <= 0:
+        raise ValueError("target_days must be positive")
+    return [
+        point
+        for point in points
+        if abs(point.total_time_days - target_days) / target_days <= tolerance
+    ]

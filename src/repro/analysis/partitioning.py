@@ -1,0 +1,161 @@
+"""Partitioning and throughput metrics (Section 5.2, Figures 7-9).
+
+A site with ``P_avail`` processors can run one large simulation or partition
+the machine and run several smaller ones in parallel.  The paper quantifies
+the trade-off with:
+
+* the number of time steps each problem solves per month when the machine is
+  split into 1, 2, 4 or 8 equal partitions (Figure 7);
+* ``R/X`` and ``R^2/X``, where ``R`` is the runtime of one simulation on its
+  partition and ``X`` the system-wide simulation throughput; minimising
+  ``R/X`` favours throughput, minimising ``R^2/X`` weights single-job
+  turnaround more heavily (Figure 8);
+* the optimal number of parallel simulations for each criterion and machine
+  size (Figure 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.apps.base import WavefrontSpec
+from repro.core.loggp import Platform
+from repro.core.predictor import predict
+from repro.util.units import SECONDS_PER_MONTH, us_to_seconds
+
+__all__ = [
+    "ThroughputPoint",
+    "PartitionTradeoffPoint",
+    "throughput_study",
+    "partition_tradeoff",
+    "optimal_parallel_jobs",
+]
+
+
+@dataclass(frozen=True)
+class ThroughputPoint:
+    """Throughput when ``parallel_jobs`` simulations share ``total_cores``."""
+
+    total_cores: int
+    parallel_jobs: int
+    partition_cores: int
+    time_per_time_step_s: float
+    time_steps_per_month_per_job: float
+
+    @property
+    def total_time_steps_per_month(self) -> float:
+        """Aggregate time steps solved per month across all partitions."""
+        return self.time_steps_per_month_per_job * self.parallel_jobs
+
+
+def _time_per_time_step_s(spec: WavefrontSpec, platform: Platform, cores: int) -> float:
+    prediction = predict(spec, platform, total_cores=cores)
+    return prediction.time_per_time_step_s
+
+
+def throughput_study(
+    spec: WavefrontSpec,
+    platform: Platform,
+    total_cores_options: Sequence[int],
+    *,
+    parallel_jobs_options: Sequence[int] = (1, 2, 4, 8),
+) -> list[ThroughputPoint]:
+    """The Figure 7 study: time steps per problem per month vs partitioning."""
+    points: list[ThroughputPoint] = []
+    for total_cores in total_cores_options:
+        for jobs in parallel_jobs_options:
+            if jobs < 1 or total_cores % jobs != 0:
+                continue
+            partition = total_cores // jobs
+            step_time = _time_per_time_step_s(spec, platform, partition)
+            points.append(
+                ThroughputPoint(
+                    total_cores=total_cores,
+                    parallel_jobs=jobs,
+                    partition_cores=partition,
+                    time_per_time_step_s=step_time,
+                    time_steps_per_month_per_job=SECONDS_PER_MONTH / step_time,
+                )
+            )
+    return points
+
+
+@dataclass(frozen=True)
+class PartitionTradeoffPoint:
+    """One partition size of the Figure 8 trade-off curves.
+
+    ``runtime_s`` (``R``) is the time for one simulation (all of ``spec``'s
+    time steps) on its partition; ``throughput_per_s`` (``X``) is the number
+    of simulations the whole machine completes per second.
+    """
+
+    available_cores: int
+    partition_cores: int
+    parallel_jobs: int
+    runtime_s: float
+    throughput_per_s: float
+
+    @property
+    def r_over_x(self) -> float:
+        return self.runtime_s / self.throughput_per_s
+
+    @property
+    def r2_over_x(self) -> float:
+        return self.runtime_s**2 / self.throughput_per_s
+
+
+def partition_tradeoff(
+    spec: WavefrontSpec,
+    platform: Platform,
+    available_cores: int,
+    partition_sizes: Sequence[int],
+) -> list[PartitionTradeoffPoint]:
+    """Evaluate ``R/X`` and ``R^2/X`` for each candidate partition size."""
+    points: list[PartitionTradeoffPoint] = []
+    for partition in partition_sizes:
+        if partition < 1 or partition > available_cores or available_cores % partition != 0:
+            continue
+        jobs = available_cores // partition
+        prediction = predict(spec, platform, total_cores=partition)
+        runtime_s = us_to_seconds(prediction.total_time_us)
+        throughput = jobs / runtime_s
+        points.append(
+            PartitionTradeoffPoint(
+                available_cores=available_cores,
+                partition_cores=partition,
+                parallel_jobs=jobs,
+                runtime_s=runtime_s,
+                throughput_per_s=throughput,
+            )
+        )
+    if not points:
+        raise ValueError("no valid partition sizes were supplied")
+    return points
+
+
+def optimal_parallel_jobs(
+    spec: WavefrontSpec,
+    platform: Platform,
+    available_cores: int,
+    *,
+    criterion: str = "r_over_x",
+    min_partition_cores: int = 1024,
+) -> PartitionTradeoffPoint:
+    """The Figure 9 quantity: the best number of parallel simulations.
+
+    Partitions are powers-of-two divisions of ``available_cores`` with at
+    least ``min_partition_cores`` cores each.  ``criterion`` selects the
+    metric to minimise: ``"r_over_x"`` or ``"r2_over_x"``.
+    """
+    if criterion not in ("r_over_x", "r2_over_x"):
+        raise ValueError("criterion must be 'r_over_x' or 'r2_over_x'")
+    sizes = []
+    partition = available_cores
+    while partition >= max(min_partition_cores, 1):
+        sizes.append(partition)
+        if partition % 2 != 0:
+            break
+        partition //= 2
+    points = partition_tradeoff(spec, platform, available_cores, sizes)
+    return min(points, key=lambda p: getattr(p, criterion))

@@ -1,0 +1,132 @@
+"""Sweep-structure redesign: pipelined energy groups (Section 5.5, Figure 12).
+
+Sweep3D normally iterates each energy group to convergence before starting
+the next, so every iteration of every group pays its own pipeline-fill
+overhead.  The proposed redesign pipelines the energy groups: the first two
+sweeps are performed for all groups, then sweeps 3-4 for all groups, and so
+on - one iteration then contains ``8 x n_groups`` sweeps but still only
+``nfull = 2`` and ``ndiag = 2`` exposed fills, eliminating nearly all of the
+fill overhead (at the possible cost of extra iterations to converge, which
+the user can fold in as a multiplier).
+
+The study follows the paper's Figure 12 configuration: weak scaling with a
+fixed 4 x 4 x 1000-cell subdomain per processor, 30 energy groups and 10^4
+time steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.apps.base import WavefrontSpec
+from repro.apps.sweep3d import Sweep3DConfig, sweep3d
+from repro.core.decomposition import ProblemSize, ProcessorGrid, decompose
+from repro.core.loggp import Platform
+from repro.core.predictor import predict
+
+__all__ = [
+    "RedesignPoint",
+    "pipelined_energy_groups_spec",
+    "energy_group_redesign_study",
+]
+
+
+@dataclass(frozen=True)
+class RedesignPoint:
+    """Sequential vs pipelined energy-group execution at one machine size."""
+
+    total_cores: int
+    sequential_days: float
+    pipelined_days: float
+    sequential_fill_days: float
+
+    @property
+    def fill_fraction_sequential(self) -> float:
+        if self.sequential_days == 0.0:
+            return 0.0
+        return self.sequential_fill_days / self.sequential_days
+
+    @property
+    def improvement(self) -> float:
+        """Fractional reduction in run time from pipelining the groups."""
+        if self.sequential_days == 0.0:
+            return 0.0
+        return 1.0 - self.pipelined_days / self.sequential_days
+
+
+def pipelined_energy_groups_spec(
+    spec: WavefrontSpec, *, extra_iteration_factor: float = 1.0
+) -> WavefrontSpec:
+    """Transform a spec so that its energy groups are pipelined.
+
+    The per-iteration schedule is repeated once per energy group (only the
+    final repetition's precedence structure is exposed), the energy-group
+    multiplier drops to one, and ``extra_iteration_factor`` scales the
+    iteration count if the user expects pipelining to slow convergence.
+    """
+    if spec.energy_groups < 1:
+        raise ValueError("spec must have at least one energy group")
+    if extra_iteration_factor < 1.0:
+        raise ValueError("extra_iteration_factor must be >= 1")
+    iterations = max(1, int(round(spec.iterations * extra_iteration_factor)))
+    return (
+        spec.with_schedule(spec.schedule.repeated(spec.energy_groups))
+        .with_energy_groups(1)
+        .with_iterations(iterations)
+    )
+
+
+def _weak_scaled_problem(
+    grid: ProcessorGrid, cells_per_processor: tuple[int, int, int]
+) -> ProblemSize:
+    cx, cy, cz = cells_per_processor
+    return ProblemSize(cx * grid.n, cy * grid.m, cz)
+
+
+def energy_group_redesign_study(
+    platform: Platform,
+    processor_counts: Sequence[int],
+    *,
+    cells_per_processor: tuple[int, int, int] = (4, 4, 1000),
+    energy_groups: int = 30,
+    iterations: int = 120,
+    time_steps: int = 10_000,
+    htile: float = 2.0,
+    extra_iteration_factor: float = 1.0,
+) -> list[RedesignPoint]:
+    """The Figure 12 study: sequential vs pipelined energy groups, weak scaling."""
+    if not processor_counts:
+        raise ValueError("processor_counts must not be empty")
+    config = Sweep3DConfig.for_htile(htile)
+    points: list[RedesignPoint] = []
+    for count in processor_counts:
+        grid = decompose(count)
+        problem = _weak_scaled_problem(grid, cells_per_processor)
+        sequential = sweep3d(
+            problem,
+            config=config,
+            iterations=iterations,
+            time_steps=time_steps,
+            energy_groups=energy_groups,
+        )
+        pipelined = pipelined_energy_groups_spec(
+            sequential, extra_iteration_factor=extra_iteration_factor
+        )
+        seq_prediction = predict(sequential, platform, grid=grid)
+        pipe_prediction = predict(pipelined, platform, grid=grid)
+        iteration_us = seq_prediction.time_per_iteration_us
+        fill_fraction = (
+            seq_prediction.pipeline_fill_per_iteration_us / iteration_us
+            if iteration_us > 0
+            else 0.0
+        )
+        points.append(
+            RedesignPoint(
+                total_cores=count,
+                sequential_days=seq_prediction.total_time_days,
+                pipelined_days=pipe_prediction.total_time_days,
+                sequential_fill_days=seq_prediction.total_time_days * fill_fraction,
+            )
+        )
+    return points

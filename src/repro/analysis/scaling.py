@@ -1,0 +1,141 @@
+"""Platform sizing: execution time versus system size (Section 5.2, Figure 6).
+
+``strong_scaling`` evaluates a fixed problem on a range of processor counts
+and reports the total run time (in days, the unit of Figure 6) together with
+the computation/communication/pipeline-fill decomposition, from which the
+diminishing-returns behaviour is evident.  ``weak_scaling`` keeps the
+per-processor subdomain fixed (the configuration of Figure 12) and grows the
+problem with the machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.apps.base import WavefrontSpec
+from repro.core.decomposition import ProcessorGrid, decompose
+from repro.core.loggp import Platform
+from repro.core.predictor import Prediction, predict
+
+__all__ = [
+    "ScalingPoint",
+    "ScalingCurve",
+    "strong_scaling",
+    "weak_scaling",
+    "parallel_efficiency",
+]
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One (processor count, predicted time) point of a scaling curve."""
+
+    total_cores: int
+    total_time_days: float
+    time_per_time_step_s: float
+    computation_fraction: float
+    pipeline_fill_fraction: float
+    prediction: Prediction
+
+    @property
+    def communication_fraction(self) -> float:
+        return 1.0 - self.computation_fraction
+
+
+@dataclass(frozen=True)
+class ScalingCurve:
+    """A strong- or weak-scaling curve."""
+
+    application: str
+    platform: str
+    points: tuple[ScalingPoint, ...]
+    mode: str
+
+    def point(self, total_cores: int) -> ScalingPoint:
+        for entry in self.points:
+            if entry.total_cores == total_cores:
+                return entry
+        raise KeyError(f"no point for {total_cores} cores")
+
+    def speedup(self, baseline_cores: Optional[int] = None) -> list[tuple[int, float]]:
+        """Speed-up relative to the smallest (or given) processor count."""
+        if not self.points:
+            return []
+        base = (
+            self.point(baseline_cores)
+            if baseline_cores is not None
+            else min(self.points, key=lambda p: p.total_cores)
+        )
+        return [
+            (p.total_cores, base.total_time_days / p.total_time_days)
+            for p in self.points
+        ]
+
+
+def _point(prediction: Prediction) -> ScalingPoint:
+    iteration = prediction.time_per_iteration_us
+    return ScalingPoint(
+        total_cores=prediction.grid.total_processors,
+        total_time_days=prediction.total_time_days,
+        time_per_time_step_s=prediction.time_per_time_step_s,
+        computation_fraction=prediction.computation_fraction,
+        pipeline_fill_fraction=(
+            prediction.pipeline_fill_per_iteration_us / iteration if iteration > 0 else 0.0
+        ),
+        prediction=prediction,
+    )
+
+
+def strong_scaling(
+    spec: WavefrontSpec,
+    platform: Platform,
+    processor_counts: Sequence[int],
+) -> ScalingCurve:
+    """Fixed problem, growing machine (the Figure 6 study)."""
+    if not processor_counts:
+        raise ValueError("processor_counts must not be empty")
+    points = tuple(
+        _point(predict(spec, platform, total_cores=count)) for count in processor_counts
+    )
+    return ScalingCurve(
+        application=spec.name, platform=platform.name, points=points, mode="strong"
+    )
+
+
+def weak_scaling(
+    spec_builder: Callable[[ProcessorGrid], WavefrontSpec],
+    platform: Platform,
+    processor_counts: Sequence[int],
+) -> ScalingCurve:
+    """Fixed per-processor subdomain, growing machine (the Figure 12 setup).
+
+    ``spec_builder(grid)`` receives the decomposed processor grid and must
+    return the spec whose global problem matches that grid (e.g. 4x4x1000
+    cells per processor).
+    """
+    if not processor_counts:
+        raise ValueError("processor_counts must not be empty")
+    points = []
+    application = None
+    for count in processor_counts:
+        grid = decompose(count)
+        spec = spec_builder(grid)
+        application = spec.name
+        points.append(_point(predict(spec, platform, grid=grid)))
+    assert application is not None
+    return ScalingCurve(
+        application=application, platform=platform.name, points=tuple(points), mode="weak"
+    )
+
+
+def parallel_efficiency(curve: ScalingCurve) -> list[tuple[int, float]]:
+    """Classic strong-scaling efficiency: speed-up divided by core ratio."""
+    if curve.mode != "strong":
+        raise ValueError("parallel efficiency is defined for strong-scaling curves")
+    base = min(curve.points, key=lambda p: p.total_cores)
+    result = []
+    for cores, speedup in curve.speedup():
+        ratio = cores / base.total_cores
+        result.append((cores, speedup / ratio))
+    return result

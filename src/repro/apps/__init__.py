@@ -1,0 +1,59 @@
+"""Application parameterisations of wavefront codes (Table 3 of the paper).
+
+This package turns each benchmark (LU, Sweep3D, Chimaera) - and any custom
+wavefront application a user wants to evaluate - into a
+:class:`~repro.apps.base.WavefrontSpec`: the small set of plug-and-play input
+parameters that the reusable model consumes.
+
+>>> from repro.apps import sweep3d, chimaera, lu
+>>> from repro.core.decomposition import ProblemSize
+>>> spec = chimaera(ProblemSize.cube(240))
+>>> (spec.nsweeps, spec.nfull, spec.ndiag)
+(8, 4, 2)
+"""
+
+from repro.apps.base import (
+    AllReduceNonWavefront,
+    FillClass,
+    NoNonWavefront,
+    NonWavefrontModel,
+    StencilNonWavefront,
+    SweepPhase,
+    SweepSchedule,
+    WavefrontSpec,
+)
+from repro.apps.chimaera import CHIMAERA_ANGLES, CHIMAERA_WG_US, chimaera, chimaera_schedule
+from repro.apps.lu import LU_WG_PRE_US, LU_WG_US, lu, lu_schedule
+from repro.apps.sweep3d import (
+    SWEEP3D_ANGLES,
+    SWEEP3D_WG_US,
+    Sweep3DConfig,
+    sweep3d,
+    sweep3d_schedule,
+)
+from repro.apps import workloads
+
+__all__ = [
+    "AllReduceNonWavefront",
+    "FillClass",
+    "NoNonWavefront",
+    "NonWavefrontModel",
+    "StencilNonWavefront",
+    "SweepPhase",
+    "SweepSchedule",
+    "WavefrontSpec",
+    "chimaera",
+    "chimaera_schedule",
+    "CHIMAERA_ANGLES",
+    "CHIMAERA_WG_US",
+    "lu",
+    "lu_schedule",
+    "LU_WG_US",
+    "LU_WG_PRE_US",
+    "sweep3d",
+    "sweep3d_schedule",
+    "Sweep3DConfig",
+    "SWEEP3D_ANGLES",
+    "SWEEP3D_WG_US",
+    "workloads",
+]

@@ -1,0 +1,108 @@
+"""Chimaera application parameters (Table 3, column "Chimaera").
+
+Chimaera is AWE's particle transport benchmark.  Like Sweep3D it performs
+eight sweeps (one per octant) per iteration, but its sweep precedence differs
+(Figure 2(c)): four of the sweeps must complete *everywhere* before the next
+one starts (``nfull = 4``) and two must complete at the main-diagonal corner
+(``ndiag = 2``).  Chimaera computes ten angles per cell, has a fixed tile
+height of one cell (the paper notes that AWE were implementing an ``Htile``
+parameter following this model's projections), and performs one all-reduce
+per iteration.
+
+The paper was the first to document Chimaera's sweep structure and the first
+analytic model of the code; the 240^3 problem used throughout Section 5 needs
+419 iterations per time step.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import (
+    AllReduceNonWavefront,
+    FillClass,
+    SweepPhase,
+    SweepSchedule,
+    WavefrontSpec,
+)
+from repro.core.decomposition import Corner, ProblemSize
+
+__all__ = [
+    "chimaera_schedule",
+    "chimaera",
+    "CHIMAERA_WG_US",
+    "CHIMAERA_ANGLES",
+    "CHIMAERA_DEFAULT_ITERATIONS",
+]
+
+#: Calibrated per-cell work rate (all ten angles), microseconds.  See
+#: DESIGN.md section 5 for the calibration rationale.
+CHIMAERA_WG_US: float = 0.55
+
+#: Number of angles computed per cell.
+CHIMAERA_ANGLES: int = 10
+
+#: Iterations needed to complete one time step of the 240^3 benchmark
+#: problem (Section 5 of the paper).
+CHIMAERA_DEFAULT_ITERATIONS: int = 419
+
+_BYTES_PER_VALUE: int = 8
+
+
+def chimaera_schedule() -> SweepSchedule:
+    """The eight-sweep schedule of one Chimaera iteration.
+
+    The forward half ends with two full-completion hand-offs ("the fourth
+    sweep does not begin until the processor at the opposite corner finishes
+    the third sweep"), the backward half mirrors it, giving ``nfull = 4`` and
+    ``ndiag = 2`` as reported in Table 3.
+    """
+    nw, ne, sw, se = (
+        Corner.NORTH_WEST,
+        Corner.NORTH_EAST,
+        Corner.SOUTH_WEST,
+        Corner.SOUTH_EAST,
+    )
+    return SweepSchedule.from_phases(
+        [
+            # Forward sweep group
+            SweepPhase(origin=nw, fill=FillClass.NONE),
+            SweepPhase(origin=nw, fill=FillClass.DIAG),
+            SweepPhase(origin=sw, fill=FillClass.FULL),
+            SweepPhase(origin=se, fill=FillClass.FULL),
+            # Backward sweep group
+            SweepPhase(origin=se, fill=FillClass.NONE),
+            SweepPhase(origin=se, fill=FillClass.DIAG),
+            SweepPhase(origin=ne, fill=FillClass.FULL),
+            SweepPhase(origin=nw, fill=FillClass.FULL),
+        ]
+    )
+
+
+def chimaera(
+    problem: ProblemSize,
+    *,
+    htile: float = 1.0,
+    iterations: int = CHIMAERA_DEFAULT_ITERATIONS,
+    time_steps: int = 1,
+    energy_groups: int = 1,
+    wg_us: float = CHIMAERA_WG_US,
+    angles: int = CHIMAERA_ANGLES,
+) -> WavefrontSpec:
+    """Build the Table 3 parameterisation of a Chimaera run.
+
+    ``htile`` defaults to the code's current fixed tile height of one cell;
+    the Figure 5 study varies it to quantify the benefit of the blocking
+    parameter AWE were adding to the code.
+    """
+    return WavefrontSpec(
+        name="chimaera",
+        problem=problem,
+        wg_us=wg_us,
+        wg_pre_us=0.0,
+        htile=htile,
+        schedule=chimaera_schedule(),
+        boundary_bytes_per_cell=_BYTES_PER_VALUE * angles,
+        iterations=iterations,
+        time_steps=time_steps,
+        energy_groups=energy_groups,
+        nonwavefront=AllReduceNonWavefront(count=1),
+    )

@@ -1,0 +1,98 @@
+"""LU (NAS parallel benchmark) application parameters (Table 3, column "LU").
+
+LU solves the compressible Navier-Stokes equations with an SSOR scheme whose
+lower- and upper-triangular solves are pipelined wavefront sweeps: each
+iteration performs two sweeps, one from processor ``(1,1)`` towards
+``(n,m)`` and one back.  Both sweeps must fully complete before the next
+phase (``nfull = 2``, ``ndiag = 0``).  Unlike the transport codes, LU
+
+* pre-computes part of each tile *before* the boundary receives
+  (``Wg,pre > 0``, Figure 4(a)),
+* works on tiles of fixed height one cell,
+* exchanges 40 bytes per boundary cell (five double-precision flow
+  variables), and
+* performs a stencil-based RHS update (``Tstencil``) between iterations
+  rather than an all-reduce.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import (
+    FillClass,
+    StencilNonWavefront,
+    SweepPhase,
+    SweepSchedule,
+    WavefrontSpec,
+)
+from repro.core.decomposition import Corner, ProblemSize
+
+__all__ = [
+    "lu_schedule",
+    "lu",
+    "LU_WG_US",
+    "LU_WG_PRE_US",
+    "LU_STENCIL_WG_US",
+    "LU_DEFAULT_ITERATIONS",
+    "LU_BOUNDARY_BYTES_PER_CELL",
+]
+
+#: Calibrated per-cell work rate for the triangular solves, microseconds.
+LU_WG_US: float = 0.40
+
+#: Calibrated per-cell pre-computation (performed before the receives).
+LU_WG_PRE_US: float = 0.10
+
+#: Calibrated per-cell cost of the inter-iteration stencil / RHS update.
+LU_STENCIL_WG_US: float = 0.20
+
+#: NAS LU class C performs 250 SSOR iterations; used as the default here.
+LU_DEFAULT_ITERATIONS: int = 250
+
+#: Five double-precision flow variables per boundary cell = 40 bytes
+#: (Table 3: message size = 40 * Ny/m east-west, 40 * Nx/n north-south).
+LU_BOUNDARY_BYTES_PER_CELL: int = 40
+
+
+def lu_schedule() -> SweepSchedule:
+    """The two-sweep schedule of one LU SSOR iteration.
+
+    The lower-triangular sweep runs from ``(1,1)`` to ``(n,m)`` and must
+    fully complete before the upper-triangular sweep starts back from
+    ``(n,m)``; the iteration ends when the second sweep completes everywhere.
+    Hence ``nfull = 2`` and ``ndiag = 0`` (Table 3).
+    """
+    return SweepSchedule.from_phases(
+        [
+            SweepPhase(origin=Corner.NORTH_WEST, fill=FillClass.FULL),
+            SweepPhase(origin=Corner.SOUTH_EAST, fill=FillClass.FULL),
+        ]
+    )
+
+
+def lu(
+    problem: ProblemSize,
+    *,
+    iterations: int = LU_DEFAULT_ITERATIONS,
+    time_steps: int = 1,
+    wg_us: float = LU_WG_US,
+    wg_pre_us: float = LU_WG_PRE_US,
+    stencil_wg_us: float = LU_STENCIL_WG_US,
+) -> WavefrontSpec:
+    """Build the Table 3 parameterisation of an LU run.
+
+    ``problem`` is typically one of the NAS classes (A: 64^3, B: 102^3,
+    C: 162^3, D: 408^3); see :mod:`repro.apps.workloads`.
+    """
+    return WavefrontSpec(
+        name="lu",
+        problem=problem,
+        wg_us=wg_us,
+        wg_pre_us=wg_pre_us,
+        htile=1.0,
+        schedule=lu_schedule(),
+        boundary_bytes_per_cell=LU_BOUNDARY_BYTES_PER_CELL,
+        iterations=iterations,
+        time_steps=time_steps,
+        energy_groups=1,
+        nonwavefront=StencilNonWavefront(wg_stencil_us=stencil_wg_us),
+    )

@@ -1,0 +1,167 @@
+"""Sweep3D application parameters (Table 3, column "Sweep3D").
+
+Sweep3D is the LANL ASC benchmark representing discrete-ordinates (Sn)
+particle transport.  Each iteration performs eight sweeps, one per octant of
+the angular domain; within a sweep the tile height is controlled by the
+``mk`` blocking parameter and the angle blocking by ``mmi`` (angles computed
+before boundary exchange) out of ``mmo`` total angles per octant.  The model
+folds ``mk``, ``mmi`` and ``mmo`` into the single effective tile height
+``Htile = mk * mmi / mmo`` (Section 4.1) while ``Wg`` remains the measured
+computation time for *all* angles of one cell.
+
+Sweep precedence (Section 2.2 / Figure 2(b)): sweeps are issued in octant
+pairs from each corner; two transitions per iteration wait for the previous
+sweep at the main-diagonal corner (``ndiag = 2``) and two wait for it to
+complete everywhere (``nfull = 2``, including the end of the iteration).  Two
+all-reduces close every iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.base import (
+    AllReduceNonWavefront,
+    FillClass,
+    SweepPhase,
+    SweepSchedule,
+    WavefrontSpec,
+)
+from repro.core.decomposition import Corner, ProblemSize
+
+__all__ = [
+    "Sweep3DConfig",
+    "sweep3d_schedule",
+    "sweep3d",
+    "SWEEP3D_WG_US",
+    "SWEEP3D_ANGLES",
+    "SWEEP3D_DEFAULT_ITERATIONS",
+]
+
+#: Calibrated per-cell work rate for all mmo angles, microseconds.  See
+#: DESIGN.md section 5: chosen so that iteration times land in the same range
+#: as the paper's figures; re-measurable via ``repro.calibration.workrate``.
+SWEEP3D_WG_US: float = 0.37
+
+#: Default number of angles per octant (the paper sets ``mmo = 6``).
+SWEEP3D_ANGLES: int = 6
+
+#: Iterations per time step used throughout the paper's Section 5 (the
+#: benchmark default is 12; the paper argues 120 is more representative).
+SWEEP3D_DEFAULT_ITERATIONS: int = 120
+
+#: Bytes per boundary value (double precision).
+_BYTES_PER_VALUE: int = 8
+
+
+@dataclass(frozen=True)
+class Sweep3DConfig:
+    """The Sweep3D input parameters that affect the performance model.
+
+    ``mk`` is the k-block (tile) height in cells, ``mmi`` the number of
+    angles computed before each boundary exchange and ``mmo`` the total
+    number of angles per octant.
+    """
+
+    mk: int = 4
+    mmi: int = 3
+    mmo: int = SWEEP3D_ANGLES
+
+    def __post_init__(self) -> None:
+        if min(self.mk, self.mmi, self.mmo) < 1:
+            raise ValueError("mk, mmi and mmo must be positive")
+        if self.mmi > self.mmo:
+            raise ValueError("mmi cannot exceed mmo")
+        if self.mmo % self.mmi != 0:
+            raise ValueError("mmo must be a multiple of mmi")
+
+    @property
+    def htile(self) -> float:
+        """Effective tile height ``Htile = mk * mmi / mmo`` (Table 3)."""
+        return self.mk * self.mmi / self.mmo
+
+    @classmethod
+    def for_htile(cls, htile: float, mmi: int = 3, mmo: int = SWEEP3D_ANGLES) -> "Sweep3DConfig":
+        """Build a configuration whose effective tile height equals ``htile``.
+
+        The paper sweeps ``Htile`` directly (Figure 5); this helper maps a
+        requested ``Htile`` back onto an ``mk`` value (``mk = htile * mmo /
+        mmi``), which must come out integral.
+        """
+        mk = htile * mmo / mmi
+        if abs(mk - round(mk)) > 1e-9 or mk < 1:
+            raise ValueError(
+                f"Htile={htile} is not representable with mmi={mmi}, mmo={mmo}"
+            )
+        return cls(mk=int(round(mk)), mmi=mmi, mmo=mmo)
+
+
+def sweep3d_schedule() -> SweepSchedule:
+    """The eight-sweep schedule of one Sweep3D iteration.
+
+    Sweeps are issued in octant pairs from each corner of the processor
+    array.  The hand-offs between pairs alternate between waiting at the
+    main-diagonal corner (exposing a diagonal fill) and waiting for full
+    completion (exposing a full fill), giving ``nfull = 2`` and ``ndiag = 2``
+    as in Table 3.
+    """
+    nw, ne, sw, se = (
+        Corner.NORTH_WEST,
+        Corner.NORTH_EAST,
+        Corner.SOUTH_WEST,
+        Corner.SOUTH_EAST,
+    )
+    return SweepSchedule.from_phases(
+        [
+            SweepPhase(origin=nw, fill=FillClass.NONE),   # octant 1
+            SweepPhase(origin=nw, fill=FillClass.DIAG),   # octant 2
+            SweepPhase(origin=sw, fill=FillClass.NONE),   # octant 3
+            SweepPhase(origin=sw, fill=FillClass.FULL),   # octant 4
+            SweepPhase(origin=se, fill=FillClass.NONE),   # octant 5
+            SweepPhase(origin=se, fill=FillClass.DIAG),   # octant 6
+            SweepPhase(origin=ne, fill=FillClass.NONE),   # octant 7
+            SweepPhase(origin=ne, fill=FillClass.FULL),   # octant 8
+        ]
+    )
+
+
+def sweep3d(
+    problem: ProblemSize,
+    *,
+    config: Sweep3DConfig | None = None,
+    iterations: int = SWEEP3D_DEFAULT_ITERATIONS,
+    time_steps: int = 1,
+    energy_groups: int = 1,
+    wg_us: float = SWEEP3D_WG_US,
+) -> WavefrontSpec:
+    """Build the Table 3 parameterisation of a Sweep3D run.
+
+    Parameters
+    ----------
+    problem:
+        Global cell grid (the paper studies 20M-cell and 10^9-cell cubes).
+    config:
+        ``mk`` / ``mmi`` / ``mmo`` blocking parameters; defaults to
+        ``mk=4, mmi=3, mmo=6`` which gives ``Htile = 2``, the value the
+        paper recommends on the XT4.
+    iterations, time_steps, energy_groups:
+        Run length parameters used by the Section 5 studies.
+    wg_us:
+        Per-cell (all angles) work rate; override with a measured value when
+        available.
+    """
+    if config is None:
+        config = Sweep3DConfig()
+    return WavefrontSpec(
+        name="sweep3d",
+        problem=problem,
+        wg_us=wg_us,
+        wg_pre_us=0.0,
+        htile=config.htile,
+        schedule=sweep3d_schedule(),
+        boundary_bytes_per_cell=_BYTES_PER_VALUE * config.mmo,
+        iterations=iterations,
+        time_steps=time_steps,
+        energy_groups=energy_groups,
+        nonwavefront=AllReduceNonWavefront(count=2),
+    )

@@ -1,0 +1,133 @@
+"""Standard problem sizes and benchmark workloads used in the paper.
+
+Section 5 of the paper evaluates:
+
+* Chimaera on 240^3 cells (the largest cubic problem shipped with the
+  benchmark; 419 iterations per time step) and on 240 x 240 x 960;
+* Sweep3D on 20 million cells and on 10^9 cells (the two LANL problem sizes
+  of interest), with 120 iterations per time step, mmo = 6 angles, and - for
+  the production-scale projections - 30 energy groups and 10^4 time steps;
+* LU on the NAS class sizes.
+
+The helpers here build ready-made :class:`~repro.apps.base.WavefrontSpec`
+instances for those workloads so that examples, tests and benchmark scripts
+all agree on the exact configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.apps.base import WavefrontSpec
+from repro.apps.chimaera import chimaera
+from repro.apps.lu import lu
+from repro.apps.sweep3d import Sweep3DConfig, sweep3d
+from repro.core.decomposition import ProblemSize
+
+__all__ = [
+    "CHIMAERA_240_CUBED",
+    "CHIMAERA_240_240_960",
+    "SWEEP3D_20M",
+    "SWEEP3D_1B",
+    "NAS_LU_CLASSES",
+    "chimaera_240cubed",
+    "chimaera_elongated",
+    "sweep3d_20m",
+    "sweep3d_1billion",
+    "sweep3d_production_1billion",
+    "lu_class",
+    "standard_workloads",
+]
+
+#: The Chimaera benchmark's largest cubic problem.
+CHIMAERA_240_CUBED = ProblemSize.cube(240)
+
+#: The elongated Chimaera problem also of interest to AWE (Section 5.1).
+CHIMAERA_240_240_960 = ProblemSize(240, 240, 960)
+
+#: Sweep3D "20 million cells" problem (272^3 = 20.1M cells).
+SWEEP3D_20M = ProblemSize.of_total(20e6)
+
+#: Sweep3D "10^9 cells" problem (1000^3).
+SWEEP3D_1B = ProblemSize.cube(1000)
+
+#: NAS LU class problem sizes.
+NAS_LU_CLASSES: Dict[str, ProblemSize] = {
+    "A": ProblemSize.cube(64),
+    "B": ProblemSize.cube(102),
+    "C": ProblemSize.cube(162),
+    "D": ProblemSize.cube(408),
+}
+
+#: Energy groups used by the production-scale Sweep3D projections (Fig. 6-10).
+PRODUCTION_ENERGY_GROUPS: int = 30
+
+#: Time steps used by the production-scale Sweep3D projections.
+PRODUCTION_TIME_STEPS: int = 10_000
+
+
+def chimaera_240cubed(*, htile: float = 1.0, time_steps: int = 1) -> WavefrontSpec:
+    """Chimaera on the 240^3 problem, 419 iterations per time step."""
+    return chimaera(CHIMAERA_240_CUBED, htile=htile, time_steps=time_steps)
+
+
+def chimaera_elongated(*, htile: float = 1.0, time_steps: int = 1) -> WavefrontSpec:
+    """Chimaera on the 240 x 240 x 960 problem (Section 5.1)."""
+    return chimaera(CHIMAERA_240_240_960, htile=htile, time_steps=time_steps)
+
+
+def sweep3d_20m(*, htile: float = 2.0, iterations: int = 480, time_steps: int = 1) -> WavefrontSpec:
+    """Sweep3D on the 20M-cell problem.
+
+    Figure 5 of the paper compares this problem (480 iterations) against
+    Chimaera 240^3 (419 iterations), so 480 is the default here.
+    """
+    config = Sweep3DConfig.for_htile(htile)
+    return sweep3d(SWEEP3D_20M, config=config, iterations=iterations, time_steps=time_steps)
+
+
+def sweep3d_1billion(*, htile: float = 2.0, iterations: int = 120, time_steps: int = 1) -> WavefrontSpec:
+    """Sweep3D on the 10^9-cell problem with a single energy group."""
+    config = Sweep3DConfig.for_htile(htile)
+    return sweep3d(SWEEP3D_1B, config=config, iterations=iterations, time_steps=time_steps)
+
+
+def sweep3d_production_1billion(*, htile: float = 2.0) -> WavefrontSpec:
+    """The production-scale 10^9-cell Sweep3D run used by Figures 6-10.
+
+    30 energy groups and 10^4 time steps, 120 iterations per time step.
+    """
+    config = Sweep3DConfig.for_htile(htile)
+    return sweep3d(
+        SWEEP3D_1B,
+        config=config,
+        iterations=120,
+        time_steps=PRODUCTION_TIME_STEPS,
+        energy_groups=PRODUCTION_ENERGY_GROUPS,
+    )
+
+
+def lu_class(nas_class: str, *, time_steps: int = 1) -> WavefrontSpec:
+    """LU at one of the NAS class sizes ("A", "B", "C" or "D")."""
+    try:
+        problem = NAS_LU_CLASSES[nas_class.upper()]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown NAS class {nas_class!r}; choose from {sorted(NAS_LU_CLASSES)}"
+        ) from exc
+    return lu(problem, time_steps=time_steps)
+
+
+def standard_workloads() -> Dict[str, Callable[[], WavefrontSpec]]:
+    """Registry of named workload factories, used by the CLI and benches."""
+    return {
+        "chimaera-240": chimaera_240cubed,
+        "chimaera-240x240x960": chimaera_elongated,
+        "sweep3d-20m": sweep3d_20m,
+        "sweep3d-1b": sweep3d_1billion,
+        "sweep3d-1b-production": sweep3d_production_1billion,
+        "lu-classA": lambda: lu_class("A"),
+        "lu-classB": lambda: lu_class("B"),
+        "lu-classC": lambda: lu_class("C"),
+        "lu-classD": lambda: lu_class("D"),
+    }

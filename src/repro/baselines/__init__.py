@@ -1,0 +1,25 @@
+"""Previous (application-specific) analytic models used as baselines.
+
+The paper positions its plug-and-play model against earlier models that are
+tailored to a single code:
+
+* the Sundaram-Stukel & Vernon LogGP model of Sweep3D (PPoPP'99), reproduced
+  from Table 4 of the paper (:mod:`repro.baselines.sundaram_vernon`); and
+* the Hoisie et al. single-sweep "pipeline" model (IJHPCA 2000)
+  (:mod:`repro.baselines.hoisie`).
+
+Both are implemented so the benchmark harness can compare the reusable model
+against them (they should agree closely for Sweep3D on a single-core-per-node
+configuration, which is exactly the paper's argument that generality costs no
+accuracy).
+"""
+
+from repro.baselines.sundaram_vernon import SweepD3Baseline, sundaram_vernon_iteration_time
+from repro.baselines.hoisie import hoisie_single_sweep_time, hoisie_iteration_time
+
+__all__ = [
+    "SweepD3Baseline",
+    "sundaram_vernon_iteration_time",
+    "hoisie_single_sweep_time",
+    "hoisie_iteration_time",
+]

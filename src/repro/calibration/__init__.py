@@ -1,0 +1,35 @@
+"""Parameter measurement and fitting (Section 3 of the paper).
+
+* :mod:`repro.calibration.fitting` - re-derive the Table 2 LogGP constants
+  from ping-pong measurements (simulated or user supplied);
+* :mod:`repro.calibration.workrate` - measure per-cell work rates (``Wg``)
+  from the real numpy kernels.
+"""
+
+from repro.calibration.fitting import (
+    FitQuality,
+    FittedPlatformParameters,
+    derive_platform_parameters,
+    fit_off_node,
+    fit_on_chip,
+)
+from repro.calibration.workrate import (
+    WorkRateMeasurement,
+    calibrated_spec,
+    measure_ssor_wg,
+    measure_stencil_wg,
+    measure_transport_wg,
+)
+
+__all__ = [
+    "FitQuality",
+    "FittedPlatformParameters",
+    "derive_platform_parameters",
+    "fit_off_node",
+    "fit_on_chip",
+    "WorkRateMeasurement",
+    "calibrated_spec",
+    "measure_ssor_wg",
+    "measure_stencil_wg",
+    "measure_transport_wg",
+]

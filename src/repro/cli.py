@@ -1,0 +1,255 @@
+"""Command-line interface: ``wavebench``.
+
+A thin front end over the library for quick interactive use::
+
+    wavebench predict  --app chimaera-240 --platform cray-xt4 --cores 4096
+    wavebench validate --app sweep3d-20m  --platform cray-xt4 --cores 64
+    wavebench htile    --app chimaera-240 --platform cray-xt4 --cores 4096 --values 1,2,4,8
+    wavebench scaling  --app sweep3d-1b-production --cores 1024,4096,16384
+    wavebench pingpong --platform cray-xt4
+    wavebench table3
+    wavebench workrate
+
+Every subcommand prints a plain-text table; the same functionality is
+available programmatically through :mod:`repro.analysis`,
+:mod:`repro.validation` and :mod:`repro.calibration`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from repro.analysis.htile import htile_study
+from repro.analysis.scaling import strong_scaling
+from repro.apps.sweep3d import Sweep3DConfig
+from repro.apps.workloads import standard_workloads
+from repro.calibration.fitting import derive_platform_parameters
+from repro.calibration.workrate import (
+    measure_ssor_wg,
+    measure_stencil_wg,
+    measure_transport_wg,
+)
+from repro.core.predictor import predict
+from repro.platforms import get_platform, platform_registry
+from repro.util.tables import Table
+from repro.validation.compare import validate_configuration
+
+__all__ = ["main", "build_parser"]
+
+
+def _workload(name: str):
+    registry = standard_workloads()
+    try:
+        return registry[name]()
+    except KeyError as exc:
+        known = ", ".join(sorted(registry))
+        raise SystemExit(f"unknown application {name!r}; choose from: {known}") from exc
+
+
+def _int_list(text: str) -> list[int]:
+    return [int(item) for item in text.split(",") if item]
+
+
+def _float_list(text: str) -> list[float]:
+    return [float(item) for item in text.split(",") if item]
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    spec = _workload(args.app)
+    if args.htile is not None:
+        spec = spec.with_htile(args.htile)
+    if args.time_steps is not None:
+        spec = spec.with_time_steps(args.time_steps)
+    platform = get_platform(args.platform)
+    prediction = predict(spec, platform, total_cores=args.cores)
+    table = Table(["quantity", "value"], title=f"{spec.name} on {platform.name}, P={args.cores}")
+    for key, value in prediction.summary().items():
+        table.add_row(key, value)
+    print(table.render())
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    spec = _workload(args.app)
+    platform = get_platform(args.platform)
+    result = validate_configuration(spec, platform, total_cores=args.cores)
+    table = Table(
+        ["application", "P", "model (ms)", "simulated (ms)", "error (%)"],
+        title="model vs discrete-event simulation (one iteration)",
+    )
+    table.add_row(
+        result.application,
+        result.total_cores,
+        result.model_us / 1000.0,
+        result.simulated_us / 1000.0,
+        100.0 * result.relative_error,
+    )
+    print(table.render())
+    return 0
+
+
+def _cmd_htile(args: argparse.Namespace) -> int:
+    base = _workload(args.app)
+    platform = get_platform(args.platform)
+
+    def builder(htile: float):
+        if base.name == "sweep3d":
+            config = Sweep3DConfig.for_htile(htile)
+            return base.with_htile(config.htile)
+        return base.with_htile(htile)
+
+    study = htile_study(builder, platform, args.cores, args.values)
+    table = Table(
+        ["Htile", "time/time-step (s)", "fill fraction", "comm fraction"],
+        title=f"Htile study: {study.application}, P={args.cores}",
+    )
+    for point in study.points:
+        table.add_row(
+            point.htile,
+            point.time_per_time_step_s,
+            point.pipeline_fill_fraction,
+            point.communication_fraction,
+        )
+    print(table.render())
+    print(f"optimal Htile: {study.optimal.htile}")
+    return 0
+
+
+def _cmd_scaling(args: argparse.Namespace) -> int:
+    spec = _workload(args.app)
+    platform = get_platform(args.platform)
+    curve = strong_scaling(spec, platform, args.cores)
+    table = Table(
+        ["P", "total time (days)", "time/time-step (s)", "comm fraction"],
+        title=f"strong scaling: {curve.application} on {curve.platform}",
+    )
+    for point in curve.points:
+        table.add_row(
+            point.total_cores,
+            point.total_time_days,
+            point.time_per_time_step_s,
+            point.communication_fraction,
+        )
+    print(table.render())
+    return 0
+
+
+def _cmd_pingpong(args: argparse.Namespace) -> int:
+    platform = get_platform(args.platform)
+    fitted = derive_platform_parameters(platform, repetitions=args.repetitions)
+    table = Table(["parameter", "fitted value"], title=f"Table 2 parameters for {platform.name}")
+    for name, value in fitted.table2_rows():
+        table.add_row(name, value)
+    print(table.render())
+    print(
+        "fit quality (max relative error): "
+        f"off-node {fitted.off_node_quality.max_relative_error:.2e}"
+        + (
+            f", on-chip {fitted.on_chip_quality.max_relative_error:.2e}"
+            if fitted.on_chip_quality is not None
+            else ""
+        )
+    )
+    return 0
+
+
+def _cmd_table3(args: argparse.Namespace) -> int:
+    registry = standard_workloads()
+    names = ["lu-classC", "sweep3d-20m", "chimaera-240"]
+    table = Table(
+        ["parameter"] + names, title="Table 3: model application parameters"
+    )
+    rows = [registry[name]().table3_row() for name in names]
+    for key in rows[0]:
+        table.add_row(key, *(str(row[key]) for row in rows))
+    print(table.render())
+    return 0
+
+
+def _cmd_workrate(args: argparse.Namespace) -> int:
+    table = Table(
+        ["kernel", "cells", "Wg (us/cell)"],
+        title="measured per-cell work rates (this machine, numpy kernels)",
+    )
+    for measurement in (
+        measure_transport_wg(cells_per_side=args.cells, repetitions=args.repetitions),
+        measure_ssor_wg(cells_per_side=args.cells, repetitions=args.repetitions),
+        measure_stencil_wg(repetitions=args.repetitions),
+    ):
+        table.add_row(measurement.kernel, measurement.cells, measurement.wg_us)
+    print(table.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="wavebench",
+        description="Plug-and-play LogGP performance models for wavefront computations",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    app_names = ", ".join(sorted(standard_workloads()))
+    platform_names = ", ".join(sorted(platform_registry))
+
+    def add_common(p: argparse.ArgumentParser, *, cores_list: bool = False) -> None:
+        p.add_argument("--app", required=True, help=f"application workload ({app_names})")
+        p.add_argument(
+            "--platform", default="cray-xt4", help=f"platform name ({platform_names})"
+        )
+        if cores_list:
+            p.add_argument(
+                "--cores", type=_int_list, required=True, help="comma-separated core counts"
+            )
+        else:
+            p.add_argument("--cores", type=int, required=True, help="total cores")
+
+    p_predict = sub.add_parser("predict", help="predict execution time")
+    add_common(p_predict)
+    p_predict.add_argument("--htile", type=float, default=None)
+    p_predict.add_argument("--time-steps", type=int, default=None)
+    p_predict.set_defaults(func=_cmd_predict)
+
+    p_validate = sub.add_parser("validate", help="compare model against the simulator")
+    add_common(p_validate)
+    p_validate.set_defaults(func=_cmd_validate)
+
+    p_htile = sub.add_parser("htile", help="tile-height optimisation study (Figure 5)")
+    add_common(p_htile)
+    p_htile.add_argument("--values", type=_float_list, default=[1, 2, 3, 4, 5, 6, 8, 10])
+    p_htile.set_defaults(func=_cmd_htile)
+
+    p_scaling = sub.add_parser("scaling", help="strong scaling study (Figure 6)")
+    add_common(p_scaling, cores_list=True)
+    p_scaling.set_defaults(func=_cmd_scaling)
+
+    p_pingpong = sub.add_parser(
+        "pingpong", help="derive Table 2 LogGP parameters from simulated ping-pong"
+    )
+    p_pingpong.add_argument(
+        "--platform", default="cray-xt4", help=f"platform name ({platform_names})"
+    )
+    p_pingpong.add_argument("--repetitions", type=int, default=5)
+    p_pingpong.set_defaults(func=_cmd_pingpong)
+
+    p_table3 = sub.add_parser("table3", help="print the Table 3 application parameters")
+    p_table3.set_defaults(func=_cmd_table3)
+
+    p_workrate = sub.add_parser("workrate", help="measure Wg from the numpy kernels")
+    p_workrate.add_argument("--cells", type=int, default=10)
+    p_workrate.add_argument("--repetitions", type=int, default=2)
+    p_workrate.set_defaults(func=_cmd_workrate)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handler: Callable[[argparse.Namespace], int] = args.func
+    return handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

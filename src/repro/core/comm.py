@@ -1,0 +1,251 @@
+"""MPI communication cost models (Table 1 and equation (9) of the paper).
+
+These functions translate the LogGP platform constants of
+:class:`repro.core.loggp.Platform` into the cost of the MPI operations that
+wavefront codes use:
+
+* the *end-to-end* time of a blocking send/receive pair
+  (``total_comm_off_node`` / ``total_comm_on_chip``),
+* the CPU time spent inside ``MPI_Send`` (``send_off_node`` / ``send_on_chip``),
+* the CPU time spent inside ``MPI_Recv`` once the matching send has started
+  (``receive_off_node`` / ``receive_on_chip``), and
+* the time of an ``MPI_Allreduce`` over ``P`` cores spread across
+  ``C``-core nodes (``allreduce_time``, equation (9)).
+
+All times are microseconds, all message sizes bytes.  Messages larger than
+the platform's eager limit (1 KiB on the XT4) pay the rendezvous handshake
+``h = 2(L + oh)`` off-node, or a DMA setup on-chip.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.loggp import OffNodeParams, OnChipParams, Platform
+
+__all__ = [
+    "CommunicationCosts",
+    "total_comm_off_node",
+    "send_off_node",
+    "receive_off_node",
+    "total_comm_on_chip",
+    "send_on_chip",
+    "receive_on_chip",
+    "total_comm",
+    "send_cost",
+    "receive_cost",
+    "allreduce_time",
+    "ALLREDUCE_PAYLOAD_BYTES",
+]
+
+#: Default payload of the convergence-test all-reduce performed at the end of
+#: each iteration of Sweep3D / Chimaera: a single double-precision scalar.
+ALLREDUCE_PAYLOAD_BYTES: int = 8
+
+
+def _require_positive_size(message_bytes: float) -> float:
+    size = float(message_bytes)
+    if size < 0:
+        raise ValueError("message size must be non-negative")
+    return size
+
+
+# ---------------------------------------------------------------------------
+# Off-node (inter-node) communication: Table 1(a)
+# ---------------------------------------------------------------------------
+
+def total_comm_off_node(params: OffNodeParams, message_bytes: float) -> float:
+    """End-to-end time for an off-node message (equations (1) and (2)).
+
+    ``<= eager_limit``:  ``o + M*G + L + o``
+    ``>  eager_limit``:  ``o + h + o + M*G + L + o`` with ``h = 2(L + oh)``.
+    """
+    size = _require_positive_size(message_bytes)
+    base = params.overhead + size * params.gap_per_byte + params.latency + params.overhead
+    if size <= params.eager_limit:
+        return base
+    return base + params.handshake_time + params.overhead
+
+
+def send_off_node(params: OffNodeParams, message_bytes: float) -> float:
+    """CPU time spent in ``MPI_Send`` for an off-node message (eqs. (3), (4a)).
+
+    Small messages cost one overhead ``o``; large messages additionally wait
+    for the rendezvous handshake, ``o + h``.
+    """
+    size = _require_positive_size(message_bytes)
+    if size <= params.eager_limit:
+        return params.overhead
+    return params.overhead + params.handshake_time
+
+
+def receive_off_node(params: OffNodeParams, message_bytes: float) -> float:
+    """CPU/wait time in ``MPI_Recv`` for an off-node message (eqs. (3), (4b)).
+
+    For small messages the receive costs ``o`` (the payload is already
+    buffered).  For large messages the receiver replies to the handshake and
+    then waits for the payload: ``L + o + M*G + L + o``.
+    """
+    size = _require_positive_size(message_bytes)
+    if size <= params.eager_limit:
+        return params.overhead
+    return (
+        params.latency
+        + params.overhead
+        + size * params.gap_per_byte
+        + params.latency
+        + params.overhead
+    )
+
+
+# ---------------------------------------------------------------------------
+# On-chip (intra-node) communication: Table 1(b)
+# ---------------------------------------------------------------------------
+
+def total_comm_on_chip(params: OnChipParams, message_bytes: float) -> float:
+    """End-to-end time for an on-chip message (equations (5) and (6)).
+
+    ``<= eager_limit``:  ``ocopy + M*Gcopy + ocopy``
+    ``>  eager_limit``:  ``(ocopy + odma) + M*Gdma + ocopy``
+    """
+    size = _require_positive_size(message_bytes)
+    if size <= params.eager_limit:
+        return params.copy_overhead + size * params.gap_per_byte_copy + params.copy_overhead
+    return params.overhead + size * params.gap_per_byte_dma + params.copy_overhead
+
+
+def send_on_chip(params: OnChipParams, message_bytes: float) -> float:
+    """CPU time in ``MPI_Send`` for an on-chip message (eqs. (7), (8a))."""
+    size = _require_positive_size(message_bytes)
+    if size <= params.eager_limit:
+        return params.copy_overhead
+    return params.overhead
+
+
+def receive_on_chip(params: OnChipParams, message_bytes: float) -> float:
+    """CPU/wait time in ``MPI_Recv`` for an on-chip message (eqs. (7), (8b))."""
+    size = _require_positive_size(message_bytes)
+    if size <= params.eager_limit:
+        return params.copy_overhead
+    return size * params.gap_per_byte_dma + params.copy_overhead
+
+
+# ---------------------------------------------------------------------------
+# Platform-level dispatch helpers
+# ---------------------------------------------------------------------------
+
+def _on_chip_params(platform: Platform) -> OnChipParams:
+    if platform.on_chip is None:
+        raise ValueError(
+            f"platform {platform.name!r} does not define on-chip communication parameters"
+        )
+    return platform.on_chip
+
+
+def total_comm(platform: Platform, message_bytes: float, *, on_chip: bool = False) -> float:
+    """End-to-end message time, dispatching on the on-chip/off-node flag."""
+    if on_chip:
+        return total_comm_on_chip(_on_chip_params(platform), message_bytes)
+    return total_comm_off_node(platform.off_node, message_bytes)
+
+
+def send_cost(platform: Platform, message_bytes: float, *, on_chip: bool = False) -> float:
+    """``MPI_Send`` cost, dispatching on the on-chip/off-node flag."""
+    if on_chip:
+        return send_on_chip(_on_chip_params(platform), message_bytes)
+    return send_off_node(platform.off_node, message_bytes)
+
+
+def receive_cost(platform: Platform, message_bytes: float, *, on_chip: bool = False) -> float:
+    """``MPI_Recv`` cost, dispatching on the on-chip/off-node flag."""
+    if on_chip:
+        return receive_on_chip(_on_chip_params(platform), message_bytes)
+    return receive_off_node(platform.off_node, message_bytes)
+
+
+@dataclass(frozen=True)
+class CommunicationCosts:
+    """Pre-computed send / receive / end-to-end costs for one message size.
+
+    The plug-and-play model evaluates the same message size many times while
+    filling the ``StartP`` recurrence; this small value object avoids
+    recomputing the Table 1 equations in the inner loop and keeps the model
+    equations readable (``costs.send``, ``costs.receive``, ``costs.total``).
+    """
+
+    message_bytes: float
+    send: float
+    receive: float
+    total: float
+    on_chip: bool = False
+
+    @classmethod
+    def for_message(
+        cls, platform: Platform, message_bytes: float, *, on_chip: bool = False
+    ) -> "CommunicationCosts":
+        return cls(
+            message_bytes=float(message_bytes),
+            send=send_cost(platform, message_bytes, on_chip=on_chip),
+            receive=receive_cost(platform, message_bytes, on_chip=on_chip),
+            total=total_comm(platform, message_bytes, on_chip=on_chip),
+            on_chip=on_chip,
+        )
+
+    def with_added(self, send_extra: float = 0.0, receive_extra: float = 0.0) -> "CommunicationCosts":
+        """Return a copy with contention penalties added to send/receive.
+
+        Used by the Table 6 multi-core contention extension, which adds a
+        bus-interference term ``I`` to specific send and receive operations.
+        The end-to-end ``total`` grows by the same amounts.
+        """
+        return CommunicationCosts(
+            message_bytes=self.message_bytes,
+            send=self.send + send_extra,
+            receive=self.receive + receive_extra,
+            total=self.total + send_extra + receive_extra,
+            on_chip=self.on_chip,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Group communication: MPI all-reduce (equation (9))
+# ---------------------------------------------------------------------------
+
+def allreduce_time(
+    platform: Platform,
+    total_cores: int,
+    message_bytes: float = ALLREDUCE_PAYLOAD_BYTES,
+) -> float:
+    """Execution time of ``MPI_Allreduce`` over ``total_cores`` cores (eq. (9)).
+
+    ``T = [log2(P) - log2(C)] * C * TotalComm_offnode
+        + log2(C) * C * TotalComm_onchip``
+
+    where ``P`` is the total number of cores taking part and ``C`` the number
+    of cores per node.  In the special case ``C = 1`` this reduces to
+    ``log2(P) * TotalComm_offnode``.  The model assumes a binomial-tree
+    reduction followed by a broadcast whose off-node stages are serialised
+    through each node's single NIC (hence the factor ``C``).
+    """
+    if total_cores < 1:
+        raise ValueError("total_cores must be >= 1")
+    if total_cores == 1:
+        return 0.0
+    cores_per_node = min(platform.node.cores_per_node, total_cores)
+    log_p = math.log2(total_cores)
+    log_c = math.log2(cores_per_node)
+    off_node_term = (
+        (log_p - log_c)
+        * cores_per_node
+        * total_comm_off_node(platform.off_node, message_bytes)
+    )
+    if cores_per_node > 1:
+        on_chip_term = (
+            log_c
+            * cores_per_node
+            * total_comm_on_chip(_on_chip_params(platform), message_bytes)
+        )
+    else:
+        on_chip_term = 0.0
+    return off_node_term + on_chip_term

@@ -1,0 +1,297 @@
+"""The plug-and-play reusable LogGP model (Table 5 of the paper).
+
+Given a :class:`~repro.apps.base.WavefrontSpec` (the Table 3 application
+parameters), a :class:`~repro.core.loggp.Platform` and a processor grid, this
+module evaluates the Table 5 equations:
+
+``(r1a)``  ``Wpre = Wg,pre * Htile * Nx/n * Ny/m``
+``(r1b)``  ``W    = Wg     * Htile * Nx/n * Ny/m``
+``(r2a)``  ``StartP(1,1) = Wpre``
+``(r2b)``  ``StartP(i,j) = max(StartP(i-1,j) + W + TotalCommE + ReceiveN,
+                               StartP(i,j-1) + W + SendE + TotalCommS)``
+``(r3a)``  ``Tdiagfill = StartP(1,m)``
+``(r3b)``  ``Tfullfill = StartP(n,m)``
+``(r4)``   ``Tstack = (ReceiveW + ReceiveN + W + SendE + SendS + Wpre)
+                      * Nz/Htile - Wpre``
+``(r5)``   ``Titer = ndiag*Tdiagfill + nfull*Tfullfill + nsweeps*Tstack
+                     + Tnonwavefront``
+
+The multi-core extensions of Table 6 are applied through
+:mod:`repro.core.multicore`: the ``StartP`` recurrence uses on-chip costs for
+intra-node hops, and the stack term adds the shared-bus contention penalty.
+
+In addition to the iteration time the model reports the breakdown used by the
+Section 5 analyses: computation vs communication time (Figure 11) and the
+pipeline-fill component (Figure 12).  The split follows the paper's
+definition - "the communication component ... is derived from the Send,
+Receive, TotalComm and Tallreduce terms in the model; the computation
+component is the rest".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.base import WavefrontSpec
+from repro.core.decomposition import CoreMapping, ProcessorGrid
+from repro.core.loggp import Platform
+from repro.core.multicore import (
+    StackCommCosts,
+    resolve_core_mapping,
+    stack_comm_costs,
+)
+from repro.core.comm import CommunicationCosts
+
+__all__ = [
+    "FillTimes",
+    "StackTime",
+    "IterationPrediction",
+    "fill_times",
+    "stack_time",
+    "iteration_prediction",
+]
+
+
+@dataclass(frozen=True)
+class FillTimes:
+    """Pipeline fill times for a sweep starting at a corner of the grid.
+
+    ``tdiagfill`` is the time for the sweep to reach the corner on the main
+    diagonal of the wavefronts (``StartP(1, m)``); ``tfullfill`` the time to
+    reach the opposite corner (``StartP(n, m)``).  The ``*_work`` fields give
+    the computation portion of the corresponding critical path, used for the
+    bottleneck breakdown.
+    """
+
+    tdiagfill: float
+    tfullfill: float
+    tdiagfill_work: float
+    tfullfill_work: float
+
+
+@dataclass(frozen=True)
+class StackTime:
+    """Stack-processing time (equation (r4)) and its computation portion."""
+
+    total: float
+    work: float
+    per_tile_comm: float
+    tiles: float
+    comm_costs: StackCommCosts
+
+
+@dataclass(frozen=True)
+class IterationPrediction:
+    """Model outputs for a single iteration of the wavefront computation."""
+
+    spec_name: str
+    platform_name: str
+    grid: ProcessorGrid
+    core_mapping: CoreMapping
+    w: float
+    wpre: float
+    fill: FillTimes
+    stack: StackTime
+    tnonwavefront: float
+    tnonwavefront_work: float
+    nsweeps: int
+    nfull: int
+    ndiag: int
+
+    @property
+    def tdiagfill(self) -> float:
+        return self.fill.tdiagfill
+
+    @property
+    def tfullfill(self) -> float:
+        return self.fill.tfullfill
+
+    @property
+    def tstack(self) -> float:
+        return self.stack.total
+
+    @property
+    def pipeline_fill_time(self) -> float:
+        """Total pipeline-fill time per iteration (Figure 12's quantity)."""
+        return self.ndiag * self.fill.tdiagfill + self.nfull * self.fill.tfullfill
+
+    @property
+    def time_per_iteration(self) -> float:
+        """Equation (r5): the time for one iteration, microseconds."""
+        return (
+            self.ndiag * self.fill.tdiagfill
+            + self.nfull * self.fill.tfullfill
+            + self.nsweeps * self.stack.total
+            + self.tnonwavefront
+        )
+
+    @property
+    def computation_per_iteration(self) -> float:
+        """Computation component of the iteration time (Figure 11)."""
+        return (
+            self.ndiag * self.fill.tdiagfill_work
+            + self.nfull * self.fill.tfullfill_work
+            + self.nsweeps * self.stack.work
+            + self.tnonwavefront_work
+        )
+
+    @property
+    def communication_per_iteration(self) -> float:
+        """Communication component of the iteration time (Figure 11)."""
+        return self.time_per_iteration - self.computation_per_iteration
+
+
+def fill_times(
+    spec: WavefrontSpec,
+    platform: Platform,
+    grid: ProcessorGrid,
+    core_mapping: CoreMapping | None = None,
+) -> FillTimes:
+    """Evaluate the ``StartP`` recurrence (equations (r2a)-(r3b)).
+
+    The recurrence is evaluated for a sweep originating at the ``(1, 1)``
+    corner; because the work per tile is homogeneous the fill time is the
+    same whichever corner a sweep actually starts from (Section 4.2).  On
+    multi-core platforms the per-position communication costs follow the
+    Table 6 on-chip/off-node classification.
+    """
+    mapping = resolve_core_mapping(platform, core_mapping)
+    n, m = grid.n, grid.m
+    w = spec.work_per_tile(grid, platform)
+    wpre = spec.pre_work_per_tile(grid, platform)
+
+    ew_bytes = spec.message_size_ew(grid)
+    ns_bytes = spec.message_size_ns(grid)
+    multicore = platform.is_multicore and mapping.cores_per_node > 1
+
+    ew_off = CommunicationCosts.for_message(platform, ew_bytes, on_chip=False)
+    ns_off = CommunicationCosts.for_message(platform, ns_bytes, on_chip=False)
+    if multicore:
+        ew_on = CommunicationCosts.for_message(platform, ew_bytes, on_chip=True)
+        ns_on = CommunicationCosts.for_message(platform, ns_bytes, on_chip=True)
+    else:
+        ew_on, ns_on = ew_off, ns_off
+
+    # StartP and its computation-only portion, stored as flat row-major
+    # arrays indexed by (j-1) * n + (i-1).
+    start = [0.0] * (n * m)
+    start_work = [0.0] * (n * m)
+
+    # Position-dependent costs repeat with period (Cx, Cy); memoise them.
+    cost_cache: dict[tuple[bool, bool, bool, bool], tuple[float, float, float, float]] = {}
+
+    def costs_at(i: int, j: int) -> tuple[float, float, float, float]:
+        if multicore:
+            key = (
+                mapping.comm_from_west_on_chip(i, j),
+                mapping.receive_north_on_chip(i, j),
+                mapping.send_east_on_chip(i, j),
+                mapping.send_south_on_chip(i, j),
+            )
+        else:
+            key = (False, False, False, False)
+        cached = cost_cache.get(key)
+        if cached is None:
+            comm_e = (ew_on if key[0] else ew_off).total
+            recv_n = (ns_on if key[1] else ns_off).receive
+            send_e = (ew_on if key[2] else ew_off).send
+            comm_s = (ns_on if key[3] else ns_off).total
+            cached = (comm_e, recv_n, send_e, comm_s)
+            cost_cache[key] = cached
+        return cached
+
+    start[0] = wpre
+    start_work[0] = wpre
+
+    for j in range(1, m + 1):
+        row_base = (j - 1) * n
+        for i in range(1, n + 1):
+            if i == 1 and j == 1:
+                continue
+            idx = row_base + (i - 1)
+            comm_e, recv_n, send_e, comm_s = costs_at(i, j)
+            west_total = -1.0
+            west_work = 0.0
+            if i > 1:
+                west_idx = idx - 1
+                extra = comm_e + (recv_n if j > 1 else 0.0)
+                west_total = start[west_idx] + w + extra
+                west_work = start_work[west_idx] + w
+            north_total = -1.0
+            north_work = 0.0
+            if j > 1:
+                north_idx = idx - n
+                extra = (send_e if n > 1 else 0.0) + comm_s
+                north_total = start[north_idx] + w + extra
+                north_work = start_work[north_idx] + w
+            if west_total >= north_total:
+                start[idx] = west_total
+                start_work[idx] = west_work
+            else:
+                start[idx] = north_total
+                start_work[idx] = north_work
+
+    diag_idx = (m - 1) * n  # position (1, m)
+    full_idx = (m - 1) * n + (n - 1)  # position (n, m)
+    return FillTimes(
+        tdiagfill=start[diag_idx],
+        tfullfill=start[full_idx],
+        tdiagfill_work=start_work[diag_idx],
+        tfullfill_work=start_work[full_idx],
+    )
+
+
+def stack_time(
+    spec: WavefrontSpec,
+    platform: Platform,
+    grid: ProcessorGrid,
+    core_mapping: CoreMapping | None = None,
+) -> StackTime:
+    """Evaluate equation (r4), the time to process one stack of tiles.
+
+    All four boundary communications use off-node costs (the stack is
+    processed at the rate of the slowest communication in each direction);
+    on multi-core nodes the Table 6 contention penalty is added.
+    """
+    w = spec.work_per_tile(grid, platform)
+    wpre = spec.pre_work_per_tile(grid, platform)
+    tiles = spec.tiles_per_stack()
+    comm = stack_comm_costs(platform, spec, grid, core_mapping)
+    per_tile = comm.per_tile_comm + w + wpre
+    total = per_tile * tiles - wpre
+    work = (w + wpre) * tiles - wpre
+    return StackTime(
+        total=total,
+        work=work,
+        per_tile_comm=comm.per_tile_comm,
+        tiles=tiles,
+        comm_costs=comm,
+    )
+
+
+def iteration_prediction(
+    spec: WavefrontSpec,
+    platform: Platform,
+    grid: ProcessorGrid,
+    core_mapping: CoreMapping | None = None,
+) -> IterationPrediction:
+    """Evaluate the full Table 5 / Table 6 model for one iteration."""
+    mapping = resolve_core_mapping(platform, core_mapping)
+    fill = fill_times(spec, platform, grid, mapping)
+    stack = stack_time(spec, platform, grid, mapping)
+    nonwf_work, nonwf_comm = spec.nonwavefront.evaluate_components(platform, spec, grid)
+    return IterationPrediction(
+        spec_name=spec.name,
+        platform_name=platform.name,
+        grid=grid,
+        core_mapping=mapping,
+        w=spec.work_per_tile(grid, platform),
+        wpre=spec.pre_work_per_tile(grid, platform),
+        fill=fill,
+        stack=stack,
+        tnonwavefront=nonwf_work + nonwf_comm,
+        tnonwavefront_work=nonwf_work,
+        nsweeps=spec.nsweeps,
+        nfull=spec.nfull,
+        ndiag=spec.ndiag,
+    )

@@ -1,0 +1,228 @@
+"""Multi-core (CMP) extensions of the reusable model (Table 6 of the paper).
+
+Two effects distinguish execution on multi-core nodes from the one-core-per-
+node model of Table 5:
+
+1. **On-chip vs off-node communication.**  When the cores of a node occupy a
+   ``Cx x Cy`` rectangle of the logical processor array, a core's east/west/
+   north/south partner may live on the same chip; those messages use the
+   (cheaper) on-chip sub-models of Table 1(b).  Table 6 gives the position
+   rules, which :class:`~repro.core.decomposition.CoreMapping` implements.
+
+2. **Shared-bus contention.**  During the steady-state processing of the tile
+   stack all four boundary messages of every core are in flight each tile, so
+   cores sharing a memory bus / NIC interfere during the DMA transfer of the
+   message payload.  Table 6 adds an interference term
+   ``I = odma + MessageSize * Gdma`` to selected send/receive operations:
+
+   ======================  ==========================================
+   cores per bus           penalty
+   ======================  ==========================================
+   1                       none
+   2  (1x2 rectangle)      ``I`` on ReceiveN and SendS
+   4  (2x2)                ``I`` on every send and receive
+   8  (2x4)                ``2 I`` on every send and receive
+   16 (4x4)                ``4 I`` on every send and receive (extrapolated)
+   ======================  ==========================================
+
+   i.e. for four or more cores per bus the multiplier is ``cores_per_bus/4``.
+   A node with several independent buses (Section 5.3's 16-core, 4-bus design
+   point) is treated as ``cores_per_bus = cores_per_node / buses_per_node``.
+
+This module computes the per-grid-position communication costs used in the
+``StartP`` pipeline-fill recurrence (equation (r2b)) and the contention-
+adjusted costs used in the stack-processing time (equation (r4)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.base import WavefrontSpec
+from repro.core.comm import CommunicationCosts
+from repro.core.decomposition import CoreMapping, ProcessorGrid, default_core_mapping
+from repro.core.loggp import Platform
+
+__all__ = [
+    "ContentionPenalty",
+    "FillStepCosts",
+    "StackCommCosts",
+    "interference_term",
+    "contention_penalty",
+    "fill_step_costs",
+    "stack_comm_costs",
+    "resolve_core_mapping",
+]
+
+
+def resolve_core_mapping(platform: Platform, core_mapping: CoreMapping | None) -> CoreMapping:
+    """The core rectangle to use: the caller's, or the paper's default for
+    the platform's ``cores_per_node``."""
+    if core_mapping is not None:
+        if core_mapping.cores_per_node != platform.node.cores_per_node:
+            raise ValueError(
+                f"core mapping {core_mapping.cx}x{core_mapping.cy} does not match "
+                f"platform with {platform.node.cores_per_node} cores per node"
+            )
+        return core_mapping
+    return default_core_mapping(platform.node.cores_per_node)
+
+
+def interference_term(platform: Platform, message_bytes: float) -> float:
+    """The bus interference term ``I = odma + MessageSize * Gdma`` (Table 6)."""
+    if platform.on_chip is None:
+        return 0.0
+    return (
+        platform.on_chip.dma_setup
+        + message_bytes * platform.on_chip.gap_per_byte_dma
+    )
+
+
+@dataclass(frozen=True)
+class ContentionPenalty:
+    """Contention penalties (µs) to add to each boundary operation."""
+
+    send_east: float = 0.0
+    send_south: float = 0.0
+    receive_west: float = 0.0
+    receive_north: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.send_east + self.send_south + self.receive_west + self.receive_north
+
+
+def contention_penalty(
+    platform: Platform,
+    spec: WavefrontSpec,
+    grid: ProcessorGrid,
+    core_mapping: CoreMapping | None = None,
+) -> ContentionPenalty:
+    """Per-tile contention penalties for the stack-processing phase (Table 6)."""
+    mapping = resolve_core_mapping(platform, core_mapping)
+    cores_per_bus = max(
+        1, mapping.cores_per_node // platform.node.buses_per_node
+    )
+    if cores_per_bus <= 1 or platform.on_chip is None:
+        return ContentionPenalty()
+    i_ew = interference_term(platform, spec.message_size_ew(grid))
+    i_ns = interference_term(platform, spec.message_size_ns(grid))
+    if cores_per_bus == 2:
+        # Dual-core (1x2 rectangle): interference on the north/south pair only.
+        return ContentionPenalty(send_south=i_ns, receive_north=i_ns)
+    multiplier = cores_per_bus / 4.0
+    return ContentionPenalty(
+        send_east=multiplier * i_ew,
+        send_south=multiplier * i_ns,
+        receive_west=multiplier * i_ew,
+        receive_north=multiplier * i_ns,
+    )
+
+
+@dataclass(frozen=True)
+class FillStepCosts:
+    """Per-position communication costs entering the ``StartP`` recurrence.
+
+    ``total_comm_east`` and ``receive_north`` make up the "message from the
+    west arrives last" branch of equation (r2b); ``send_east`` and
+    ``total_comm_south`` the "message from the north arrives last" branch.
+    """
+
+    total_comm_east: float
+    receive_north: float
+    send_east: float
+    total_comm_south: float
+
+
+def fill_step_costs(
+    platform: Platform,
+    spec: WavefrontSpec,
+    grid: ProcessorGrid,
+    i: int,
+    j: int,
+    core_mapping: CoreMapping | None = None,
+) -> FillStepCosts:
+    """Communication costs at grid position ``(i, j)`` for equation (r2b).
+
+    Each of the four operations is classified as on-chip or off-node from the
+    position of ``(i, j)`` inside its node's ``Cx x Cy`` core rectangle
+    (Table 6).  For a single-core-per-node platform everything is off-node
+    and the costs are position independent.
+    """
+    mapping = resolve_core_mapping(platform, core_mapping)
+    ew_bytes = spec.message_size_ew(grid)
+    ns_bytes = spec.message_size_ns(grid)
+
+    multicore = platform.is_multicore and mapping.cores_per_node > 1
+    comm_e_on_chip = multicore and mapping.comm_from_west_on_chip(i, j)
+    recv_n_on_chip = multicore and mapping.receive_north_on_chip(i, j)
+    send_e_on_chip = multicore and mapping.send_east_on_chip(i, j)
+    comm_s_on_chip = multicore and mapping.send_south_on_chip(i, j)
+
+    costs_ew_off = CommunicationCosts.for_message(platform, ew_bytes, on_chip=False)
+    costs_ns_off = CommunicationCosts.for_message(platform, ns_bytes, on_chip=False)
+    costs_ew_on = (
+        CommunicationCosts.for_message(platform, ew_bytes, on_chip=True)
+        if multicore
+        else costs_ew_off
+    )
+    costs_ns_on = (
+        CommunicationCosts.for_message(platform, ns_bytes, on_chip=True)
+        if multicore
+        else costs_ns_off
+    )
+
+    return FillStepCosts(
+        total_comm_east=(costs_ew_on if comm_e_on_chip else costs_ew_off).total,
+        receive_north=(costs_ns_on if recv_n_on_chip else costs_ns_off).receive,
+        send_east=(costs_ew_on if send_e_on_chip else costs_ew_off).send,
+        total_comm_south=(costs_ns_on if comm_s_on_chip else costs_ns_off).total,
+    )
+
+
+@dataclass(frozen=True)
+class StackCommCosts:
+    """Per-tile communication costs for the stack-processing time (eq. (r4)).
+
+    Equation (r4) uses *off-node* costs for all four operations (the stack is
+    processed at the rate of the slowest communication in each direction)
+    plus the Table 6 contention penalties on multi-core nodes.
+    """
+
+    receive_west: float
+    receive_north: float
+    send_east: float
+    send_south: float
+    contention: ContentionPenalty
+
+    @property
+    def per_tile_comm(self) -> float:
+        """Total communication time charged per tile."""
+        return (
+            self.receive_west
+            + self.receive_north
+            + self.send_east
+            + self.send_south
+            + self.contention.total
+        )
+
+
+def stack_comm_costs(
+    platform: Platform,
+    spec: WavefrontSpec,
+    grid: ProcessorGrid,
+    core_mapping: CoreMapping | None = None,
+) -> StackCommCosts:
+    """The equation (r4) communication costs, with Table 6 contention."""
+    ew_bytes = spec.message_size_ew(grid)
+    ns_bytes = spec.message_size_ns(grid)
+    costs_ew = CommunicationCosts.for_message(platform, ew_bytes, on_chip=False)
+    costs_ns = CommunicationCosts.for_message(platform, ns_bytes, on_chip=False)
+    contention = contention_penalty(platform, spec, grid, core_mapping)
+    return StackCommCosts(
+        receive_west=costs_ew.receive,
+        receive_north=costs_ns.receive,
+        send_east=costs_ew.send,
+        send_south=costs_ns.send,
+        contention=contention,
+    )

@@ -1,0 +1,55 @@
+"""Real numpy kernels and a shared-memory wavefront executor.
+
+These are the executable counterparts of the work the performance model
+abstracts into ``Wg``:
+
+* :mod:`repro.kernels.transport` - diamond-difference discrete-ordinates
+  sweep (Sweep3D / Chimaera style work);
+* :mod:`repro.kernels.ssor` - SSOR lower/upper triangular sweeps (LU);
+* :mod:`repro.kernels.stencil` - the inter-iteration stencil update;
+* :mod:`repro.kernels.grid` - grid partitioning and tiling;
+* :mod:`repro.kernels.executor` - a dependency-driven (serial or threaded)
+  executor that runs the decomposed sweeps and is checked against the
+  whole-grid reference implementations.
+
+They are used by the test suite (to show the dependency structure is
+correct) and by :mod:`repro.calibration.workrate` (to measure ``Wg`` rather
+than assume it).
+"""
+
+from repro.kernels.grid import Grid3D, Subdomain, block_bounds, partition
+from repro.kernels.ssor import (
+    SsorParameters,
+    lower_sweep_block,
+    ssor_iteration,
+    upper_sweep_block,
+)
+from repro.kernels.stencil import residual_norm, seven_point_stencil
+from repro.kernels.transport import AngleSet, SweepResult, sweep_cell_block, sweep_full_grid
+from repro.kernels.executor import (
+    ExecutionReport,
+    WavefrontTaskGraph,
+    distributed_ssor_iteration,
+    distributed_transport_sweep,
+)
+
+__all__ = [
+    "Grid3D",
+    "Subdomain",
+    "block_bounds",
+    "partition",
+    "SsorParameters",
+    "lower_sweep_block",
+    "ssor_iteration",
+    "upper_sweep_block",
+    "residual_norm",
+    "seven_point_stencil",
+    "AngleSet",
+    "SweepResult",
+    "sweep_cell_block",
+    "sweep_full_grid",
+    "ExecutionReport",
+    "WavefrontTaskGraph",
+    "distributed_ssor_iteration",
+    "distributed_transport_sweep",
+]

@@ -1,0 +1,128 @@
+"""3-D data grids, block decomposition and tiling.
+
+The kernels in this package operate on small, real numpy grids so that the
+wavefront *data dependencies* the performance model reasons about can be
+executed and checked for correctness, and so that per-cell work rates
+(``Wg``) can be measured rather than assumed.
+
+A :class:`Grid3D` is the global ``Nx x Ny x Nz`` cell array; it can be
+partitioned into a 2-D array of :class:`Subdomain` blocks (the same
+decomposition as Figure 1(a) of the paper) and each block split into tiles of
+``Htile`` planes in ``z``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+from repro.core.decomposition import ProblemSize, ProcessorGrid
+
+__all__ = ["Grid3D", "Subdomain", "partition", "block_bounds"]
+
+
+def block_bounds(extent: int, blocks: int, index: int) -> Tuple[int, int]:
+    """Half-open ``[start, stop)`` bounds of block ``index`` out of ``blocks``.
+
+    Cells are distributed as evenly as possible; the first ``extent % blocks``
+    blocks get one extra cell, matching the convention of the benchmarks.
+    """
+    if blocks < 1 or not 0 <= index < blocks:
+        raise ValueError("invalid block index")
+    base = extent // blocks
+    extra = extent % blocks
+    start = index * base + min(index, extra)
+    size = base + (1 if index < extra else 0)
+    return start, start + size
+
+
+@dataclass
+class Grid3D:
+    """A global 3-D cell array with one value per cell."""
+
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.values.ndim != 3:
+            raise ValueError("Grid3D requires a 3-D array")
+
+    @classmethod
+    def zeros(cls, problem: ProblemSize, dtype=np.float64) -> "Grid3D":
+        return cls(np.zeros((problem.nx, problem.ny, problem.nz), dtype=dtype))
+
+    @classmethod
+    def random(cls, problem: ProblemSize, seed: int = 0) -> "Grid3D":
+        rng = np.random.default_rng(seed)
+        return cls(rng.random((problem.nx, problem.ny, problem.nz)))
+
+    @property
+    def problem(self) -> ProblemSize:
+        nx, ny, nz = self.values.shape
+        return ProblemSize(nx, ny, nz)
+
+    def copy(self) -> "Grid3D":
+        return Grid3D(self.values.copy())
+
+
+@dataclass
+class Subdomain:
+    """One processor's block of the global grid.
+
+    ``i``/``j`` are the (1-based) grid-position of the owning processor,
+    ``x_range``/``y_range`` the half-open global index ranges it owns.
+    """
+
+    i: int
+    j: int
+    x_range: Tuple[int, int]
+    y_range: Tuple[int, int]
+    nz: int
+
+    @property
+    def nx(self) -> int:
+        return self.x_range[1] - self.x_range[0]
+
+    @property
+    def ny(self) -> int:
+        return self.y_range[1] - self.y_range[0]
+
+    @property
+    def cells(self) -> int:
+        return self.nx * self.ny * self.nz
+
+    def view(self, grid: Grid3D) -> np.ndarray:
+        """A writable view of this subdomain's cells in the global array."""
+        return grid.values[
+            self.x_range[0] : self.x_range[1],
+            self.y_range[0] : self.y_range[1],
+            :,
+        ]
+
+    def tiles(self, htile: int) -> Iterator[Tuple[int, int]]:
+        """Half-open ``z`` ranges of the tiles of height ``htile`` (bottom-up)."""
+        if htile < 1:
+            raise ValueError("htile must be >= 1")
+        z = 0
+        while z < self.nz:
+            yield (z, min(z + htile, self.nz))
+            z += htile
+
+
+def partition(problem: ProblemSize, grid: ProcessorGrid) -> List[List[Subdomain]]:
+    """Partition ``problem`` over ``grid`` (Figure 1(a) decomposition).
+
+    Returns a ``grid.m x grid.n`` nested list indexed ``[j-1][i-1]``.
+    """
+    rows: List[List[Subdomain]] = []
+    for j in range(1, grid.m + 1):
+        row: List[Subdomain] = []
+        y_range = block_bounds(problem.ny, grid.m, j - 1)
+        for i in range(1, grid.n + 1):
+            x_range = block_bounds(problem.nx, grid.n, i - 1)
+            row.append(
+                Subdomain(i=i, j=j, x_range=x_range, y_range=y_range, nz=problem.nz)
+            )
+        rows.append(row)
+    return rows

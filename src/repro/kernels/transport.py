@@ -1,0 +1,195 @@
+"""Discrete-ordinates transport sweep kernel (the Sweep3D / Chimaera work).
+
+This is a small but genuine implementation of the per-cell computation that
+particle-transport wavefront codes perform: a diamond-difference update of
+the angular flux, swept across the grid in the direction of particle travel.
+For each angle ``a`` with direction cosines ``(mu, eta, xi)`` and each cell:
+
+``psi = (q + 2 mu psi_x_in / dx + 2 eta psi_y_in / dy + 2 xi psi_z_in / dz)
+        / (sigma + 2 mu / dx + 2 eta / dy + 2 xi / dz)``
+
+``psi_*_out = 2 psi - psi_*_in``  (negative fluxes clipped to zero)
+
+and the scalar flux accumulates ``w_a * psi``.  The recurrence makes every
+cell depend on its three upstream neighbours - exactly the dependency that
+creates the pipelined wavefront across processors.
+
+The module provides
+
+* :class:`AngleSet` - a quadrature set (``mmo`` angles per octant);
+* :func:`sweep_cell_block` - sweep one rectangular block given incoming
+  boundary fluxes (the unit executed per tile by a processor);
+* :func:`sweep_full_grid` - a reference whole-domain sweep used by the tests
+  to check that the distributed/tile-by-tile execution reproduces the same
+  numbers bit for bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["AngleSet", "SweepResult", "sweep_cell_block", "sweep_full_grid"]
+
+
+@dataclass(frozen=True)
+class AngleSet:
+    """A set of discrete ordinates for one octant.
+
+    ``mu``, ``eta``, ``xi`` are the direction cosines along x, y, z (all
+    positive; the sweep direction handles the octant's signs) and ``weights``
+    the quadrature weights.
+    """
+
+    mu: np.ndarray
+    eta: np.ndarray
+    xi: np.ndarray
+    weights: np.ndarray
+
+    def __post_init__(self) -> None:
+        arrays = (self.mu, self.eta, self.xi, self.weights)
+        if not all(a.ndim == 1 and a.shape == self.mu.shape for a in arrays):
+            raise ValueError("angle arrays must be 1-D and of equal length")
+        if np.any(self.mu <= 0) or np.any(self.eta <= 0) or np.any(self.xi <= 0):
+            raise ValueError("direction cosines must be positive")
+
+    @property
+    def count(self) -> int:
+        return int(self.mu.shape[0])
+
+    @classmethod
+    def uniform(cls, angles: int) -> "AngleSet":
+        """A simple normalised quadrature with ``angles`` ordinates.
+
+        Not a physical level-symmetric set, but adequate for exercising the
+        sweep dependency structure and for work-rate measurement.
+        """
+        if angles < 1:
+            raise ValueError("angles must be >= 1")
+        thetas = (np.arange(angles) + 0.5) * (np.pi / 2.0) / angles
+        mu = np.cos(thetas) * 0.9 + 0.05
+        eta = np.sin(thetas) * 0.9 + 0.05
+        xi = np.full(angles, 0.5)
+        norm = np.sqrt(mu**2 + eta**2 + xi**2)
+        weights = np.full(angles, 1.0 / angles)
+        return cls(mu=mu / norm, eta=eta / norm, xi=xi / norm, weights=weights)
+
+
+@dataclass
+class SweepResult:
+    """Outputs of sweeping one block of cells.
+
+    ``scalar_flux`` has the block's spatial shape; the ``outgoing_*`` faces
+    are the boundary angular fluxes to hand to the downstream neighbours
+    (shape: the respective face  x angles).
+    """
+
+    scalar_flux: np.ndarray
+    outgoing_x: np.ndarray
+    outgoing_y: np.ndarray
+    outgoing_z: np.ndarray
+
+
+def _default_incoming(shape: Tuple[int, ...], angles: int) -> np.ndarray:
+    return np.zeros(shape + (angles,), dtype=np.float64)
+
+
+def sweep_cell_block(
+    source: np.ndarray,
+    sigma: np.ndarray,
+    angles: AngleSet,
+    *,
+    incoming_x: Optional[np.ndarray] = None,
+    incoming_y: Optional[np.ndarray] = None,
+    incoming_z: Optional[np.ndarray] = None,
+    cell_size: Tuple[float, float, float] = (1.0, 1.0, 1.0),
+) -> SweepResult:
+    """Sweep one ``nx x ny x nz`` block of cells for one octant.
+
+    ``source`` and ``sigma`` are the per-cell emission density and total
+    cross-section.  ``incoming_x`` (shape ``(ny, nz, angles)``),
+    ``incoming_y`` (``(nx, nz, angles)``) and ``incoming_z``
+    (``(nx, ny, angles)``) are the boundary angular fluxes entering the block
+    on its upstream faces; they default to vacuum (zero).
+
+    The sweep proceeds in the +x, +y, +z direction of the *local* block; the
+    caller is responsible for orienting data according to the octant (the
+    shared-memory executor and the tests only exercise the canonical
+    orientation, which is sufficient because the other octants are
+    reflections).
+    """
+    if source.ndim != 3 or sigma.shape != source.shape:
+        raise ValueError("source and sigma must be 3-D arrays of equal shape")
+    nx, ny, nz = source.shape
+    nang = angles.count
+    if incoming_x is None:
+        incoming_x = _default_incoming((ny, nz), nang)
+    if incoming_y is None:
+        incoming_y = _default_incoming((nx, nz), nang)
+    if incoming_z is None:
+        incoming_z = _default_incoming((nx, ny), nang)
+    if incoming_x.shape != (ny, nz, nang):
+        raise ValueError(f"incoming_x must have shape {(ny, nz, nang)}")
+    if incoming_y.shape != (nx, nz, nang):
+        raise ValueError(f"incoming_y must have shape {(nx, nz, nang)}")
+    if incoming_z.shape != (nx, ny, nang):
+        raise ValueError(f"incoming_z must have shape {(nx, ny, nang)}")
+
+    dx, dy, dz = cell_size
+    cx = 2.0 * angles.mu / dx
+    cy = 2.0 * angles.eta / dy
+    cz = 2.0 * angles.xi / dz
+
+    scalar_flux = np.zeros_like(source)
+    # psi_x[y, z, a]: flux entering the current x-column from the west.
+    psi_x = incoming_x.copy()
+    # psi_y[x, z, a] is rebuilt column by column; psi_z[x, y, a] plane by plane.
+    psi_z = incoming_z.copy()
+
+    outgoing_y = np.empty((nx, nz, nang))
+    # Sweep plane-by-plane in z is not possible because psi_x/psi_y couple
+    # columns within a plane; instead sweep x outermost so that psi_x can be
+    # carried as a (ny, nz, angles) slab.
+    psi_y_slab = incoming_y.copy()  # (nx, nz, a): entering each x-column from the south
+    for x in range(nx):
+        psi_y = psi_y_slab[x]  # (nz, a)
+        for y in range(ny):
+            psi_zcol = psi_z[x, y]  # (a,) per z step, updated in the loop below
+            for z in range(nz):
+                denom = sigma[x, y, z] + cx + cy + cz
+                numer = (
+                    source[x, y, z]
+                    + cx * psi_x[y, z]
+                    + cy * psi_y[z]
+                    + cz * psi_zcol
+                )
+                psi = numer / denom
+                scalar_flux[x, y, z] = float(np.dot(angles.weights, psi))
+                psi_x[y, z] = np.maximum(2.0 * psi - psi_x[y, z], 0.0)
+                psi_y[z] = np.maximum(2.0 * psi - psi_y[z], 0.0)
+                psi_zcol = np.maximum(2.0 * psi - psi_zcol, 0.0)
+            psi_z[x, y] = psi_zcol
+        outgoing_y[x] = psi_y
+    return SweepResult(
+        scalar_flux=scalar_flux,
+        outgoing_x=psi_x,
+        outgoing_y=outgoing_y,
+        outgoing_z=psi_z,
+    )
+
+
+def sweep_full_grid(
+    source: np.ndarray,
+    sigma: np.ndarray,
+    angles: AngleSet,
+    *,
+    cell_size: Tuple[float, float, float] = (1.0, 1.0, 1.0),
+) -> SweepResult:
+    """Reference sweep of a whole grid with vacuum boundaries.
+
+    Used by the tests as the ground truth against which the decomposed
+    (tile-by-tile, processor-by-processor) execution is compared.
+    """
+    return sweep_cell_block(source, sigma, angles, cell_size=cell_size)

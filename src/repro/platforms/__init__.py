@@ -1,0 +1,27 @@
+"""Concrete platform descriptions.
+
+The paper validates its models on the dual-core Cray XT3/XT4 at ORNL and
+compares the fitted communication constants with the older IBM SP/2 numbers
+from Sundaram-Stukel & Vernon [3].  Both machines are provided here as
+factory functions, together with a generic builder for hypothetical
+platforms used in the Section 5 design studies.
+
+>>> from repro.platforms import cray_xt4
+>>> xt4 = cray_xt4()
+>>> xt4.node.cores_per_node
+2
+"""
+
+from repro.platforms.xt4 import cray_xt3, cray_xt4, cray_xt4_single_core
+from repro.platforms.sp2 import ibm_sp2
+from repro.platforms.custom import custom_platform, platform_registry, get_platform
+
+__all__ = [
+    "cray_xt3",
+    "cray_xt4",
+    "cray_xt4_single_core",
+    "ibm_sp2",
+    "custom_platform",
+    "platform_registry",
+    "get_platform",
+]

@@ -1,0 +1,115 @@
+"""Builder and registry for hypothetical platforms.
+
+The model's whole point is "plug-and-play": procurement studies evaluate
+machines that do not exist yet.  ``custom_platform`` builds a
+:class:`~repro.core.loggp.Platform` from raw LogGP numbers, and the registry
+maps short names (usable from the CLI and from example scripts) to factory
+functions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.core.loggp import NodeArchitecture, OffNodeParams, OnChipParams, Platform
+from repro.platforms.sp2 import ibm_sp2
+from repro.platforms.xt4 import cray_xt3, cray_xt4, cray_xt4_single_core
+
+
+def custom_platform(
+    name: str,
+    *,
+    latency_us: float,
+    overhead_us: float,
+    gap_per_byte_us: float,
+    eager_limit_bytes: int = 1024,
+    handshake_overhead_us: float = 0.0,
+    cores_per_node: int = 1,
+    buses_per_node: int = 1,
+    onchip_copy_overhead_us: Optional[float] = None,
+    onchip_dma_setup_us: Optional[float] = None,
+    onchip_gap_copy_us: Optional[float] = None,
+    onchip_gap_dma_us: Optional[float] = None,
+    compute_scale: float = 1.0,
+) -> Platform:
+    """Construct a platform from raw LogGP constants.
+
+    On-chip parameters are required when ``cores_per_node > 1``; when only
+    some of them are given, the remainder default to scaled versions of the
+    off-node constants (half the overhead, the same gap), which is a
+    reasonable first-order guess for a machine whose intra-node path has not
+    been measured.
+    """
+    off_node = OffNodeParams(
+        latency=latency_us,
+        overhead=overhead_us,
+        gap_per_byte=gap_per_byte_us,
+        handshake_overhead=handshake_overhead_us,
+        eager_limit=eager_limit_bytes,
+    )
+    on_chip: Optional[OnChipParams] = None
+    any_onchip = any(
+        value is not None
+        for value in (
+            onchip_copy_overhead_us,
+            onchip_dma_setup_us,
+            onchip_gap_copy_us,
+            onchip_gap_dma_us,
+        )
+    )
+    if cores_per_node > 1 or any_onchip:
+        copy_overhead = (
+            onchip_copy_overhead_us
+            if onchip_copy_overhead_us is not None
+            else overhead_us / 2.0
+        )
+        dma_setup = (
+            onchip_dma_setup_us if onchip_dma_setup_us is not None else overhead_us / 2.0
+        )
+        gap_copy = (
+            onchip_gap_copy_us if onchip_gap_copy_us is not None else gap_per_byte_us
+        )
+        gap_dma = (
+            onchip_gap_dma_us
+            if onchip_gap_dma_us is not None
+            else gap_per_byte_us / 2.0
+        )
+        on_chip = OnChipParams(
+            copy_overhead=copy_overhead,
+            dma_setup=dma_setup,
+            gap_per_byte_copy=gap_copy,
+            gap_per_byte_dma=gap_dma,
+            eager_limit=eager_limit_bytes,
+        )
+    return Platform(
+        name=name,
+        off_node=off_node,
+        on_chip=on_chip,
+        node=NodeArchitecture(
+            cores_per_node=cores_per_node, buses_per_node=buses_per_node
+        ),
+        compute_scale=compute_scale,
+    )
+
+
+#: Registry of named platform factories, used by the CLI and the examples.
+platform_registry: Dict[str, Callable[[], Platform]] = {
+    "cray-xt4": cray_xt4,
+    "cray-xt4-1core": cray_xt4_single_core,
+    "cray-xt3": cray_xt3,
+    "ibm-sp2": ibm_sp2,
+}
+
+
+def get_platform(name: str) -> Platform:
+    """Look up a platform by registry name.
+
+    Raises ``KeyError`` with the list of known names when the name is
+    unknown, which gives the CLI a helpful error message for free.
+    """
+    try:
+        factory = platform_registry[name]
+    except KeyError as exc:
+        known = ", ".join(sorted(platform_registry))
+        raise KeyError(f"unknown platform {name!r}; known platforms: {known}") from exc
+    return factory()

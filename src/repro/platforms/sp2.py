@@ -1,0 +1,44 @@
+"""IBM SP/2 platform parameters.
+
+Section 3.1 of the paper compares the fitted Cray XT4 constants against the
+IBM SP/2 values reported by Sundaram-Stukel & Vernon (PPoPP'99):
+``G = 0.07 µs/byte``, ``L = 23 µs`` and ``o = 23 µs`` - one to two orders of
+magnitude slower than the XT4.  The SP/2 is a single-core-per-node machine,
+so it carries no on-chip parameters.
+
+The SP/2 platform is used in this reproduction to show that the plug-and-play
+model recovers the qualitative conclusions of the earlier work, e.g. that the
+optimal tile height ``Htile`` is larger (5-10) on a platform with expensive
+communication than on the XT4 (2-5), and that synchronisation terms matter on
+the SP/2 but are negligible on the XT4.
+"""
+
+from __future__ import annotations
+
+from repro.core.loggp import NodeArchitecture, OffNodeParams, Platform
+
+#: SP/2 gap per byte, µs/byte (from Sundaram-Stukel & Vernon [3]).
+SP2_G: float = 0.07
+#: SP/2 latency, µs.
+SP2_L: float = 23.0
+#: SP/2 send/receive overhead, µs.
+SP2_O: float = 23.0
+#: The SP/2 MPI also switches protocol around 1 KiB; we keep the same eager
+#: limit so the model equations remain comparable across platforms.
+SP2_EAGER_LIMIT: int = 1024
+
+
+def ibm_sp2() -> Platform:
+    """The IBM SP/2 as characterised in Sundaram-Stukel & Vernon [3]."""
+    return Platform(
+        name="ibm-sp2",
+        off_node=OffNodeParams(
+            latency=SP2_L,
+            overhead=SP2_O,
+            gap_per_byte=SP2_G,
+            handshake_overhead=0.0,
+            eager_limit=SP2_EAGER_LIMIT,
+        ),
+        on_chip=None,
+        node=NodeArchitecture(cores_per_node=1, buses_per_node=1),
+    )

@@ -1,0 +1,113 @@
+"""Cray XT3/XT4 platform parameters (Table 2 of the paper).
+
+The XT4 at ORNL has dual-core 2.6 GHz Opteron nodes connected by a 3-D torus
+(SeaStar interconnect).  Section 3 of the paper fits the LogGP constants
+below from ping-pong measurements; Table 2 reports:
+
+=============  ==========  =================  ===========
+Off-node       Value       On-chip            Value
+=============  ==========  =================  ===========
+``G``          0.0004      ``Gcopy``          0.000789
+``L``          0.305 µs    ``Gdma``           0.000072
+``o``          3.92 µs     ``o``              3.80 µs
+..             ..          ``ocopy``          1.98 µs
+=============  ==========  =================  ===========
+
+(µs/byte for the gap parameters).  The on-chip DMA setup time is
+``odma = o - ocopy = 1.82 µs``.  1/G corresponds to an inter-node bandwidth
+of 2.5 GB/s.
+"""
+
+from __future__ import annotations
+
+from repro.core.loggp import NodeArchitecture, OffNodeParams, OnChipParams, Platform
+
+#: Fitted off-node gap per byte, µs/byte (Table 2).
+XT4_G: float = 0.0004
+#: Fitted off-node latency, µs (Table 2).
+XT4_L: float = 0.305
+#: Fitted off-node overhead, µs (Table 2).
+XT4_O: float = 3.92
+
+#: Fitted on-chip copy gap per byte, µs/byte (Table 2).
+XT4_G_COPY: float = 0.000789
+#: Fitted on-chip DMA gap per byte, µs/byte (Table 2).
+XT4_G_DMA: float = 0.000072
+#: Fitted on-chip large-message overhead ``o = ocopy + odma``, µs (Table 2).
+XT4_O_ONCHIP: float = 3.80
+#: Fitted on-chip copy overhead, µs (Table 2).
+XT4_O_COPY: float = 1.98
+#: Derived on-chip DMA setup time, µs.
+XT4_O_DMA: float = XT4_O_ONCHIP - XT4_O_COPY
+
+#: Eager -> rendezvous protocol switch observed at 1 KiB (Section 3.1).
+XT4_EAGER_LIMIT: int = 1024
+
+
+def _xt4_off_node() -> OffNodeParams:
+    return OffNodeParams(
+        latency=XT4_L,
+        overhead=XT4_O,
+        gap_per_byte=XT4_G,
+        handshake_overhead=0.0,
+        eager_limit=XT4_EAGER_LIMIT,
+    )
+
+
+def _xt4_on_chip() -> OnChipParams:
+    return OnChipParams(
+        copy_overhead=XT4_O_COPY,
+        dma_setup=XT4_O_DMA,
+        gap_per_byte_copy=XT4_G_COPY,
+        gap_per_byte_dma=XT4_G_DMA,
+        eager_limit=XT4_EAGER_LIMIT,
+    )
+
+
+def cray_xt4(cores_per_node: int = 2, buses_per_node: int = 1) -> Platform:
+    """The ORNL Cray XT4 with dual-core nodes (the paper's validation machine).
+
+    ``cores_per_node`` / ``buses_per_node`` may be overridden to reproduce
+    the Section 5.3 multi-core design study (Figure 10), which extrapolates
+    the same communication constants to 1-16 cores per node and to nodes
+    with one bus/NIC per group of four cores.
+    """
+    return Platform(
+        name="cray-xt4" if cores_per_node == 2 else f"cray-xt4-{cores_per_node}core",
+        off_node=_xt4_off_node(),
+        on_chip=_xt4_on_chip(),
+        node=NodeArchitecture(
+            cores_per_node=cores_per_node, buses_per_node=buses_per_node
+        ),
+    )
+
+
+def cray_xt4_single_core() -> Platform:
+    """An XT4 configuration using only one core of each node.
+
+    The paper's Section 4.2 model ("one core per node") and parts of the
+    Section 5 studies use this configuration: all communication is off-node
+    and there is no bus contention.
+    """
+    return Platform(
+        name="cray-xt4-1core",
+        off_node=_xt4_off_node(),
+        on_chip=_xt4_on_chip(),
+        node=NodeArchitecture(cores_per_node=1, buses_per_node=1),
+    )
+
+
+def cray_xt3(cores_per_node: int = 2) -> Platform:
+    """The Cray XT3 partition (same SeaStar interconnect, same constants).
+
+    The paper validates on a mixed XT3/XT4; for modelling purposes the two
+    share the communication parameters, so this is an alias with a different
+    name to keep experiment records explicit.
+    """
+    platform = cray_xt4(cores_per_node=cores_per_node)
+    return Platform(
+        name="cray-xt3",
+        off_node=platform.off_node,
+        on_chip=platform.on_chip,
+        node=platform.node,
+    )

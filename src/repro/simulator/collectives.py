@@ -1,0 +1,96 @@
+"""Rank-program building blocks for MPI collective operations.
+
+The simulator expresses collectives in terms of the same point-to-point
+``Send`` / ``Recv`` operations as the application code, so that their cost
+emerges from the machine model rather than being asserted.  The all-reduce
+uses the classic recursive-doubling algorithm (with the standard fold-in of
+ranks beyond the largest power of two), which is what small-payload
+``MPI_Allreduce`` implementations use in practice.
+
+Each helper is a generator of operations to be ``yield from``-ed inside a
+rank program.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.simulator.machine import Op, Recv, Send
+
+__all__ = ["allreduce_ops", "largest_power_of_two", "pairwise_exchange_ops"]
+
+
+def largest_power_of_two(value: int) -> int:
+    """Largest power of two that is <= ``value`` (``value`` must be >= 1)."""
+    if value < 1:
+        raise ValueError("value must be >= 1")
+    power = 1
+    while power * 2 <= value:
+        power *= 2
+    return power
+
+
+def pairwise_exchange_ops(
+    rank: int, partner: int, nbytes: float, tag: int
+) -> Iterator[Op]:
+    """A deadlock-free blocking send/recv exchange between two ranks.
+
+    The lower-numbered rank sends first; the higher-numbered rank receives
+    first.  With blocking semantics this ordering can never deadlock even for
+    rendezvous-sized payloads.
+    """
+    if rank == partner:
+        return
+    if rank < partner:
+        yield Send(dst=partner, nbytes=nbytes, tag=tag)
+        yield Recv(src=partner, tag=tag)
+    else:
+        yield Recv(src=partner, tag=tag)
+        yield Send(dst=partner, nbytes=nbytes, tag=tag)
+
+
+def allreduce_ops(
+    rank: int, total_ranks: int, nbytes: float, tag_base: int
+) -> Iterator[Op]:
+    """Operations performed by ``rank`` in a ``total_ranks``-wide all-reduce.
+
+    Recursive doubling over the largest power-of-two subset, with the extra
+    ranks folding their contribution into a partner first and receiving the
+    final result afterwards.  ``tag_base`` must leave room for
+    ``2 + log2(total_ranks)`` consecutive tags.
+    """
+    if total_ranks < 1:
+        raise ValueError("total_ranks must be >= 1")
+    if total_ranks == 1:
+        return
+    p2 = largest_power_of_two(total_ranks)
+    remainder = total_ranks - p2
+
+    # Phase 0: ranks beyond the power-of-two boundary fold into a partner.
+    if rank >= p2:
+        yield Send(dst=rank - p2, nbytes=nbytes, tag=tag_base)
+    elif rank < remainder:
+        yield Recv(src=rank + p2, tag=tag_base)
+
+    # Phase 1..log2(p2): recursive doubling among the first p2 ranks.
+    if rank < p2:
+        distance = 1
+        phase = 1
+        while distance < p2:
+            partner = rank ^ distance
+            yield from pairwise_exchange_ops(rank, partner, nbytes, tag_base + phase)
+            distance *= 2
+            phase += 1
+
+    # Final phase: deliver the result back to the folded-in ranks.
+    final_tag = tag_base + 1 + p2.bit_length()
+    if rank >= p2:
+        yield Recv(src=rank - p2, tag=final_tag)
+    elif rank < remainder:
+        yield Send(dst=rank + p2, nbytes=nbytes, tag=final_tag)
+
+
+def allreduce_tag_span(total_ranks: int) -> int:
+    """Number of distinct tags an all-reduce over ``total_ranks`` may use."""
+    p2 = largest_power_of_two(max(total_ranks, 1))
+    return 3 + p2.bit_length()

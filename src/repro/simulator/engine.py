@@ -1,0 +1,90 @@
+"""Discrete-event simulation kernel.
+
+A minimal, dependency-free event engine: events are ``(time, sequence,
+callback)`` triples kept in a binary heap; ties in time are broken by
+insertion order so that simulations are fully deterministic.  The engine
+knows nothing about MPI or wavefronts - those live in
+:mod:`repro.simulator.machine` and :mod:`repro.simulator.wavefront` - it only
+advances virtual time and runs callbacks.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+__all__ = ["Simulator", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised when a simulation reaches an inconsistent state (e.g. deadlock)."""
+
+
+@dataclass
+class Simulator:
+    """The event loop.
+
+    Attributes
+    ----------
+    now:
+        Current virtual time in microseconds.  Only ever moves forward.
+    """
+
+    now: float = 0.0
+    _queue: List[Tuple[float, int, Callable[[], None]]] = field(default_factory=list)
+    _sequence: int = 0
+    _events_processed: int = 0
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` to run at absolute virtual time ``time``."""
+        if time < self.now - 1e-9:
+            raise SimulationError(
+                f"cannot schedule event in the past: {time} < now {self.now}"
+            )
+        heapq.heappush(self._queue, (max(time, self.now), self._sequence, callback))
+        self._sequence += 1
+
+    def schedule_after(self, delay: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` to run ``delay`` microseconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        self.schedule_at(self.now + delay, callback)
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._queue)
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    def step(self) -> bool:
+        """Process the next event.  Returns ``False`` when the queue is empty."""
+        if not self._queue:
+            return False
+        time, _, callback = heapq.heappop(self._queue)
+        self.now = time
+        self._events_processed += 1
+        callback()
+        return True
+
+    def run(self, *, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run until the event queue drains (or a limit is hit).
+
+        ``until`` stops the simulation once virtual time would exceed the
+        given value; ``max_events`` bounds the number of processed events
+        (a guard against accidental infinite event loops).  Returns the final
+        virtual time.
+        """
+        processed = 0
+        while self._queue:
+            if until is not None and self._queue[0][0] > until:
+                break
+            if max_events is not None and processed >= max_events:
+                raise SimulationError(
+                    f"event limit of {max_events} exceeded at t={self.now}"
+                )
+            self.step()
+            processed += 1
+        return self.now

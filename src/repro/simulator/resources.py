@@ -1,0 +1,92 @@
+"""Shared hardware resources of a simulated node.
+
+The only resource the paper's contention model cares about is each node's
+shared memory bus, which every DMA transfer between kernel memory and the
+NIC (off-node messages) or between the cores' memories (large on-chip
+messages) must cross.  :class:`FifoBus` serialises those transfers in
+first-come-first-served order; the extra queueing delay experienced by a
+transfer is the mechanistic counterpart of the ``I`` interference term of
+Table 6.
+
+A node may have several independent buses (Section 5.3's 16-core node with
+one bus per group of four cores); :class:`NodeResources` owns one
+:class:`FifoBus` per bus group and routes each core to its group's bus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+__all__ = ["FifoBus", "NodeResources"]
+
+
+@dataclass
+class FifoBus:
+    """A serially shared bus.
+
+    ``acquire(request_time, duration)`` reserves the bus for ``duration``
+    starting no earlier than ``request_time`` and returns the *grant* time
+    (when the transfer actually starts).  The queueing delay is
+    ``grant - request_time``.
+    """
+
+    next_free: float = 0.0
+    total_busy: float = 0.0
+    total_queue_delay: float = 0.0
+    transfers: int = 0
+
+    def acquire(self, request_time: float, duration: float) -> float:
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
+        grant = max(self.next_free, request_time)
+        self.next_free = grant + duration
+        self.total_busy += duration
+        self.total_queue_delay += grant - request_time
+        self.transfers += 1
+        return grant
+
+    def queueing_delay(self, request_time: float, duration: float) -> float:
+        """Acquire the bus and return only the queueing delay incurred."""
+        grant = self.acquire(request_time, duration)
+        return grant - request_time
+
+
+@dataclass
+class NodeResources:
+    """Per-node shared resources: one bus per bus group.
+
+    ``cores_per_bus`` cores share each bus; core ``c`` (0-based index within
+    the node) uses bus ``c // cores_per_bus``.
+    """
+
+    cores_per_node: int
+    buses_per_node: int = 1
+    buses: List[FifoBus] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.cores_per_node < 1 or self.buses_per_node < 1:
+            raise ValueError("cores_per_node and buses_per_node must be positive")
+        if self.cores_per_node % self.buses_per_node != 0:
+            raise ValueError("cores_per_node must be a multiple of buses_per_node")
+        if not self.buses:
+            self.buses = [FifoBus() for _ in range(self.buses_per_node)]
+
+    @property
+    def cores_per_bus(self) -> int:
+        return self.cores_per_node // self.buses_per_node
+
+    def bus_for_core(self, core_index: int) -> FifoBus:
+        if not 0 <= core_index < self.cores_per_node:
+            raise ValueError(
+                f"core index {core_index} outside node with {self.cores_per_node} cores"
+            )
+        return self.buses[core_index // self.cores_per_bus]
+
+    @property
+    def total_queue_delay(self) -> float:
+        return sum(bus.total_queue_delay for bus in self.buses)
+
+    @property
+    def total_transfers(self) -> int:
+        return sum(bus.transfers for bus in self.buses)

@@ -1,0 +1,88 @@
+"""Parameter sweep helpers.
+
+The paper's Section 5 analyses are parameter sweeps (over Htile, processor
+count, partition size, cores per node, ...).  ``ParameterSweep`` provides a
+tiny cartesian-product sweep abstraction used by :mod:`repro.analysis` and by
+the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Mapping, Sequence
+
+
+def powers_of_two(start: int, stop: int) -> list[int]:
+    """Inclusive list of powers of two between ``start`` and ``stop``.
+
+    Both endpoints must themselves be powers of two.  This matches the x-axes
+    of Figures 6-11 in the paper (1024, 2048, ..., 131072 processors).
+    """
+    if start <= 0 or stop <= 0:
+        raise ValueError("start and stop must be positive")
+    if start & (start - 1) or stop & (stop - 1):
+        raise ValueError("start and stop must be powers of two")
+    if start > stop:
+        raise ValueError("start must not exceed stop")
+    values = []
+    value = start
+    while value <= stop:
+        values.append(value)
+        value *= 2
+    return values
+
+
+def geometric_range(start: float, stop: float, factor: float = 2.0) -> list[float]:
+    """Geometric progression from ``start`` up to (and including) ``stop``."""
+    if start <= 0 or stop <= 0:
+        raise ValueError("start and stop must be positive")
+    if factor <= 1.0:
+        raise ValueError("factor must exceed 1")
+    values = []
+    value = float(start)
+    # Small epsilon so that exact endpoints survive floating-point noise.
+    while value <= stop * (1.0 + 1e-12):
+        values.append(value)
+        value *= factor
+    return values
+
+
+@dataclass
+class ParameterSweep:
+    """Cartesian-product sweep over named parameter axes.
+
+    Example
+    -------
+    >>> sweep = ParameterSweep({"p": [4, 16], "htile": [1, 2]})
+    >>> len(list(sweep))
+    4
+    """
+
+    axes: Mapping[str, Sequence[Any]]
+    fixed: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for name, values in self.axes.items():
+            if len(values) == 0:
+                raise ValueError(f"axis {name!r} has no values")
+        overlap = set(self.axes) & set(self.fixed)
+        if overlap:
+            raise ValueError(f"parameters {sorted(overlap)} appear in both axes and fixed")
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        names = list(self.axes.keys())
+        for combo in itertools.product(*(self.axes[name] for name in names)):
+            point = dict(self.fixed)
+            point.update(dict(zip(names, combo)))
+            yield point
+
+    def __len__(self) -> int:
+        total = 1
+        for values in self.axes.values():
+            total *= len(values)
+        return total
+
+    def run(self, fn: Callable[..., Any]) -> list[tuple[dict[str, Any], Any]]:
+        """Apply ``fn(**point)`` to every sweep point, returning (point, result) pairs."""
+        return [(point, fn(**point)) for point in self]

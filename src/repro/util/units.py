@@ -1,0 +1,72 @@
+"""Time unit conventions and conversions.
+
+All analytic model equations in :mod:`repro.core` operate in **microseconds**,
+matching the LogGP parameter values reported in the paper (Table 2).
+Higher-level analyses (Section 5 of the paper) report results in seconds,
+days, or "time steps solved per problem per month"; the helpers here perform
+those conversions in one place so that no magic constants leak into the
+analysis code.
+"""
+
+from __future__ import annotations
+
+#: Number of microseconds in one second.
+MICROSECONDS_PER_SECOND: float = 1.0e6
+
+#: Number of seconds in one day.
+SECONDS_PER_DAY: float = 24.0 * 3600.0
+
+#: Number of seconds in one (30-day) month, the unit used by Figure 7 of the
+#: paper ("time steps solved per problem per month").
+SECONDS_PER_MONTH: float = 30.0 * SECONDS_PER_DAY
+
+
+def microseconds(value: float) -> float:
+    """Identity helper used to document that ``value`` is in microseconds."""
+    return float(value)
+
+
+def seconds(value: float) -> float:
+    """Identity helper used to document that ``value`` is in seconds."""
+    return float(value)
+
+
+def us_to_seconds(value_us: float) -> float:
+    """Convert microseconds to seconds."""
+    return float(value_us) / MICROSECONDS_PER_SECOND
+
+
+def seconds_to_us(value_s: float) -> float:
+    """Convert seconds to microseconds."""
+    return float(value_s) * MICROSECONDS_PER_SECOND
+
+
+def seconds_to_days(value_s: float) -> float:
+    """Convert seconds to days."""
+    return float(value_s) / SECONDS_PER_DAY
+
+
+def days_to_seconds(value_days: float) -> float:
+    """Convert days to seconds."""
+    return float(value_days) * SECONDS_PER_DAY
+
+
+def seconds_to_months(value_s: float) -> float:
+    """Convert seconds to 30-day months."""
+    return float(value_s) / SECONDS_PER_MONTH
+
+
+def us_to_days(value_us: float) -> float:
+    """Convert microseconds directly to days."""
+    return seconds_to_days(us_to_seconds(value_us))
+
+
+def rate_per_month(time_per_item_s: float) -> float:
+    """Number of items completed per 30-day month given seconds per item.
+
+    Used by the partition-throughput analysis (Figure 7): the number of time
+    steps solved per month is ``rate_per_month(seconds per time step)``.
+    """
+    if time_per_item_s <= 0.0:
+        raise ValueError("time_per_item_s must be positive")
+    return SECONDS_PER_MONTH / float(time_per_item_s)

@@ -1,0 +1,19 @@
+"""Validation harness: plug-and-play model vs the discrete-event simulator."""
+
+from repro.validation.compare import (
+    AllReduceValidation,
+    ValidationResult,
+    ValidationSummary,
+    validate_allreduce,
+    validate_configuration,
+    validate_matrix,
+)
+
+__all__ = [
+    "AllReduceValidation",
+    "ValidationResult",
+    "ValidationSummary",
+    "validate_allreduce",
+    "validate_configuration",
+    "validate_matrix",
+]

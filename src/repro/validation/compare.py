@@ -1,0 +1,172 @@
+"""Model-versus-"measurement" validation harness (Section 5's error claims).
+
+In the paper the model is validated against wall-clock measurements on the
+Cray XT3/XT4; in this reproduction the discrete-event simulator plays the
+role of the measurement (see DESIGN.md).  The harness runs both for a matrix
+of (application, platform, processor count) configurations and reports the
+relative prediction error, reproducing the "<5% for LU, <10% for the
+transport benchmarks on high-performance configurations" style summaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.apps.base import WavefrontSpec
+from repro.core.comm import allreduce_time
+from repro.core.decomposition import CoreMapping, ProcessorGrid
+from repro.core.loggp import Platform
+from repro.core.predictor import predict
+from repro.simulator.pingpong import allreduce_benchmark
+from repro.simulator.wavefront import simulate_wavefront
+
+__all__ = [
+    "ValidationResult",
+    "ValidationSummary",
+    "validate_configuration",
+    "validate_matrix",
+    "AllReduceValidation",
+    "validate_allreduce",
+]
+
+
+@dataclass(frozen=True)
+class ValidationResult:
+    """Model vs simulated per-iteration time for one configuration."""
+
+    application: str
+    platform: str
+    total_cores: int
+    cores_per_node: int
+    model_us: float
+    simulated_us: float
+
+    @property
+    def relative_error(self) -> float:
+        """Signed relative error of the model: (model - simulated) / simulated."""
+        if self.simulated_us == 0.0:
+            return 0.0
+        return (self.model_us - self.simulated_us) / self.simulated_us
+
+    @property
+    def absolute_relative_error(self) -> float:
+        return abs(self.relative_error)
+
+
+@dataclass(frozen=True)
+class ValidationSummary:
+    """Aggregate error statistics over a validation matrix."""
+
+    results: tuple[ValidationResult, ...]
+
+    @property
+    def max_error(self) -> float:
+        return max((r.absolute_relative_error for r in self.results), default=0.0)
+
+    @property
+    def mean_error(self) -> float:
+        if not self.results:
+            return 0.0
+        return sum(r.absolute_relative_error for r in self.results) / len(self.results)
+
+    def worst(self) -> Optional[ValidationResult]:
+        if not self.results:
+            return None
+        return max(self.results, key=lambda r: r.absolute_relative_error)
+
+    def by_application(self, name: str) -> "ValidationSummary":
+        return ValidationSummary(
+            results=tuple(r for r in self.results if r.application == name)
+        )
+
+
+def validate_configuration(
+    spec: WavefrontSpec,
+    platform: Platform,
+    *,
+    total_cores: Optional[int] = None,
+    grid: Optional[ProcessorGrid] = None,
+    core_mapping: Optional[CoreMapping] = None,
+    simulate_nonwavefront: bool = True,
+    max_events: Optional[int] = None,
+) -> ValidationResult:
+    """Run the model and the simulator for one configuration and compare."""
+    prediction = predict(
+        spec, platform, total_cores=total_cores, grid=grid, core_mapping=core_mapping
+    )
+    simulation = simulate_wavefront(
+        spec,
+        platform,
+        total_cores=total_cores,
+        grid=grid,
+        core_mapping=core_mapping,
+        iterations=1,
+        simulate_nonwavefront=simulate_nonwavefront,
+        max_events=max_events,
+    )
+    model_us = prediction.time_per_iteration_us
+    if not simulate_nonwavefront:
+        model_us -= prediction.iteration.tnonwavefront
+    return ValidationResult(
+        application=spec.name,
+        platform=platform.name,
+        total_cores=prediction.grid.total_processors,
+        cores_per_node=platform.node.cores_per_node,
+        model_us=model_us,
+        simulated_us=simulation.time_per_iteration_us,
+    )
+
+
+def validate_matrix(
+    cases: Sequence[tuple[WavefrontSpec, Platform, int]],
+    *,
+    simulate_nonwavefront: bool = True,
+    max_events: Optional[int] = None,
+) -> ValidationSummary:
+    """Validate a list of (spec, platform, total_cores) configurations."""
+    results = [
+        validate_configuration(
+            spec,
+            platform,
+            total_cores=total_cores,
+            simulate_nonwavefront=simulate_nonwavefront,
+            max_events=max_events,
+        )
+        for spec, platform, total_cores in cases
+    ]
+    return ValidationSummary(results=tuple(results))
+
+
+@dataclass(frozen=True)
+class AllReduceValidation:
+    """Equation (9) vs the simulated recursive-doubling all-reduce."""
+
+    total_cores: int
+    model_us: float
+    simulated_us: float
+
+    @property
+    def relative_error(self) -> float:
+        if self.simulated_us == 0.0:
+            return 0.0
+        return (self.model_us - self.simulated_us) / self.simulated_us
+
+
+def validate_allreduce(
+    platform: Platform,
+    core_counts: Sequence[int],
+    *,
+    payload_bytes: int = 8,
+) -> list[AllReduceValidation]:
+    """Compare the all-reduce model against the simulator for each core count."""
+    results = []
+    for count in core_counts:
+        results.append(
+            AllReduceValidation(
+                total_cores=count,
+                model_us=allreduce_time(platform, count, payload_bytes),
+                simulated_us=allreduce_benchmark(platform, count, payload_bytes=payload_bytes),
+            )
+        )
+    return results

@@ -1,0 +1,69 @@
+"""Shared fixtures for the test suite.
+
+The fixtures provide small, fast configurations: tiny problem sizes and
+processor counts so that even the discrete-event simulation tests run in
+well under a second each.  Larger, slower configurations live in
+``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.chimaera import chimaera
+from repro.apps.lu import lu
+from repro.apps.sweep3d import Sweep3DConfig, sweep3d
+from repro.core.decomposition import ProblemSize, ProcessorGrid
+from repro.platforms import cray_xt4, cray_xt4_single_core, ibm_sp2
+
+
+@pytest.fixture
+def xt4():
+    """Dual-core Cray XT4 (the paper's validation platform)."""
+    return cray_xt4()
+
+
+@pytest.fixture
+def xt4_single():
+    """Cray XT4 using one core per node (the Table 5 configuration)."""
+    return cray_xt4_single_core()
+
+
+@pytest.fixture
+def sp2():
+    """IBM SP/2 (single-core, slow communication)."""
+    return ibm_sp2()
+
+
+@pytest.fixture
+def small_problem():
+    """A small cubic problem divisible by common small grids."""
+    return ProblemSize(48, 48, 24)
+
+
+@pytest.fixture
+def small_grid():
+    return ProcessorGrid(4, 4)
+
+
+@pytest.fixture
+def tiny_grid():
+    return ProcessorGrid(2, 2)
+
+
+@pytest.fixture
+def chimaera_small(small_problem):
+    """Chimaera spec on a small problem with a single iteration."""
+    return chimaera(small_problem, iterations=1)
+
+
+@pytest.fixture
+def sweep3d_small(small_problem):
+    """Sweep3D spec (Htile=2) on a small problem with a single iteration."""
+    return sweep3d(small_problem, config=Sweep3DConfig(mk=4, mmi=3, mmo=6), iterations=1)
+
+
+@pytest.fixture
+def lu_small(small_problem):
+    """LU spec on a small problem with a single iteration."""
+    return lu(small_problem, iterations=1)

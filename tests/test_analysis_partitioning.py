@@ -1,0 +1,110 @@
+"""Tests for repro.analysis.partitioning (Figures 7-9)."""
+
+import pytest
+
+from repro.analysis.partitioning import (
+    optimal_parallel_jobs,
+    partition_tradeoff,
+    throughput_study,
+)
+from repro.apps.workloads import chimaera_240cubed, sweep3d_production_1billion
+
+
+@pytest.fixture
+def production_spec():
+    return sweep3d_production_1billion()
+
+
+class TestThroughputStudy:
+    def test_points_cover_requested_partitionings(self, xt4, production_spec):
+        points = throughput_study(
+            production_spec, xt4, (32768,), parallel_jobs_options=(1, 2, 4, 8)
+        )
+        assert [p.parallel_jobs for p in points] == [1, 2, 4, 8]
+        assert all(p.total_cores == 32768 for p in points)
+        assert points[1].partition_cores == 16384
+
+    def test_indivisible_partitionings_skipped(self, xt4, production_spec):
+        points = throughput_study(
+            production_spec, xt4, (24576,), parallel_jobs_options=(5,)
+        )
+        assert points == []
+
+    def test_per_job_rate_drops_with_smaller_partitions(self, xt4, production_spec):
+        """Each of the parallel problems progresses more slowly than a single
+        problem using the whole machine."""
+        points = throughput_study(production_spec, xt4, (32768,))
+        rates = {p.parallel_jobs: p.time_steps_per_month_per_job for p in points}
+        assert rates[1] > rates[2] > rates[8]
+
+    def test_aggregate_rate_rises_with_partitioning(self, xt4, production_spec):
+        """...but the machine as a whole completes more time steps (Figure 7)."""
+        points = throughput_study(production_spec, xt4, (32768,))
+        aggregate = {p.parallel_jobs: p.total_time_steps_per_month for p in points}
+        assert aggregate[8] > aggregate[2] > aggregate[1]
+
+    def test_two_half_size_jobs_are_nearly_as_fast(self, xt4, production_spec):
+        """Figure 7(a): at 128K cores, two parallel simulations each run at
+        roughly 7/8 the rate of a single one."""
+        points = throughput_study(production_spec, xt4, (131072,), parallel_jobs_options=(1, 2))
+        rate = {p.parallel_jobs: p.time_steps_per_month_per_job for p in points}
+        ratio = rate[2] / rate[1]
+        assert 0.70 < ratio < 0.98
+
+
+class TestPartitionTradeoff:
+    def test_r_over_x_and_r2_over_x_definitions(self, xt4, production_spec):
+        points = partition_tradeoff(production_spec, xt4, 32768, (32768, 16384))
+        for point in points:
+            assert point.r_over_x == pytest.approx(point.runtime_s / point.throughput_per_s)
+            assert point.r2_over_x == pytest.approx(point.runtime_s**2 / point.throughput_per_s)
+
+    def test_invalid_partitions_raise(self, xt4, production_spec):
+        with pytest.raises(ValueError):
+            partition_tradeoff(production_spec, xt4, 32768, (999,))
+
+    def test_r2_over_x_prefers_larger_partitions(self, xt4, production_spec):
+        """Figure 8: the R^2/X criterion is optimised by larger partitions
+        than the R/X criterion."""
+        sizes = (131072, 65536, 32768, 16384, 8192, 4096)
+        points = partition_tradeoff(production_spec, xt4, 131072, sizes)
+        best_rx = min(points, key=lambda p: p.r_over_x)
+        best_r2x = min(points, key=lambda p: p.r2_over_x)
+        assert best_r2x.partition_cores >= best_rx.partition_cores
+
+    def test_r_over_x_not_optimised_by_whole_machine(self, xt4, production_spec):
+        sizes = (131072, 65536, 32768, 16384, 8192, 4096)
+        points = partition_tradeoff(production_spec, xt4, 131072, sizes)
+        best_rx = min(points, key=lambda p: p.r_over_x)
+        assert best_rx.partition_cores < 131072
+        assert best_rx.parallel_jobs > 1
+
+
+class TestOptimalParallelJobs:
+    def test_criteria_validated(self, xt4, production_spec):
+        with pytest.raises(ValueError):
+            optimal_parallel_jobs(production_spec, xt4, 32768, criterion="nonsense")
+
+    def test_returns_power_of_two_partitioning(self, xt4, production_spec):
+        best = optimal_parallel_jobs(production_spec, xt4, 65536, criterion="r_over_x")
+        assert best.available_cores == 65536
+        assert best.parallel_jobs & (best.parallel_jobs - 1) == 0
+
+    def test_throughput_criterion_runs_at_least_as_many_jobs(self, xt4, production_spec):
+        """Figure 9: min(R/X) always selects at least as many parallel jobs as
+        min(R^2/X)."""
+        for available in (16384, 65536):
+            rx = optimal_parallel_jobs(
+                production_spec, xt4, available, criterion="r_over_x"
+            )
+            r2x = optimal_parallel_jobs(
+                production_spec, xt4, available, criterion="r2_over_x"
+            )
+            assert rx.parallel_jobs >= r2x.parallel_jobs
+
+    def test_min_partition_respected(self, xt4):
+        spec = chimaera_240cubed(htile=2)
+        best = optimal_parallel_jobs(
+            spec, xt4, 16384, criterion="r_over_x", min_partition_cores=4096
+        )
+        assert best.partition_cores >= 4096

@@ -1,0 +1,89 @@
+"""Tests for repro.analysis.redesign (Figure 12: pipelined energy groups)."""
+
+import pytest
+
+from repro.analysis.redesign import (
+    energy_group_redesign_study,
+    pipelined_energy_groups_spec,
+)
+from repro.apps.workloads import sweep3d_production_1billion
+from repro.core.predictor import predict
+
+
+class TestPipelinedSpecTransformation:
+    def test_schedule_repeated_per_group(self):
+        base = sweep3d_production_1billion()
+        pipelined = pipelined_energy_groups_spec(base)
+        assert pipelined.nsweeps == base.nsweeps * base.energy_groups
+        assert pipelined.energy_groups == 1
+        assert pipelined.nfull == base.nfull
+        assert pipelined.ndiag == base.ndiag
+
+    def test_iteration_factor_scales_iterations(self):
+        base = sweep3d_production_1billion()
+        pipelined = pipelined_energy_groups_spec(base, extra_iteration_factor=1.5)
+        assert pipelined.iterations == round(base.iterations * 1.5)
+        with pytest.raises(ValueError):
+            pipelined_energy_groups_spec(base, extra_iteration_factor=0.5)
+
+    def test_total_sweep_work_is_preserved(self, xt4):
+        """Pipelining rearranges sweeps; the per-processor sweep work (the
+        nsweeps x Tstack work term) must be unchanged - only the exposed
+        pipeline fills shrink."""
+        base = sweep3d_production_1billion()
+        pipelined = pipelined_energy_groups_spec(base)
+        p_base = predict(base, xt4, total_cores=4096)
+        p_pipe = predict(pipelined, xt4, total_cores=4096)
+        base_stack_work = (
+            p_base.iteration.nsweeps
+            * p_base.iteration.stack.work
+            * base.iterations
+            * base.energy_groups
+        )
+        pipe_stack_work = (
+            p_pipe.iteration.nsweeps * p_pipe.iteration.stack.work * pipelined.iterations
+        )
+        assert pipe_stack_work == pytest.approx(base_stack_work, rel=1e-9)
+        # The exposed fill time is what shrinks (by roughly the group count).
+        base_fill = p_base.pipeline_fill_per_iteration_us * base.energy_groups
+        pipe_fill = p_pipe.pipeline_fill_per_iteration_us
+        assert pipe_fill < 0.2 * base_fill
+
+
+class TestRedesignStudy:
+    COUNTS = (1024, 4096, 16384)
+
+    def test_one_point_per_processor_count(self, xt4):
+        points = energy_group_redesign_study(xt4, self.COUNTS)
+        assert [p.total_cores for p in points] == list(self.COUNTS)
+
+    def test_rejects_empty_counts(self, xt4):
+        with pytest.raises(ValueError):
+            energy_group_redesign_study(xt4, [])
+
+    def test_pipelining_always_helps(self, xt4):
+        points = energy_group_redesign_study(xt4, self.COUNTS)
+        for point in points:
+            assert point.pipelined_days < point.sequential_days
+
+    def test_pipelining_eliminates_most_fill_overhead(self, xt4):
+        """Figure 12: 'nearly all of the pipeline fill overhead is eliminated'."""
+        points = energy_group_redesign_study(xt4, (16384,))
+        point = points[0]
+        saved = point.sequential_days - point.pipelined_days
+        assert saved > 0.6 * point.sequential_fill_days
+
+    def test_fill_overhead_fraction_grows_with_p(self, xt4):
+        """The weak-scaling fill share rises with the machine size, so the
+        redesign matters more at scale."""
+        points = energy_group_redesign_study(xt4, self.COUNTS)
+        fractions = [p.fill_fraction_sequential for p in points]
+        assert fractions == sorted(fractions)
+        assert points[-1].improvement > points[0].improvement
+
+    def test_extra_iterations_can_cancel_the_gain(self, xt4):
+        honest = energy_group_redesign_study(xt4, (4096,))[0]
+        pessimistic = energy_group_redesign_study(
+            xt4, (4096,), extra_iteration_factor=2.0
+        )[0]
+        assert pessimistic.pipelined_days > honest.pipelined_days

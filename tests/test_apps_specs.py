@@ -1,0 +1,231 @@
+"""Tests for the application parameterisations (Table 3): LU, Sweep3D, Chimaera."""
+
+import pytest
+
+from repro.apps.base import (
+    AllReduceNonWavefront,
+    FillClass,
+    NoNonWavefront,
+    StencilNonWavefront,
+    SweepPhase,
+    SweepSchedule,
+    WavefrontSpec,
+)
+from repro.apps.chimaera import CHIMAERA_ANGLES, chimaera, chimaera_schedule
+from repro.apps.lu import LU_BOUNDARY_BYTES_PER_CELL, lu, lu_schedule
+from repro.apps.sweep3d import Sweep3DConfig, sweep3d, sweep3d_schedule
+from repro.core.decomposition import Corner, ProblemSize, ProcessorGrid
+
+
+class TestSweepSchedule:
+    def test_counts(self):
+        schedule = SweepSchedule.from_phases(
+            [
+                SweepPhase(Corner.NORTH_WEST, FillClass.NONE),
+                SweepPhase(Corner.NORTH_WEST, FillClass.DIAG),
+                SweepPhase(Corner.SOUTH_EAST, FillClass.FULL),
+            ]
+        )
+        assert schedule.nsweeps == 3
+        assert schedule.ndiag == 1
+        assert schedule.nfull == 1
+
+    def test_last_sweep_must_be_full(self):
+        with pytest.raises(ValueError):
+            SweepSchedule.from_phases([SweepPhase(Corner.NORTH_WEST, FillClass.NONE)])
+
+    def test_empty_schedule_rejected(self):
+        with pytest.raises(ValueError):
+            SweepSchedule(phases=())
+
+    def test_repeated_keeps_precedence_counts(self):
+        base = sweep3d_schedule()
+        repeated = base.repeated(30)
+        assert repeated.nsweeps == 8 * 30
+        assert repeated.nfull == base.nfull
+        assert repeated.ndiag == base.ndiag
+
+    def test_repeated_once_is_identity(self):
+        base = lu_schedule()
+        assert base.repeated(1) is base
+
+    def test_repeated_rejects_zero(self):
+        with pytest.raises(ValueError):
+            lu_schedule().repeated(0)
+
+
+class TestTable3Parameters:
+    """The headline Table 3 rows: nsweeps / nfull / ndiag per benchmark."""
+
+    def test_lu(self):
+        schedule = lu_schedule()
+        assert (schedule.nsweeps, schedule.nfull, schedule.ndiag) == (2, 2, 0)
+
+    def test_sweep3d(self):
+        schedule = sweep3d_schedule()
+        assert (schedule.nsweeps, schedule.nfull, schedule.ndiag) == (8, 2, 2)
+
+    def test_chimaera(self):
+        schedule = chimaera_schedule()
+        assert (schedule.nsweeps, schedule.nfull, schedule.ndiag) == (8, 4, 2)
+
+    def test_lu_has_precomputation_and_stencil(self):
+        spec = lu(ProblemSize.cube(64))
+        assert spec.wg_pre_us > 0
+        assert isinstance(spec.nonwavefront, StencilNonWavefront)
+
+    def test_transport_codes_have_no_precomputation(self):
+        assert sweep3d(ProblemSize.cube(64)).wg_pre_us == 0.0
+        assert chimaera(ProblemSize.cube(64)).wg_pre_us == 0.0
+
+    def test_sweep3d_two_allreduces_chimaera_one(self):
+        s = sweep3d(ProblemSize.cube(64))
+        c = chimaera(ProblemSize.cube(64))
+        assert isinstance(s.nonwavefront, AllReduceNonWavefront) and s.nonwavefront.count == 2
+        assert isinstance(c.nonwavefront, AllReduceNonWavefront) and c.nonwavefront.count == 1
+
+    def test_table3_row_contents(self):
+        row = chimaera(ProblemSize.cube(240)).table3_row()
+        assert row["nsweeps"] == 8
+        assert row["nfull"] == 4
+        assert row["ndiag"] == 2
+        assert row["Nx,Ny,Nz"] == (240, 240, 240)
+
+
+class TestMessageSizes:
+    def test_lu_message_sizes_formula(self):
+        """Table 3: LU sends 40 * Ny/m east-west and 40 * Nx/n north-south."""
+        spec = lu(ProblemSize(160, 120, 40))
+        grid = ProcessorGrid(8, 4)
+        assert spec.message_size_ew(grid) == pytest.approx(40 * 120 / 4)
+        assert spec.message_size_ns(grid) == pytest.approx(40 * 160 / 8)
+        assert LU_BOUNDARY_BYTES_PER_CELL == 40
+
+    def test_sweep3d_message_sizes_formula(self):
+        """Table 3: 8 * Htile * #angles * Ny/m bytes east-west."""
+        config = Sweep3DConfig(mk=4, mmi=3, mmo=6)  # Htile = 2
+        spec = sweep3d(ProblemSize(120, 60, 40), config=config)
+        grid = ProcessorGrid(4, 2)
+        expected_ew = 8 * 2 * 6 * (60 / 2)
+        expected_ns = 8 * 2 * 6 * (120 / 4)
+        assert spec.message_size_ew(grid) == pytest.approx(expected_ew)
+        assert spec.message_size_ns(grid) == pytest.approx(expected_ns)
+
+    def test_chimaera_message_sizes_use_ten_angles(self):
+        spec = chimaera(ProblemSize(100, 100, 100))
+        grid = ProcessorGrid(10, 10)
+        assert CHIMAERA_ANGLES == 10
+        assert spec.message_size_ew(grid) == pytest.approx(8 * 1 * 10 * 10)
+
+    def test_message_size_scales_with_htile(self):
+        grid = ProcessorGrid(4, 4)
+        small = chimaera(ProblemSize.cube(64), htile=1).message_size_ew(grid)
+        large = chimaera(ProblemSize.cube(64), htile=4).message_size_ew(grid)
+        assert large == pytest.approx(4 * small)
+
+
+class TestSweep3DConfig:
+    def test_htile_formula(self):
+        assert Sweep3DConfig(mk=10, mmi=3, mmo=6).htile == pytest.approx(5.0)
+        assert Sweep3DConfig(mk=1, mmi=6, mmo=6).htile == pytest.approx(1.0)
+
+    def test_for_htile_roundtrip(self):
+        for htile in (1, 2, 3, 4, 5, 10):
+            config = Sweep3DConfig.for_htile(htile)
+            assert config.htile == pytest.approx(htile)
+
+    def test_for_htile_unrepresentable(self):
+        with pytest.raises(ValueError):
+            Sweep3DConfig.for_htile(0.25)
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError):
+            Sweep3DConfig(mk=0)
+        with pytest.raises(ValueError):
+            Sweep3DConfig(mk=1, mmi=4, mmo=6)  # mmo not a multiple of mmi
+        with pytest.raises(ValueError):
+            Sweep3DConfig(mk=1, mmi=7, mmo=6)  # mmi > mmo
+
+
+class TestWavefrontSpecDerived:
+    def test_work_per_tile_formula(self, xt4):
+        """Equation (r1b): W = Wg * Htile * Nx/n * Ny/m."""
+        spec = chimaera(ProblemSize(128, 64, 32), htile=2)
+        grid = ProcessorGrid(8, 4)
+        expected = spec.wg_us * 2 * (128 / 8) * (64 / 4)
+        assert spec.work_per_tile(grid, xt4) == pytest.approx(expected)
+
+    def test_pre_work_per_tile_formula(self, xt4):
+        spec = lu(ProblemSize(128, 64, 32))
+        grid = ProcessorGrid(8, 4)
+        expected = spec.wg_pre_us * 1 * (128 / 8) * (64 / 4)
+        assert spec.pre_work_per_tile(grid, xt4) == pytest.approx(expected)
+
+    def test_tiles_per_stack(self):
+        assert chimaera(ProblemSize.cube(240), htile=2).tiles_per_stack() == pytest.approx(120)
+        assert lu(ProblemSize.cube(162)).tiles_per_stack() == pytest.approx(162)
+
+    def test_with_htile_returns_new_spec(self):
+        spec = chimaera(ProblemSize.cube(64))
+        other = spec.with_htile(4)
+        assert other.htile == 4 and spec.htile == 1
+        assert other.name == spec.name
+
+    def test_with_wg(self):
+        spec = lu(ProblemSize.cube(64))
+        updated = spec.with_wg(9.0, 1.0)
+        assert updated.wg_us == 9.0 and updated.wg_pre_us == 1.0
+
+    def test_validation_rejects_bad_values(self):
+        problem = ProblemSize.cube(8)
+        schedule = lu_schedule()
+        with pytest.raises(ValueError):
+            WavefrontSpec(
+                name="bad", problem=problem, wg_us=0.0, schedule=schedule,
+                boundary_bytes_per_cell=8,
+            )
+        with pytest.raises(ValueError):
+            WavefrontSpec(
+                name="bad", problem=problem, wg_us=1.0, schedule=schedule,
+                boundary_bytes_per_cell=8, htile=0,
+            )
+        with pytest.raises(ValueError):
+            WavefrontSpec(
+                name="bad", problem=problem, wg_us=1.0, schedule=schedule,
+                boundary_bytes_per_cell=8, iterations=0,
+            )
+
+
+class TestNonWavefrontModels:
+    def test_none_is_zero(self, xt4, small_grid):
+        spec = chimaera(ProblemSize.cube(48))
+        assert NoNonWavefront().evaluate(xt4, spec, small_grid) == 0.0
+        assert NoNonWavefront().evaluate_components(xt4, spec, small_grid) == (0.0, 0.0)
+
+    def test_allreduce_scales_with_count(self, xt4, small_grid):
+        spec = chimaera(ProblemSize.cube(48))
+        one = AllReduceNonWavefront(count=1).evaluate(xt4, spec, small_grid)
+        two = AllReduceNonWavefront(count=2).evaluate(xt4, spec, small_grid)
+        assert two == pytest.approx(2 * one)
+
+    def test_allreduce_is_pure_communication(self, xt4, small_grid):
+        spec = chimaera(ProblemSize.cube(48))
+        work, comm = AllReduceNonWavefront(count=2).evaluate_components(xt4, spec, small_grid)
+        assert work == 0.0 and comm > 0.0
+
+    def test_stencil_components_split(self, xt4, small_grid):
+        spec = lu(ProblemSize.cube(48))
+        work, comm = spec.nonwavefront.evaluate_components(xt4, spec, small_grid)
+        assert work > 0.0 and comm > 0.0
+        assert spec.nonwavefront.evaluate(xt4, spec, small_grid) == pytest.approx(work + comm)
+
+    def test_stencil_work_scales_with_subdomain(self, xt4):
+        spec = lu(ProblemSize.cube(48))
+        small = spec.nonwavefront.evaluate(xt4, spec, ProcessorGrid(8, 8))
+        large = spec.nonwavefront.evaluate(xt4, spec, ProcessorGrid(2, 2))
+        assert large > small
+
+    def test_describe_strings(self, xt4):
+        assert "allreduce" in AllReduceNonWavefront(count=2).describe()
+        assert "stencil" in StencilNonWavefront(wg_stencil_us=0.1).describe()
+        assert NoNonWavefront().describe() == "none"

@@ -1,0 +1,116 @@
+"""Tests for the baseline models (Table 4 and the Hoisie single-sweep model)."""
+
+import pytest
+
+from repro.apps.lu import lu
+from repro.apps.sweep3d import Sweep3DConfig, sweep3d
+from repro.baselines.hoisie import (
+    hoisie_iteration_time,
+    hoisie_single_sweep_time,
+    hoisie_stage_time,
+)
+from repro.baselines.sundaram_vernon import sundaram_vernon_iteration_time
+from repro.core.decomposition import ProblemSize, ProcessorGrid
+from repro.core.model import iteration_prediction
+
+
+@pytest.fixture
+def spec():
+    return sweep3d(ProblemSize(64, 64, 48), config=Sweep3DConfig(mk=4), iterations=1)
+
+
+@pytest.fixture
+def grid():
+    return ProcessorGrid(8, 8)
+
+
+class TestSundaramVernonBaseline:
+    def test_agrees_with_reusable_model_for_sweep3d(self, spec, grid, xt4_single):
+        """The plug-and-play model was derived from Table 4; for Sweep3D on one
+        core per node the two should agree closely (the paper's argument that
+        generality does not cost accuracy)."""
+        baseline = sundaram_vernon_iteration_time(spec, xt4_single, grid)
+        reusable = iteration_prediction(spec, xt4_single, grid)
+        relative = abs(baseline.iteration_time - reusable.time_per_iteration) / (
+            reusable.time_per_iteration
+        )
+        assert relative < 0.05
+
+    def test_structure_of_intermediate_terms(self, spec, grid, xt4_single):
+        baseline = sundaram_vernon_iteration_time(spec, xt4_single, grid)
+        assert baseline.start_p_diag < baseline.start_p_near_full
+        assert baseline.time_56 < baseline.time_78
+        assert baseline.sweeps_time == pytest.approx(2 * (baseline.time_56 + baseline.time_78))
+        assert baseline.iteration_time == pytest.approx(
+            baseline.sweeps_time + baseline.nonwavefront
+        )
+
+    def test_sync_terms_negligible_on_xt4(self, spec, grid, xt4_single):
+        """The (m-1)L / (n-2)L synchronisation terms hardly matter on the XT4."""
+        with_sync = sundaram_vernon_iteration_time(spec, xt4_single, grid)
+        without = sundaram_vernon_iteration_time(
+            spec, xt4_single, grid, include_sync_terms=False
+        )
+        assert with_sync.iteration_time > without.iteration_time
+        difference = (with_sync.iteration_time - without.iteration_time) / with_sync.iteration_time
+        assert difference < 0.05
+
+    def test_sync_terms_matter_on_sp2(self, spec, grid, sp2):
+        """On the SP/2 (L = 23 µs) the same terms are a visible fraction."""
+        with_sync = sundaram_vernon_iteration_time(spec, sp2, grid)
+        without = sundaram_vernon_iteration_time(spec, sp2, grid, include_sync_terms=False)
+        difference = (with_sync.iteration_time - without.iteration_time) / with_sync.iteration_time
+        assert difference > 0.05
+
+    def test_sync_fraction_larger_on_sp2_than_xt4(self, spec, grid, sp2, xt4_single):
+        def sync_fraction(platform):
+            with_sync = sundaram_vernon_iteration_time(spec, platform, grid)
+            without = sundaram_vernon_iteration_time(
+                spec, platform, grid, include_sync_terms=False
+            )
+            return (with_sync.iteration_time - without.iteration_time) / with_sync.iteration_time
+
+        assert sync_fraction(sp2) > 3 * sync_fraction(xt4_single)
+
+    def test_rejects_precomputation_specs(self, grid, xt4_single):
+        with pytest.raises(ValueError):
+            sundaram_vernon_iteration_time(lu(ProblemSize.cube(64)), xt4_single, grid)
+
+    def test_nonwavefront_flag(self, spec, grid, xt4_single):
+        with_nw = sundaram_vernon_iteration_time(spec, xt4_single, grid)
+        without_nw = sundaram_vernon_iteration_time(
+            spec, xt4_single, grid, include_nonwavefront=False
+        )
+        assert without_nw.nonwavefront == 0.0
+        assert with_nw.iteration_time > without_nw.iteration_time
+
+
+class TestHoisieBaseline:
+    def test_stage_time_components(self, spec, grid, xt4_single):
+        stage = hoisie_stage_time(spec, xt4_single, grid)
+        assert stage > spec.work_per_tile(grid, xt4_single)
+
+    def test_single_sweep_pipeline_formula(self, spec, grid, xt4_single):
+        stage = hoisie_stage_time(spec, xt4_single, grid)
+        expected = (grid.n + grid.m - 2 + spec.tiles_per_stack()) * stage
+        assert hoisie_single_sweep_time(spec, xt4_single, grid) == pytest.approx(expected)
+
+    def test_single_sweep_close_to_reusable_model_fill_plus_stack(self, spec, grid, xt4_single):
+        """One sweep's duration (fill + stack) should be in the same ballpark."""
+        reusable = iteration_prediction(spec, xt4_single, grid)
+        single_sweep = reusable.tfullfill + reusable.tstack
+        hoisie = hoisie_single_sweep_time(spec, xt4_single, grid)
+        assert abs(hoisie - single_sweep) / single_sweep < 0.25
+
+    def test_iteration_time_within_factor_of_reusable_model(self, spec, grid, xt4_single):
+        reusable = iteration_prediction(spec, xt4_single, grid).time_per_iteration
+        hoisie = hoisie_iteration_time(spec, xt4_single, grid)
+        assert 0.5 * reusable < hoisie < 2.0 * reusable
+
+    def test_iteration_time_monotone_in_sweeps(self, grid, xt4_single):
+        problem = ProblemSize(64, 64, 48)
+        two_sweeps = lu(problem, iterations=1)
+        eight_sweeps = sweep3d(problem, config=Sweep3DConfig(mk=2), iterations=1)
+        assert hoisie_iteration_time(eight_sweeps, xt4_single, grid) > hoisie_iteration_time(
+            two_sweeps, xt4_single, grid
+        )

@@ -1,0 +1,86 @@
+"""Tests for the wavebench command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_predict_arguments(self):
+        args = build_parser().parse_args(
+            ["predict", "--app", "chimaera-240", "--cores", "1024", "--htile", "2"]
+        )
+        assert args.app == "chimaera-240"
+        assert args.cores == 1024
+        assert args.htile == 2.0
+        assert args.platform == "cray-xt4"
+
+    def test_scaling_parses_core_list(self):
+        args = build_parser().parse_args(
+            ["scaling", "--app", "sweep3d-1b", "--cores", "1024,2048,4096"]
+        )
+        assert args.cores == [1024, 2048, 4096]
+
+    def test_htile_parses_value_list(self):
+        args = build_parser().parse_args(
+            ["htile", "--app", "chimaera-240", "--cores", "4096", "--values", "1,2,4"]
+        )
+        assert args.values == [1.0, 2.0, 4.0]
+
+
+class TestCommands:
+    def test_predict_outputs_summary(self, capsys):
+        assert main(["predict", "--app", "chimaera-240", "--cores", "1024"]) == 0
+        out = capsys.readouterr().out
+        assert "chimaera" in out
+        assert "time_per_time_step_s" in out
+
+    def test_predict_unknown_app_fails_helpfully(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["predict", "--app", "not-a-benchmark", "--cores", "64"])
+        assert "chimaera-240" in str(excinfo.value)
+
+    def test_predict_unknown_platform_fails(self):
+        with pytest.raises(KeyError):
+            main(["predict", "--app", "chimaera-240", "--cores", "64", "--platform", "zzz"])
+
+    def test_table3_lists_benchmarks(self, capsys):
+        assert main(["table3"]) == 0
+        out = capsys.readouterr().out
+        assert "nsweeps" in out and "nfull" in out and "ndiag" in out
+        assert "chimaera" in out and "sweep3d" in out
+
+    def test_htile_reports_optimum(self, capsys):
+        assert main(
+            ["htile", "--app", "chimaera-240", "--cores", "4096", "--values", "1,2,4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "optimal Htile" in out
+
+    def test_scaling_table(self, capsys):
+        assert main(["scaling", "--app", "sweep3d-1b", "--cores", "1024,4096"]) == 0
+        out = capsys.readouterr().out
+        assert "1024" in out and "4096" in out
+
+    def test_pingpong_recovers_parameters(self, capsys):
+        assert main(["pingpong", "--repetitions", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "G (us/byte)" in out
+        assert "0.0004" in out or "4.0000e-04" in out
+
+    def test_validate_small_configuration(self, capsys):
+        assert main(
+            ["validate", "--app", "lu-classA", "--platform", "cray-xt4-1core", "--cores", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "error (%)" in out
+
+    def test_workrate_measures_kernels(self, capsys):
+        assert main(["workrate", "--cells", "4", "--repetitions", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "transport-sweep" in out
+        assert "ssor-lower-sweep" in out

@@ -1,0 +1,123 @@
+"""End-to-end integration tests exercising the full public API together.
+
+Each test walks one of the library's intended workflows:
+
+1. measure platform parameters -> build a platform -> predict an application;
+2. measure a work rate from the real kernels -> calibrate a spec -> predict;
+3. define a brand new (custom) wavefront application -> model it and check it
+   against the discrete-event simulator;
+4. run a small procurement study end to end.
+"""
+
+import pytest
+
+from repro.analysis.partitioning import optimal_parallel_jobs
+from repro.analysis.scaling import strong_scaling
+from repro.apps.base import (
+    AllReduceNonWavefront,
+    FillClass,
+    SweepPhase,
+    SweepSchedule,
+    WavefrontSpec,
+)
+from repro.calibration.fitting import derive_platform_parameters
+from repro.calibration.workrate import calibrated_spec, measure_ssor_wg
+from repro.apps.lu import lu
+from repro.core.decomposition import Corner, ProblemSize
+from repro.core.loggp import NodeArchitecture, Platform
+from repro.core.predictor import predict
+from repro.platforms import cray_xt4, cray_xt4_single_core
+from repro.validation.compare import validate_configuration
+
+
+class TestMeasureFitPredictWorkflow:
+    def test_fitted_platform_reproduces_reference_predictions(self):
+        """Fitting Table 2 from simulated ping-pong and using the fitted
+        platform must give the same application predictions as the reference
+        platform constants."""
+        reference = cray_xt4()
+        fitted_params = derive_platform_parameters(reference, repetitions=2)
+        fitted_platform = Platform(
+            name="xt4-refit",
+            off_node=fitted_params.off_node,
+            on_chip=fitted_params.on_chip,
+            node=NodeArchitecture(cores_per_node=2),
+        )
+        spec = lu(ProblemSize(64, 64, 32), iterations=1)
+        reference_prediction = predict(spec, reference, total_cores=64)
+        fitted_prediction = predict(spec, fitted_platform, total_cores=64)
+        assert fitted_prediction.time_per_iteration_us == pytest.approx(
+            reference_prediction.time_per_iteration_us, rel=1e-6
+        )
+
+
+class TestCalibrateAndPredictWorkflow:
+    def test_measured_work_rate_flows_into_prediction(self):
+        spec = lu(ProblemSize(32, 32, 16), iterations=1)
+        measurement = measure_ssor_wg(cells_per_side=4, repetitions=1)
+        calibrated = calibrated_spec(spec, measurement)
+        prediction = predict(calibrated, cray_xt4_single_core(), total_cores=16)
+        baseline = predict(spec, cray_xt4_single_core(), total_cores=16)
+        assert prediction.time_per_iteration_us != baseline.time_per_iteration_us
+        assert prediction.time_per_iteration_us > 0
+
+
+class TestCustomApplicationWorkflow:
+    """The plug-and-play promise: a user describes a *new* wavefront code by
+    its Table 3 parameters and immediately gets both a model and a simulator
+    for it."""
+
+    @staticmethod
+    def custom_spec() -> WavefrontSpec:
+        # A hypothetical 4-sweep code: two corner hand-offs, one diagonal,
+        # ending (as always) with a full completion.
+        schedule = SweepSchedule.from_phases(
+            [
+                SweepPhase(Corner.NORTH_WEST, FillClass.NONE),
+                SweepPhase(Corner.NORTH_WEST, FillClass.DIAG),
+                SweepPhase(Corner.SOUTH_WEST, FillClass.NONE),
+                SweepPhase(Corner.SOUTH_WEST, FillClass.FULL),
+            ]
+        )
+        return WavefrontSpec(
+            name="custom-4sweep",
+            problem=ProblemSize(48, 48, 24),
+            wg_us=0.8,
+            wg_pre_us=0.1,
+            htile=2.0,
+            schedule=schedule,
+            boundary_bytes_per_cell=24.0,
+            iterations=1,
+            nonwavefront=AllReduceNonWavefront(count=1),
+        )
+
+    def test_table3_counts(self):
+        spec = self.custom_spec()
+        assert (spec.nsweeps, spec.nfull, spec.ndiag) == (4, 1, 1)
+
+    def test_model_matches_simulator_for_custom_code(self):
+        spec = self.custom_spec()
+        result = validate_configuration(spec, cray_xt4_single_core(), total_cores=16)
+        assert result.absolute_relative_error < 0.05
+
+    def test_model_matches_simulator_for_custom_code_multicore(self):
+        spec = self.custom_spec()
+        result = validate_configuration(spec, cray_xt4(), total_cores=16)
+        assert result.absolute_relative_error < 0.12
+
+
+class TestProcurementStudyWorkflow:
+    def test_scaling_then_partitioning_decision(self):
+        """A miniature Section 5.2 study: scale-out curve plus the optimal
+        number of parallel jobs for a machine size."""
+        from repro.apps.workloads import chimaera_240cubed
+
+        spec = chimaera_240cubed(htile=2, time_steps=100)
+        platform = cray_xt4()
+        curve = strong_scaling(spec, platform, (1024, 4096, 16384))
+        assert curve.point(16384).total_time_days < curve.point(1024).total_time_days
+        best = optimal_parallel_jobs(
+            spec, platform, 16384, criterion="r_over_x", min_partition_cores=1024
+        )
+        assert best.parallel_jobs >= 1
+        assert best.partition_cores * best.parallel_jobs == 16384

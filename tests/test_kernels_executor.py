@@ -1,0 +1,166 @@
+"""Tests for repro.kernels.executor (shared-memory wavefront execution)."""
+
+import numpy as np
+import pytest
+
+from repro.core.decomposition import Corner, ProcessorGrid
+from repro.kernels.executor import (
+    WavefrontTaskGraph,
+    distributed_ssor_iteration,
+    distributed_transport_sweep,
+)
+from repro.kernels.ssor import ssor_iteration
+from repro.kernels.transport import AngleSet, sweep_full_grid
+
+
+@pytest.fixture
+def transport_case():
+    rng = np.random.default_rng(21)
+    source = rng.random((12, 10, 8))
+    sigma = rng.random((12, 10, 8)) + 0.5
+    return source, sigma, AngleSet.uniform(3)
+
+
+class TestWavefrontTaskGraph:
+    def test_dependencies_point_upstream(self):
+        graph = WavefrontTaskGraph(grid=ProcessorGrid(3, 3), tiles=2)
+        assert graph.dependencies((1, 1, 0)) == []
+        deps = graph.dependencies((2, 2, 1))
+        assert (1, 2, 1) in deps and (2, 1, 1) in deps and (2, 2, 0) in deps
+
+    def test_dependencies_respect_origin_corner(self):
+        graph = WavefrontTaskGraph(
+            grid=ProcessorGrid(3, 3), tiles=1, origin=Corner.SOUTH_EAST
+        )
+        assert graph.dependencies((3, 3, 0)) == []
+        deps = graph.dependencies((2, 2, 0))
+        assert (3, 2, 0) in deps and (2, 3, 0) in deps
+
+    def test_level_counts_pipeline_steps(self):
+        graph = WavefrontTaskGraph(grid=ProcessorGrid(4, 3), tiles=5)
+        assert graph.level((1, 1, 0)) == 0
+        assert graph.level((4, 3, 4)) == 3 + 2 + 4
+        assert graph.total_levels() == (4 - 1) + (3 - 1) + 5
+
+    def test_tasks_enumerates_all(self):
+        graph = WavefrontTaskGraph(grid=ProcessorGrid(2, 3), tiles=4)
+        assert len(graph.tasks()) == 2 * 3 * 4
+
+    def test_serial_run_respects_dependencies(self):
+        graph = WavefrontTaskGraph(grid=ProcessorGrid(3, 3), tiles=3)
+        finished = set()
+
+        def kernel(task):
+            for dep in graph.dependencies(task):
+                assert dep in finished, f"{task} ran before its dependency {dep}"
+            finished.add(task)
+
+        report = graph.run(kernel)
+        assert report.tasks_executed == len(finished) == 27
+        assert report.mode == "serial"
+
+    def test_threaded_run_respects_dependencies(self):
+        import threading
+
+        graph = WavefrontTaskGraph(grid=ProcessorGrid(3, 3), tiles=2)
+        finished = set()
+        lock = threading.Lock()
+
+        def kernel(task):
+            with lock:
+                for dep in graph.dependencies(task):
+                    assert dep in finished
+            with lock:
+                finished.add(task)
+
+        report = graph.run(kernel, threads=4)
+        assert report.tasks_executed == 18
+        assert report.mode == "threads=4"
+
+    def test_threaded_run_propagates_kernel_errors(self):
+        graph = WavefrontTaskGraph(grid=ProcessorGrid(2, 2), tiles=1)
+
+        def kernel(task):
+            if task == (2, 1, 0):
+                raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError, match="boom"):
+            graph.run(kernel, threads=2)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            WavefrontTaskGraph(grid=ProcessorGrid(2, 2), tiles=0)
+        graph = WavefrontTaskGraph(grid=ProcessorGrid(2, 2), tiles=1)
+        with pytest.raises(ValueError):
+            graph.run(lambda task: None, threads=0)
+
+
+class TestDistributedTransportSweep:
+    def test_matches_reference_serial(self, transport_case):
+        source, sigma, angles = transport_case
+        reference = sweep_full_grid(source, sigma, angles)
+        flux, report = distributed_transport_sweep(
+            source, sigma, angles, ProcessorGrid(3, 2), htile=2
+        )
+        assert np.array_equal(flux, reference.scalar_flux)
+        assert report.tasks_executed == 3 * 2 * 4
+
+    def test_matches_reference_threaded(self, transport_case):
+        source, sigma, angles = transport_case
+        reference = sweep_full_grid(source, sigma, angles)
+        flux, _ = distributed_transport_sweep(
+            source, sigma, angles, ProcessorGrid(2, 2), htile=3, threads=4
+        )
+        assert np.allclose(flux, reference.scalar_flux)
+
+    def test_different_decompositions_agree(self, transport_case):
+        source, sigma, angles = transport_case
+        flux_a, _ = distributed_transport_sweep(source, sigma, angles, ProcessorGrid(4, 2), htile=1)
+        flux_b, _ = distributed_transport_sweep(source, sigma, angles, ProcessorGrid(2, 5), htile=4)
+        assert np.allclose(flux_a, flux_b)
+
+    def test_pipeline_steps_formula(self, transport_case):
+        source, sigma, angles = transport_case
+        _, report = distributed_transport_sweep(
+            source, sigma, angles, ProcessorGrid(3, 2), htile=2
+        )
+        # 8 z-planes with htile=2 -> 4 tiles; levels = (3-1)+(2-1)+4.
+        assert report.pipeline_steps == 2 + 1 + 4
+
+    def test_shape_validation(self, transport_case):
+        source, sigma, angles = transport_case
+        with pytest.raises(ValueError):
+            distributed_transport_sweep(source[:, :, 0], sigma[:, :, 0], angles, ProcessorGrid(2, 2))
+
+
+class TestDistributedSsor:
+    def test_matches_reference(self):
+        rng = np.random.default_rng(22)
+        values = rng.random((10, 12, 6))
+        rhs = rng.random((10, 12, 6))
+        reference = ssor_iteration(values, rhs)
+        result, lower, upper = distributed_ssor_iteration(values, rhs, ProcessorGrid(2, 3))
+        assert np.allclose(result, reference)
+        assert lower.tasks_executed == upper.tasks_executed == 6
+
+    def test_matches_reference_threaded(self):
+        rng = np.random.default_rng(23)
+        values = rng.random((8, 8, 4))
+        rhs = rng.random((8, 8, 4))
+        reference = ssor_iteration(values, rhs)
+        result, *_ = distributed_ssor_iteration(values, rhs, ProcessorGrid(4, 2), threads=3)
+        assert np.allclose(result, reference)
+
+    def test_input_not_modified(self):
+        rng = np.random.default_rng(24)
+        values = rng.random((6, 6, 3))
+        rhs = rng.random((6, 6, 3))
+        original = values.copy()
+        distributed_ssor_iteration(values, rhs, ProcessorGrid(2, 2))
+        assert np.array_equal(values, original)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            distributed_ssor_iteration(
+                np.zeros((4, 4, 4)), np.zeros((3, 4, 4)), ProcessorGrid(2, 2)
+            )

@@ -1,0 +1,90 @@
+"""Tests for repro.kernels.grid (partitioning and tiling)."""
+
+import numpy as np
+import pytest
+
+from repro.core.decomposition import ProblemSize, ProcessorGrid
+from repro.kernels.grid import Grid3D, Subdomain, block_bounds, partition
+
+
+class TestBlockBounds:
+    def test_even_division(self):
+        assert block_bounds(12, 4, 0) == (0, 3)
+        assert block_bounds(12, 4, 3) == (9, 12)
+
+    def test_uneven_division_front_loads_extra(self):
+        bounds = [block_bounds(10, 3, i) for i in range(3)]
+        assert bounds == [(0, 4), (4, 7), (7, 10)]
+
+    def test_bounds_tile_whole_extent(self):
+        extent, blocks = 37, 5
+        covered = []
+        for i in range(blocks):
+            start, stop = block_bounds(extent, blocks, i)
+            covered.extend(range(start, stop))
+        assert covered == list(range(extent))
+
+    def test_invalid_index(self):
+        with pytest.raises(ValueError):
+            block_bounds(10, 3, 3)
+        with pytest.raises(ValueError):
+            block_bounds(10, 0, 0)
+
+
+class TestGrid3D:
+    def test_zeros_shape(self):
+        grid = Grid3D.zeros(ProblemSize(4, 5, 6))
+        assert grid.values.shape == (4, 5, 6)
+        assert grid.problem == ProblemSize(4, 5, 6)
+
+    def test_random_is_deterministic_by_seed(self):
+        a = Grid3D.random(ProblemSize(3, 3, 3), seed=7)
+        b = Grid3D.random(ProblemSize(3, 3, 3), seed=7)
+        assert np.array_equal(a.values, b.values)
+
+    def test_copy_is_independent(self):
+        grid = Grid3D.zeros(ProblemSize(2, 2, 2))
+        clone = grid.copy()
+        clone.values[0, 0, 0] = 1.0
+        assert grid.values[0, 0, 0] == 0.0
+
+    def test_requires_3d(self):
+        with pytest.raises(ValueError):
+            Grid3D(np.zeros((3, 3)))
+
+
+class TestPartition:
+    def test_shape_of_partition(self):
+        blocks = partition(ProblemSize(16, 12, 8), ProcessorGrid(4, 3))
+        assert len(blocks) == 3  # rows (j)
+        assert len(blocks[0]) == 4  # columns (i)
+
+    def test_blocks_cover_domain_exactly(self):
+        problem = ProblemSize(17, 13, 5)
+        grid = ProcessorGrid(4, 3)
+        blocks = partition(problem, grid)
+        total = sum(block.cells for row in blocks for block in row)
+        assert total == problem.total_cells
+
+    def test_block_indices_match_position(self):
+        blocks = partition(ProblemSize(8, 8, 4), ProcessorGrid(2, 2))
+        assert blocks[0][0].i == 1 and blocks[0][0].j == 1
+        assert blocks[1][1].i == 2 and blocks[1][1].j == 2
+
+    def test_view_is_writable_window(self):
+        problem = ProblemSize(8, 8, 4)
+        grid = Grid3D.zeros(problem)
+        block = partition(problem, ProcessorGrid(2, 2))[0][1]  # i=2, j=1
+        block.view(grid)[:] = 3.0
+        assert np.all(grid.values[4:8, 0:4, :] == 3.0)
+        assert np.all(grid.values[0:4, :, :] == 0.0)
+
+    def test_tiles_cover_z_extent(self):
+        block = Subdomain(i=1, j=1, x_range=(0, 4), y_range=(0, 4), nz=10)
+        tiles = list(block.tiles(3))
+        assert tiles == [(0, 3), (3, 6), (6, 9), (9, 10)]
+
+    def test_tiles_invalid_height(self):
+        block = Subdomain(i=1, j=1, x_range=(0, 4), y_range=(0, 4), nz=10)
+        with pytest.raises(ValueError):
+            list(block.tiles(0))

@@ -1,0 +1,122 @@
+"""Tests for repro.kernels.ssor (LU's triangular sweeps)."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.ssor import (
+    SsorParameters,
+    lower_sweep_block,
+    ssor_iteration,
+    upper_sweep_block,
+)
+
+
+@pytest.fixture
+def field():
+    rng = np.random.default_rng(5)
+    return rng.random((5, 4, 3)), rng.random((5, 4, 3))
+
+
+class TestSsorParameters:
+    def test_defaults_valid(self):
+        params = SsorParameters()
+        assert 0 < params.omega < 2
+
+    def test_invalid_omega(self):
+        with pytest.raises(ValueError):
+            SsorParameters(omega=2.5)
+        with pytest.raises(ValueError):
+            SsorParameters(omega=0.0)
+
+    def test_invalid_diagonal(self):
+        with pytest.raises(ValueError):
+            SsorParameters(diagonal=0.0)
+
+
+class TestSweeps:
+    def test_lower_sweep_output_shapes(self, field):
+        values, rhs = field
+        out, face_x, face_y, face_z = lower_sweep_block(values, rhs)
+        assert out.shape == values.shape
+        assert face_x.shape == (4, 3)
+        assert face_y.shape == (5, 3)
+        assert face_z.shape == (5, 4)
+
+    def test_lower_sweep_does_not_modify_input(self, field):
+        values, rhs = field
+        original = values.copy()
+        lower_sweep_block(values, rhs)
+        assert np.array_equal(values, original)
+
+    def test_faces_are_boundary_planes(self, field):
+        values, rhs = field
+        out, face_x, face_y, face_z = lower_sweep_block(values, rhs)
+        assert np.array_equal(face_x, out[-1, :, :])
+        assert np.array_equal(face_y, out[:, -1, :])
+        assert np.array_equal(face_z, out[:, :, -1])
+        out_u, face_xu, face_yu, face_zu = upper_sweep_block(values, rhs)
+        assert np.array_equal(face_xu, out_u[0, :, :])
+
+    def test_deterministic(self, field):
+        values, rhs = field
+        a, *_ = lower_sweep_block(values, rhs)
+        b, *_ = lower_sweep_block(values, rhs)
+        assert np.array_equal(a, b)
+
+    def test_upper_differs_from_lower(self, field):
+        values, rhs = field
+        lower, *_ = lower_sweep_block(values, rhs)
+        upper, *_ = upper_sweep_block(values, rhs)
+        assert not np.array_equal(lower, upper)
+
+    def test_incoming_faces_affect_first_cells(self, field):
+        values, rhs = field
+        vacuum, *_ = lower_sweep_block(values, rhs)
+        inflow = np.ones((values.shape[1], values.shape[2]))
+        lit, *_ = lower_sweep_block(values, rhs, incoming_x=inflow)
+        assert lit[0, 0, 0] != vacuum[0, 0, 0]
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            lower_sweep_block(np.zeros((2, 2)), np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            lower_sweep_block(np.zeros((2, 2, 2)), np.zeros((3, 2, 2)))
+        with pytest.raises(ValueError):
+            lower_sweep_block(
+                np.zeros((2, 2, 2)), np.zeros((2, 2, 2)), incoming_x=np.zeros((5, 5))
+            )
+
+    def test_blockwise_composition_matches_monolithic(self):
+        """Splitting the domain in x and passing the east face reproduces the
+        whole-domain lower sweep exactly."""
+        rng = np.random.default_rng(6)
+        values = rng.random((6, 4, 3))
+        rhs = rng.random((6, 4, 3))
+        whole, *_ = lower_sweep_block(values, rhs)
+        first, face_x, _, _ = lower_sweep_block(values[:3], rhs[:3])
+        second, *_ = lower_sweep_block(values[3:], rhs[3:], incoming_x=face_x)
+        combined = np.concatenate([first, second], axis=0)
+        assert np.array_equal(combined, whole)
+
+
+class TestSsorIteration:
+    def test_iteration_converges_toward_fixed_point(self):
+        """Repeated SSOR iterations on a diagonally dominant model problem
+        should reduce the update magnitude (contraction)."""
+        rng = np.random.default_rng(7)
+        values = rng.random((6, 6, 6))
+        rhs = rng.random((6, 6, 6))
+        first = ssor_iteration(values, rhs)
+        second = ssor_iteration(first, rhs)
+        third = ssor_iteration(second, rhs)
+        delta_1 = np.abs(second - first).max()
+        delta_2 = np.abs(third - second).max()
+        assert delta_2 < delta_1
+
+    def test_iteration_equals_lower_then_upper(self):
+        rng = np.random.default_rng(8)
+        values = rng.random((4, 4, 4))
+        rhs = rng.random((4, 4, 4))
+        lower, *_ = lower_sweep_block(values, rhs)
+        upper, *_ = upper_sweep_block(lower, rhs)
+        assert np.array_equal(ssor_iteration(values, rhs), upper)

@@ -1,0 +1,67 @@
+"""Tests for repro.kernels.stencil."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.stencil import residual_norm, seven_point_stencil
+
+
+class TestSevenPointStencil:
+    def test_preserves_shape_and_input(self):
+        rng = np.random.default_rng(1)
+        values = rng.random((5, 6, 7))
+        original = values.copy()
+        out = seven_point_stencil(values)
+        assert out.shape == values.shape
+        assert np.array_equal(values, original)
+
+    def test_constant_interior_value(self):
+        """For a constant field the interior update is beta*v - alpha*v."""
+        values = np.full((5, 5, 5), 2.0)
+        out = seven_point_stencil(values, alpha=0.6, beta=1.0)
+        interior = out[2, 2, 2]
+        assert interior == pytest.approx(2.0 - 0.6 * 2.0)
+
+    def test_boundary_cells_see_fewer_neighbours(self):
+        values = np.ones((4, 4, 4))
+        out = seven_point_stencil(values, alpha=0.6, beta=1.0)
+        # A corner cell has only three neighbours, so less is subtracted.
+        assert out[0, 0, 0] > out[2, 2, 2]
+
+    def test_zero_alpha_is_scaling_only(self):
+        rng = np.random.default_rng(2)
+        values = rng.random((3, 3, 3))
+        out = seven_point_stencil(values, alpha=0.0, beta=2.0)
+        assert np.allclose(out, 2.0 * values)
+
+    def test_requires_3d(self):
+        with pytest.raises(ValueError):
+            seven_point_stencil(np.zeros((3, 3)))
+
+    def test_linear_in_input(self):
+        rng = np.random.default_rng(3)
+        a = rng.random((4, 4, 4))
+        b = rng.random((4, 4, 4))
+        combined = seven_point_stencil(a + b)
+        separate = seven_point_stencil(a) + seven_point_stencil(b)
+        assert np.allclose(combined, separate)
+
+
+class TestResidualNorm:
+    def test_zero_for_identical_arrays(self):
+        values = np.ones((3, 3, 3))
+        assert residual_norm(values, values) == 0.0
+
+    def test_known_value(self):
+        a = np.zeros((2, 2, 2))
+        b = np.full((2, 2, 2), 3.0)
+        assert residual_norm(a, b) == pytest.approx(3.0)
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(4)
+        a, b = rng.random((3, 3, 3)), rng.random((3, 3, 3))
+        assert residual_norm(a, b) == pytest.approx(residual_norm(b, a))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            residual_norm(np.zeros((2, 2, 2)), np.zeros((3, 2, 2)))

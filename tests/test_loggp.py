@@ -1,0 +1,153 @@
+"""Tests for repro.core.loggp (platform parameter types)."""
+
+import pytest
+
+from repro.core.loggp import (
+    DEFAULT_EAGER_LIMIT_BYTES,
+    NodeArchitecture,
+    OffNodeParams,
+    OnChipParams,
+    Platform,
+)
+from repro.platforms.xt4 import XT4_G, XT4_L, XT4_O
+
+
+def make_off_node(**overrides):
+    params = dict(latency=0.3, overhead=4.0, gap_per_byte=0.0004)
+    params.update(overrides)
+    return OffNodeParams(**params)
+
+
+def make_on_chip(**overrides):
+    params = dict(
+        copy_overhead=2.0, dma_setup=1.8, gap_per_byte_copy=0.0008, gap_per_byte_dma=0.00007
+    )
+    params.update(overrides)
+    return OnChipParams(**params)
+
+
+class TestOffNodeParams:
+    def test_defaults(self):
+        params = make_off_node()
+        assert params.eager_limit == DEFAULT_EAGER_LIMIT_BYTES
+        assert params.handshake_overhead == 0.0
+        assert params.gap == 0.0
+
+    def test_handshake_time_is_round_trip_latency(self):
+        params = make_off_node(latency=5.0)
+        assert params.handshake_time == pytest.approx(10.0)
+
+    def test_handshake_time_includes_handshake_overhead(self):
+        params = make_off_node(latency=5.0, handshake_overhead=1.0)
+        assert params.handshake_time == pytest.approx(12.0)
+
+    def test_bandwidth_is_inverse_of_gap(self):
+        params = make_off_node(gap_per_byte=0.0004)
+        assert params.bandwidth_bytes_per_us == pytest.approx(2500.0)
+
+    def test_zero_gap_means_infinite_bandwidth(self):
+        params = make_off_node(gap_per_byte=0.0)
+        assert params.bandwidth_bytes_per_us == float("inf")
+
+    def test_negative_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            make_off_node(latency=-1.0)
+        with pytest.raises(ValueError):
+            make_off_node(overhead=-1.0)
+        with pytest.raises(ValueError):
+            make_off_node(gap_per_byte=-1.0)
+
+    def test_frozen(self):
+        params = make_off_node()
+        with pytest.raises(AttributeError):
+            params.latency = 1.0  # type: ignore[misc]
+
+
+class TestOnChipParams:
+    def test_overhead_is_copy_plus_dma(self):
+        params = make_on_chip(copy_overhead=1.98, dma_setup=1.82)
+        assert params.overhead == pytest.approx(3.80)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            make_on_chip(dma_setup=-0.1)
+
+
+class TestNodeArchitecture:
+    def test_defaults_single_core(self):
+        node = NodeArchitecture()
+        assert node.cores_per_node == 1
+        assert node.buses_per_node == 1
+        assert node.cores_per_bus == 1
+
+    def test_cores_per_bus(self):
+        node = NodeArchitecture(cores_per_node=16, buses_per_node=4)
+        assert node.cores_per_bus == 4
+
+    def test_rejects_indivisible_buses(self):
+        with pytest.raises(ValueError):
+            NodeArchitecture(cores_per_node=6, buses_per_node=4)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            NodeArchitecture(cores_per_node=0)
+        with pytest.raises(ValueError):
+            NodeArchitecture(cores_per_node=2, buses_per_node=0)
+
+
+class TestPlatform:
+    def test_multicore_requires_on_chip_params(self):
+        with pytest.raises(ValueError):
+            Platform(
+                name="bad",
+                off_node=make_off_node(),
+                on_chip=None,
+                node=NodeArchitecture(cores_per_node=2),
+            )
+
+    def test_is_multicore(self):
+        single = Platform(name="s", off_node=make_off_node())
+        multi = Platform(
+            name="m",
+            off_node=make_off_node(),
+            on_chip=make_on_chip(),
+            node=NodeArchitecture(cores_per_node=4),
+        )
+        assert not single.is_multicore
+        assert multi.is_multicore
+
+    def test_with_cores_per_node_changes_node_only(self):
+        base = Platform(
+            name="base",
+            off_node=make_off_node(),
+            on_chip=make_on_chip(),
+            node=NodeArchitecture(cores_per_node=2),
+        )
+        variant = base.with_cores_per_node(8, buses_per_node=2)
+        assert variant.node.cores_per_node == 8
+        assert variant.node.buses_per_node == 2
+        assert variant.off_node == base.off_node
+        assert "8core" in variant.name and "2bus" in variant.name
+
+    def test_compute_scale_applies_to_work(self):
+        fast = Platform(
+            name="fast", off_node=make_off_node(), compute_scale=0.5
+        )
+        assert fast.scaled_work(10.0) == pytest.approx(5.0)
+
+    def test_with_compute_scale(self):
+        base = Platform(name="p", off_node=make_off_node())
+        faster = base.with_compute_scale(0.25)
+        assert faster.compute_scale == 0.25
+        assert base.compute_scale == 1.0
+
+    def test_compute_scale_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Platform(name="p", off_node=make_off_node(), compute_scale=0.0)
+
+
+def test_xt4_constants_match_table2():
+    """The published Table 2 values are encoded exactly."""
+    assert XT4_G == pytest.approx(0.0004)
+    assert XT4_L == pytest.approx(0.305)
+    assert XT4_O == pytest.approx(3.92)

@@ -1,0 +1,190 @@
+"""Tests for repro.core.model (the Table 5 plug-and-play equations)."""
+
+import pytest
+
+from repro.apps.chimaera import chimaera
+from repro.apps.lu import lu
+from repro.apps.sweep3d import Sweep3DConfig, sweep3d
+from repro.core.comm import CommunicationCosts
+from repro.core.decomposition import ProblemSize, ProcessorGrid
+from repro.core.model import fill_times, iteration_prediction, stack_time
+
+
+@pytest.fixture
+def spec():
+    return chimaera(ProblemSize(64, 64, 32), iterations=1)
+
+
+@pytest.fixture
+def grid():
+    return ProcessorGrid(8, 8)
+
+
+def closed_form_fill(spec, platform, grid):
+    """Closed-form StartP values for the homogeneous single-core case."""
+    w = spec.work_per_tile(grid, platform)
+    wpre = spec.pre_work_per_tile(grid, platform)
+    ew = CommunicationCosts.for_message(platform, spec.message_size_ew(grid))
+    ns = CommunicationCosts.for_message(platform, spec.message_size_ns(grid))
+    vertical = w + (ew.send if grid.n > 1 else 0.0) + ns.total
+    horizontal_interior = w + ew.total + ns.receive
+    tdiag = wpre + (grid.m - 1) * vertical
+    tfull = wpre + (grid.m - 1) * vertical + (grid.n - 1) * horizontal_interior
+    return tdiag, tfull
+
+
+class TestFillTimes:
+    def test_matches_closed_form_single_core(self, spec, grid, xt4_single):
+        fills = fill_times(spec, xt4_single, grid)
+        tdiag, tfull = closed_form_fill(spec, xt4_single, grid)
+        assert fills.tdiagfill == pytest.approx(tdiag)
+        assert fills.tfullfill == pytest.approx(tfull)
+
+    def test_closed_form_with_precomputation(self, grid, xt4_single):
+        spec = lu(ProblemSize(64, 64, 32), iterations=1)
+        fills = fill_times(spec, xt4_single, grid)
+        tdiag, tfull = closed_form_fill(spec, xt4_single, grid)
+        assert fills.tdiagfill == pytest.approx(tdiag)
+        assert fills.tfullfill == pytest.approx(tfull)
+
+    def test_full_fill_exceeds_diag_fill(self, spec, grid, xt4_single):
+        fills = fill_times(spec, xt4_single, grid)
+        assert fills.tfullfill > fills.tdiagfill > 0
+
+    def test_single_processor_grid(self, spec, xt4_single):
+        fills = fill_times(spec, xt4_single, ProcessorGrid(1, 1))
+        assert fills.tfullfill == pytest.approx(spec.pre_work_per_tile(ProcessorGrid(1, 1), xt4_single))
+
+    def test_work_portion_bounded_by_total(self, spec, grid, xt4_single):
+        fills = fill_times(spec, xt4_single, grid)
+        assert 0 <= fills.tdiagfill_work <= fills.tdiagfill
+        assert 0 <= fills.tfullfill_work <= fills.tfullfill
+
+    def test_work_portion_counts_w_per_step(self, spec, grid, xt4_single):
+        fills = fill_times(spec, xt4_single, grid)
+        w = spec.work_per_tile(grid, xt4_single)
+        assert fills.tdiagfill_work == pytest.approx((grid.m - 1) * w)
+        assert fills.tfullfill_work == pytest.approx((grid.n + grid.m - 2) * w)
+
+    def test_fill_grows_with_grid_dimensions_weak_scaling(self, xt4_single):
+        """With a fixed per-processor subdomain, more processors = longer fill."""
+        small_spec = chimaera(ProblemSize(32, 32, 32), iterations=1)
+        large_spec = chimaera(ProblemSize(128, 128, 32), iterations=1)
+        small = fill_times(small_spec, xt4_single, ProcessorGrid(4, 4))
+        large = fill_times(large_spec, xt4_single, ProcessorGrid(16, 16))
+        assert large.tfullfill > small.tfullfill
+
+    def test_fill_grows_with_htile(self, xt4_single, grid):
+        """Larger tiles mean more work per pipeline stage (Section 5.1)."""
+        small = fill_times(chimaera(ProblemSize(64, 64, 32), htile=1), xt4_single, grid)
+        large = fill_times(chimaera(ProblemSize(64, 64, 32), htile=4), xt4_single, grid)
+        assert large.tfullfill > small.tfullfill
+
+    def test_multicore_fill_cheaper_than_all_offnode(self, spec, grid, xt4, xt4_single):
+        """On-chip hops shorten the fill relative to the all-off-node case."""
+        multi = fill_times(spec, xt4, grid)
+        single = fill_times(spec, xt4_single, grid)
+        assert multi.tfullfill <= single.tfullfill
+
+
+class TestStackTime:
+    def test_equation_r4_single_core(self, spec, grid, xt4_single):
+        """Tstack = (RecvW + RecvN + W + SendE + SendS + Wpre) * Nz/Htile - Wpre."""
+        result = stack_time(spec, xt4_single, grid)
+        ew = CommunicationCosts.for_message(xt4_single, spec.message_size_ew(grid))
+        ns = CommunicationCosts.for_message(xt4_single, spec.message_size_ns(grid))
+        w = spec.work_per_tile(grid, xt4_single)
+        per_tile = ew.receive + ns.receive + w + ew.send + ns.send
+        tiles = spec.tiles_per_stack()
+        assert result.total == pytest.approx(per_tile * tiles)
+        assert result.tiles == pytest.approx(tiles)
+
+    def test_equation_r4_with_precomputation(self, grid, xt4_single):
+        spec = lu(ProblemSize(64, 64, 32), iterations=1)
+        result = stack_time(spec, xt4_single, grid)
+        wpre = spec.pre_work_per_tile(grid, xt4_single)
+        w = spec.work_per_tile(grid, xt4_single)
+        ew = CommunicationCosts.for_message(xt4_single, spec.message_size_ew(grid))
+        ns = CommunicationCosts.for_message(xt4_single, spec.message_size_ns(grid))
+        per_tile = ew.receive + ns.receive + w + ew.send + ns.send + wpre
+        expected = per_tile * spec.tiles_per_stack() - wpre
+        assert result.total == pytest.approx(expected)
+
+    def test_work_portion(self, spec, grid, xt4_single):
+        result = stack_time(spec, xt4_single, grid)
+        w = spec.work_per_tile(grid, xt4_single)
+        assert result.work == pytest.approx(w * spec.tiles_per_stack())
+        assert result.work < result.total
+
+    def test_multicore_stack_slower_due_to_contention(self, spec, grid, xt4, xt4_single):
+        """Equation (r4) uses off-node costs plus the Table 6 contention term."""
+        multi = stack_time(spec, xt4, grid)
+        single = stack_time(spec, xt4_single, grid)
+        assert multi.total > single.total
+
+    def test_larger_htile_fewer_tiles_less_comm(self, grid, xt4_single):
+        problem = ProblemSize(64, 64, 32)
+        t1 = stack_time(chimaera(problem, htile=1), xt4_single, grid)
+        t4 = stack_time(chimaera(problem, htile=4), xt4_single, grid)
+        assert t4.tiles == pytest.approx(t1.tiles / 4)
+        # Total work is conserved, total per-sweep communication shrinks.
+        assert t4.work == pytest.approx(t1.work)
+        assert t4.total < t1.total
+
+
+class TestIterationPrediction:
+    def test_equation_r5_composition(self, spec, grid, xt4_single):
+        prediction = iteration_prediction(spec, xt4_single, grid)
+        expected = (
+            prediction.ndiag * prediction.tdiagfill
+            + prediction.nfull * prediction.tfullfill
+            + prediction.nsweeps * prediction.tstack
+            + prediction.tnonwavefront
+        )
+        assert prediction.time_per_iteration == pytest.approx(expected)
+
+    def test_precedence_counts_copied_from_spec(self, spec, grid, xt4_single):
+        prediction = iteration_prediction(spec, xt4_single, grid)
+        assert (prediction.nsweeps, prediction.nfull, prediction.ndiag) == (8, 4, 2)
+
+    def test_pipeline_fill_time(self, spec, grid, xt4_single):
+        prediction = iteration_prediction(spec, xt4_single, grid)
+        assert prediction.pipeline_fill_time == pytest.approx(
+            4 * prediction.tfullfill + 2 * prediction.tdiagfill
+        )
+
+    def test_computation_plus_communication_equals_total(self, spec, grid, xt4_single):
+        prediction = iteration_prediction(spec, xt4_single, grid)
+        assert (
+            prediction.computation_per_iteration + prediction.communication_per_iteration
+            == pytest.approx(prediction.time_per_iteration)
+        )
+        assert prediction.computation_per_iteration > 0
+        assert prediction.communication_per_iteration > 0
+
+    def test_lu_nonwavefront_is_stencil_not_zero(self, grid, xt4_single):
+        spec = lu(ProblemSize(64, 64, 32), iterations=1)
+        prediction = iteration_prediction(spec, xt4_single, grid)
+        assert prediction.tnonwavefront > 0
+        assert prediction.tnonwavefront_work > 0
+
+    def test_chimaera_iteration_slower_than_sweep3d_same_cells(self, grid, xt4_single):
+        """Chimaera exposes more full fills (nfull=4 vs 2) and computes more angles."""
+        problem = ProblemSize(64, 64, 32)
+        c = iteration_prediction(chimaera(problem, htile=2), xt4_single, grid)
+        s = iteration_prediction(
+            sweep3d(problem, config=Sweep3DConfig(mk=4)), xt4_single, grid
+        )
+        assert c.time_per_iteration > s.time_per_iteration
+
+    def test_more_processors_less_time(self, spec, xt4_single):
+        small = iteration_prediction(spec, xt4_single, ProcessorGrid(4, 4))
+        large = iteration_prediction(spec, xt4_single, ProcessorGrid(16, 16))
+        assert large.time_per_iteration < small.time_per_iteration
+
+    def test_communication_fraction_grows_with_processors(self, spec, xt4_single):
+        small = iteration_prediction(spec, xt4_single, ProcessorGrid(4, 4))
+        large = iteration_prediction(spec, xt4_single, ProcessorGrid(16, 16))
+        frac_small = small.communication_per_iteration / small.time_per_iteration
+        frac_large = large.communication_per_iteration / large.time_per_iteration
+        assert frac_large > frac_small

@@ -1,0 +1,78 @@
+"""Package-level API tests: top-level exports, __all__ hygiene, examples."""
+
+import importlib
+import pathlib
+import py_compile
+
+import pytest
+
+import repro
+
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+SUBPACKAGES = [
+    "repro.core",
+    "repro.apps",
+    "repro.platforms",
+    "repro.baselines",
+    "repro.simulator",
+    "repro.kernels",
+    "repro.calibration",
+    "repro.analysis",
+    "repro.validation",
+    "repro.util",
+    "repro.cli",
+]
+
+
+def test_version_string():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_top_level_exports_exist():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_quickstart_surface():
+    """The names used in the README quick start are importable from the root."""
+    from repro import (  # noqa: F401
+        Platform,
+        Prediction,
+        ProblemSize,
+        ProcessorGrid,
+        SweepSchedule,
+        WavefrontSpec,
+        cray_xt4,
+        ibm_sp2,
+        predict,
+    )
+
+
+@pytest.mark.parametrize("module_name", SUBPACKAGES)
+def test_subpackages_import_and_export(module_name):
+    module = importlib.import_module(module_name)
+    exported = getattr(module, "__all__", None)
+    if exported is not None:
+        for name in exported:
+            assert hasattr(module, name), f"{module_name}.{name} missing"
+
+
+def test_no_import_cycles_from_cold_start():
+    """Importing any subpackage first must not raise (no hidden cycles)."""
+    for module_name in SUBPACKAGES:
+        importlib.import_module(module_name)
+
+
+@pytest.mark.parametrize(
+    "example",
+    sorted(path.name for path in EXAMPLES_DIR.glob("*.py")),
+)
+def test_examples_compile(example):
+    """Every example script at least byte-compiles (full runs are manual)."""
+    py_compile.compile(str(EXAMPLES_DIR / example), doraise=True)
+
+
+def test_examples_directory_has_at_least_three_scripts():
+    assert len(list(EXAMPLES_DIR.glob("*.py"))) >= 3

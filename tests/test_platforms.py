@@ -1,0 +1,128 @@
+"""Tests for repro.platforms (XT4, SP/2, custom platforms, registry)."""
+
+import pytest
+
+from repro.platforms import (
+    cray_xt3,
+    cray_xt4,
+    cray_xt4_single_core,
+    custom_platform,
+    get_platform,
+    ibm_sp2,
+    platform_registry,
+)
+from repro.platforms.sp2 import SP2_G, SP2_L, SP2_O
+from repro.platforms.xt4 import XT4_O_COPY, XT4_O_DMA, XT4_O_ONCHIP
+
+
+class TestCrayXT4:
+    def test_table2_off_node_values(self):
+        xt4 = cray_xt4()
+        assert xt4.off_node.gap_per_byte == pytest.approx(0.0004)
+        assert xt4.off_node.latency == pytest.approx(0.305)
+        assert xt4.off_node.overhead == pytest.approx(3.92)
+        assert xt4.off_node.eager_limit == 1024
+
+    def test_table2_on_chip_values(self):
+        xt4 = cray_xt4()
+        assert xt4.on_chip is not None
+        assert xt4.on_chip.gap_per_byte_copy == pytest.approx(0.000789)
+        assert xt4.on_chip.gap_per_byte_dma == pytest.approx(0.000072)
+        assert xt4.on_chip.copy_overhead == pytest.approx(1.98)
+        assert xt4.on_chip.overhead == pytest.approx(3.80)
+
+    def test_dma_setup_is_difference(self):
+        assert XT4_O_DMA == pytest.approx(XT4_O_ONCHIP - XT4_O_COPY)
+
+    def test_default_is_dual_core(self):
+        assert cray_xt4().node.cores_per_node == 2
+
+    def test_inter_node_bandwidth_is_2_5_gb_per_s(self):
+        """1/G = 2500 bytes/µs = 2.5 GB/s (Section 3.1)."""
+        assert cray_xt4().off_node.bandwidth_bytes_per_us == pytest.approx(2500.0)
+
+    def test_single_core_variant(self):
+        single = cray_xt4_single_core()
+        assert single.node.cores_per_node == 1
+        assert not single.is_multicore
+        assert single.off_node == cray_xt4().off_node
+
+    def test_multicore_override(self):
+        quad = cray_xt4(cores_per_node=4)
+        assert quad.node.cores_per_node == 4
+        sixteen = cray_xt4(cores_per_node=16, buses_per_node=4)
+        assert sixteen.node.cores_per_bus == 4
+
+    def test_xt3_shares_constants(self):
+        assert cray_xt3().off_node == cray_xt4().off_node
+        assert cray_xt3().name == "cray-xt3"
+
+
+class TestIbmSp2:
+    def test_published_values(self):
+        sp2 = ibm_sp2()
+        assert sp2.off_node.gap_per_byte == pytest.approx(SP2_G) == pytest.approx(0.07)
+        assert sp2.off_node.latency == pytest.approx(SP2_L) == pytest.approx(23.0)
+        assert sp2.off_node.overhead == pytest.approx(SP2_O) == pytest.approx(23.0)
+
+    def test_single_core_no_on_chip(self):
+        sp2 = ibm_sp2()
+        assert sp2.on_chip is None
+        assert sp2.node.cores_per_node == 1
+
+    def test_orders_of_magnitude_slower_than_xt4(self):
+        """Section 3.1: XT4 parameters are 1-2 orders of magnitude lower."""
+        xt4 = cray_xt4()
+        sp2 = ibm_sp2()
+        assert sp2.off_node.latency / xt4.off_node.latency > 10
+        assert sp2.off_node.gap_per_byte / xt4.off_node.gap_per_byte > 10
+
+
+class TestCustomPlatform:
+    def test_basic_construction(self):
+        platform = custom_platform(
+            "my-cluster", latency_us=1.0, overhead_us=2.0, gap_per_byte_us=0.001
+        )
+        assert platform.name == "my-cluster"
+        assert platform.on_chip is None
+
+    def test_multicore_requires_or_defaults_on_chip(self):
+        platform = custom_platform(
+            "cmp", latency_us=1.0, overhead_us=2.0, gap_per_byte_us=0.001, cores_per_node=4
+        )
+        assert platform.on_chip is not None
+        # Defaults derive from the off-node values.
+        assert platform.on_chip.copy_overhead == pytest.approx(1.0)
+
+    def test_explicit_on_chip_values(self):
+        platform = custom_platform(
+            "cmp",
+            latency_us=1.0,
+            overhead_us=2.0,
+            gap_per_byte_us=0.001,
+            cores_per_node=2,
+            onchip_copy_overhead_us=0.5,
+            onchip_dma_setup_us=0.25,
+            onchip_gap_copy_us=0.0005,
+            onchip_gap_dma_us=0.0001,
+        )
+        assert platform.on_chip.copy_overhead == pytest.approx(0.5)
+        assert platform.on_chip.gap_per_byte_dma == pytest.approx(0.0001)
+
+    def test_compute_scale_passthrough(self):
+        platform = custom_platform(
+            "fast", latency_us=1.0, overhead_us=1.0, gap_per_byte_us=0.001, compute_scale=0.5
+        )
+        assert platform.compute_scale == 0.5
+
+
+class TestRegistry:
+    def test_known_names(self):
+        for name in ("cray-xt4", "cray-xt4-1core", "cray-xt3", "ibm-sp2"):
+            assert name in platform_registry
+            assert get_platform(name).name == name
+
+    def test_unknown_name_gives_helpful_error(self):
+        with pytest.raises(KeyError) as excinfo:
+            get_platform("does-not-exist")
+        assert "cray-xt4" in str(excinfo.value)

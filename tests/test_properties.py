@@ -1,0 +1,297 @@
+"""Property-based tests (hypothesis) for the core data structures and models.
+
+These check invariants over randomly generated inputs rather than specific
+examples: communication costs are monotone in message size, the pipeline-fill
+DP dominates its parts, decompositions tile the domain exactly, the FIFO bus
+never grants overlapping transfers, and so on.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.apps.base import FillClass, SweepPhase, SweepSchedule
+from repro.apps.chimaera import chimaera
+from repro.core.comm import (
+    allreduce_time,
+    receive_cost,
+    send_cost,
+    total_comm,
+    total_comm_off_node,
+)
+from repro.core.decomposition import (
+    Corner,
+    ProblemSize,
+    ProcessorGrid,
+    decompose,
+    default_core_mapping,
+)
+from repro.core.loggp import NodeArchitecture, OffNodeParams, OnChipParams, Platform
+from repro.core.model import fill_times, iteration_prediction, stack_time
+from repro.kernels.grid import block_bounds
+from repro.simulator.collectives import allreduce_ops, largest_power_of_two
+from repro.simulator.machine import Recv, Send
+from repro.simulator.resources import FifoBus
+from repro.util.sweep import powers_of_two
+from repro.util.units import seconds_to_us, us_to_seconds
+
+
+# --------------------------------------------------------------------------
+# Strategies
+# --------------------------------------------------------------------------
+
+off_node_params = st.builds(
+    OffNodeParams,
+    latency=st.floats(0.01, 50.0),
+    overhead=st.floats(0.01, 50.0),
+    gap_per_byte=st.floats(1e-6, 0.1),
+    handshake_overhead=st.floats(0.0, 5.0),
+    eager_limit=st.integers(64, 4096),
+)
+
+on_chip_params = st.builds(
+    OnChipParams,
+    copy_overhead=st.floats(0.01, 20.0),
+    dma_setup=st.floats(0.0, 20.0),
+    gap_per_byte_copy=st.floats(1e-6, 0.01),
+    gap_per_byte_dma=st.floats(1e-7, 0.01),
+    eager_limit=st.integers(64, 4096),
+)
+
+
+@st.composite
+def platforms(draw):
+    cores = draw(st.sampled_from([1, 2, 4]))
+    on_chip = draw(on_chip_params) if cores > 1 else draw(st.one_of(st.none(), on_chip_params))
+    return Platform(
+        name="random",
+        off_node=draw(off_node_params),
+        on_chip=on_chip,
+        node=NodeArchitecture(cores_per_node=cores),
+    )
+
+
+@st.composite
+def small_specs(draw):
+    nx = draw(st.integers(8, 64))
+    ny = draw(st.integers(8, 64))
+    nz = draw(st.integers(4, 64))
+    htile = draw(st.sampled_from([1, 2, 4]))
+    wg = draw(st.floats(0.05, 5.0))
+    return chimaera(ProblemSize(nx, ny, nz), htile=htile, wg_us=wg, iterations=1)
+
+
+small_grids = st.builds(
+    ProcessorGrid, n=st.integers(1, 16), m=st.integers(1, 16)
+)
+
+
+# --------------------------------------------------------------------------
+# Communication model properties
+# --------------------------------------------------------------------------
+
+class TestCommProperties:
+    @given(params=off_node_params, size_a=st.integers(0, 65536), size_b=st.integers(0, 65536))
+    def test_total_comm_monotone_in_message_size(self, params, size_a, size_b):
+        small, large = sorted((size_a, size_b))
+        assert total_comm_off_node(params, small) <= total_comm_off_node(params, large) + 1e-9
+
+    @given(platform=platforms(), size=st.integers(0, 65536))
+    def test_send_and_receive_bounded_by_total(self, platform, size):
+        total = total_comm(platform, size)
+        assert send_cost(platform, size) <= total + 1e-9
+        assert receive_cost(platform, size) <= total + 1e-9
+        assert total >= 0
+
+    @given(platform=platforms(), cores=st.integers(2, 4096))
+    def test_allreduce_nonnegative_and_grows_with_log(self, platform, cores):
+        time_p = allreduce_time(platform, cores)
+        time_2p = allreduce_time(platform, 2 * cores)
+        assert time_p >= 0
+        assert time_2p >= time_p - 1e-9
+
+
+# --------------------------------------------------------------------------
+# Decomposition properties
+# --------------------------------------------------------------------------
+
+class TestDecompositionProperties:
+    @given(total=st.integers(1, 1 << 18))
+    def test_decompose_is_exact_and_wide(self, total):
+        grid = decompose(total)
+        assert grid.n * grid.m == total
+        assert grid.n >= grid.m
+
+    @given(n=st.integers(1, 64), m=st.integers(1, 64), data=st.data())
+    def test_rank_position_roundtrip(self, n, m, data):
+        grid = ProcessorGrid(n, m)
+        rank = data.draw(st.integers(0, grid.total_processors - 1))
+        i, j = grid.position_of(rank)
+        assert grid.rank_of(i, j) == rank
+        assert grid.contains(i, j)
+
+    @given(n=st.integers(1, 32), m=st.integers(1, 32))
+    def test_corner_sweep_distance_symmetry(self, n, m):
+        grid = ProcessorGrid(n, m)
+        for corner in Corner:
+            opposite = corner.opposite()
+            ci, cj = grid.corner_position(corner)
+            assert grid.sweep_steps(ci, cj, corner) == 0
+            assert grid.sweep_steps(ci, cj, opposite) == (n - 1) + (m - 1)
+
+    @given(extent=st.integers(1, 10_000), blocks=st.integers(1, 64))
+    def test_block_bounds_tile_exactly_and_evenly(self, extent, blocks):
+        assume(blocks <= extent)
+        sizes = []
+        previous_stop = 0
+        for index in range(blocks):
+            start, stop = block_bounds(extent, blocks, index)
+            assert start == previous_stop
+            previous_stop = stop
+            sizes.append(stop - start)
+        assert previous_stop == extent
+        assert max(sizes) - min(sizes) <= 1
+
+    @given(cores=st.integers(1, 64))
+    def test_default_core_mapping_covers_cores(self, cores):
+        mapping = default_core_mapping(cores)
+        assert mapping.cores_per_node == cores
+
+    @given(start_exp=st.integers(0, 10), length=st.integers(0, 8))
+    def test_powers_of_two_are_powers(self, start_exp, length):
+        start = 1 << start_exp
+        stop = 1 << (start_exp + length)
+        values = powers_of_two(start, stop)
+        assert len(values) == length + 1
+        for value in values:
+            assert value & (value - 1) == 0
+
+
+# --------------------------------------------------------------------------
+# Sweep schedule properties
+# --------------------------------------------------------------------------
+
+sweep_phases = st.lists(
+    st.builds(
+        SweepPhase,
+        origin=st.sampled_from(list(Corner)),
+        fill=st.sampled_from(list(FillClass)),
+    ),
+    min_size=0,
+    max_size=12,
+).map(lambda phases: phases + [SweepPhase(Corner.NORTH_WEST, FillClass.FULL)])
+
+
+class TestScheduleProperties:
+    @given(phases=sweep_phases)
+    def test_counts_partition_the_sweeps(self, phases):
+        schedule = SweepSchedule.from_phases(phases)
+        nones = sum(1 for p in schedule.phases if p.fill is FillClass.NONE)
+        assert schedule.nfull + schedule.ndiag + nones == schedule.nsweeps
+        assert schedule.nfull >= 1  # the final sweep
+
+    @given(phases=sweep_phases, repeats=st.integers(1, 5))
+    def test_repeat_preserves_precedence_counts(self, phases, repeats):
+        schedule = SweepSchedule.from_phases(phases)
+        repeated = schedule.repeated(repeats)
+        assert repeated.nsweeps == schedule.nsweeps * repeats
+        assert repeated.nfull == schedule.nfull
+        assert repeated.ndiag == schedule.ndiag
+
+
+# --------------------------------------------------------------------------
+# Model properties
+# --------------------------------------------------------------------------
+
+class TestModelProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(spec=small_specs(), grid=small_grids, data=st.data())
+    def test_iteration_prediction_invariants(self, spec, grid, data):
+        platform = data.draw(platforms())
+        prediction = iteration_prediction(spec, platform, grid)
+        assert prediction.time_per_iteration > 0
+        assert prediction.fill.tfullfill >= prediction.fill.tdiagfill >= 0
+        assert 0 <= prediction.computation_per_iteration <= prediction.time_per_iteration + 1e-6
+        assert prediction.pipeline_fill_time <= prediction.time_per_iteration + 1e-6
+
+    @settings(max_examples=30, deadline=None)
+    @given(spec=small_specs(), grid=small_grids)
+    def test_fill_work_bounded_by_fill_total(self, spec, grid):
+        from repro.platforms import cray_xt4
+
+        fills = fill_times(spec, cray_xt4(), grid)
+        assert fills.tdiagfill_work <= fills.tdiagfill + 1e-9
+        assert fills.tfullfill_work <= fills.tfullfill + 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(spec=small_specs(), grid=small_grids, factor=st.floats(1.1, 4.0))
+    def test_iteration_time_monotone_in_work_rate(self, spec, grid, factor):
+        from repro.platforms import cray_xt4
+
+        platform = cray_xt4()
+        base = iteration_prediction(spec, platform, grid).time_per_iteration
+        heavier = iteration_prediction(
+            spec.with_wg(spec.wg_us * factor), platform, grid
+        ).time_per_iteration
+        assert heavier > base
+
+    @settings(max_examples=30, deadline=None)
+    @given(spec=small_specs(), grid=small_grids)
+    def test_stack_work_bounded_by_stack_total(self, spec, grid):
+        from repro.platforms import cray_xt4
+
+        stack = stack_time(spec, cray_xt4(), grid)
+        assert 0 < stack.work <= stack.total
+
+
+# --------------------------------------------------------------------------
+# Simulator building blocks
+# --------------------------------------------------------------------------
+
+class TestSimulatorProperties:
+    @given(
+        requests=st.lists(
+            st.tuples(st.floats(0, 1000), st.floats(0, 50)), min_size=1, max_size=50
+        )
+    )
+    def test_fifo_bus_transfers_never_overlap(self, requests):
+        bus = FifoBus()
+        ordered = sorted(requests, key=lambda r: r[0])
+        previous_end = 0.0
+        for request_time, duration in ordered:
+            grant = bus.acquire(request_time, duration)
+            assert grant >= request_time
+            assert grant >= previous_end - 1e-9
+            previous_end = grant + duration
+
+    @given(total=st.integers(1, 128))
+    def test_largest_power_of_two_bounds(self, total):
+        p2 = largest_power_of_two(total)
+        assert p2 <= total < 2 * p2
+        assert p2 & (p2 - 1) == 0
+
+    @given(total=st.integers(2, 64))
+    def test_allreduce_sends_match_receives(self, total):
+        sends, recvs = [], []
+        for rank in range(total):
+            for op in allreduce_ops(rank, total, 8, 0):
+                if isinstance(op, Send):
+                    sends.append((rank, op.dst, op.tag))
+                elif isinstance(op, Recv):
+                    recvs.append((op.src, rank, op.tag))
+        assert sorted(sends) == sorted(recvs)
+
+
+# --------------------------------------------------------------------------
+# Units
+# --------------------------------------------------------------------------
+
+class TestUnitProperties:
+    @given(value=st.floats(0, 1e12))
+    def test_us_seconds_roundtrip(self, value):
+        assert math.isclose(
+            us_to_seconds(seconds_to_us(value)), value, rel_tol=1e-12, abs_tol=1e-12
+        )

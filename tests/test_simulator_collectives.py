@@ -1,0 +1,83 @@
+"""Tests for repro.simulator.collectives (all-reduce building blocks)."""
+
+import pytest
+
+from repro.simulator.collectives import (
+    allreduce_ops,
+    allreduce_tag_span,
+    largest_power_of_two,
+    pairwise_exchange_ops,
+)
+from repro.simulator.machine import Recv, Send, SimulatedMachine
+from repro.platforms import cray_xt4, cray_xt4_single_core
+
+
+class TestLargestPowerOfTwo:
+    @pytest.mark.parametrize(
+        "value,expected", [(1, 1), (2, 2), (3, 2), (4, 4), (7, 4), (8, 8), (1000, 512)]
+    )
+    def test_values(self, value, expected):
+        assert largest_power_of_two(value) == expected
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            largest_power_of_two(0)
+
+
+class TestPairwiseExchange:
+    def test_lower_rank_sends_first(self):
+        ops = list(pairwise_exchange_ops(0, 1, 100, 7))
+        assert isinstance(ops[0], Send) and isinstance(ops[1], Recv)
+        ops_high = list(pairwise_exchange_ops(1, 0, 100, 7))
+        assert isinstance(ops_high[0], Recv) and isinstance(ops_high[1], Send)
+
+    def test_self_exchange_is_empty(self):
+        assert list(pairwise_exchange_ops(3, 3, 100, 7)) == []
+
+
+class TestAllReduceOps:
+    def test_single_rank_is_empty(self):
+        assert list(allreduce_ops(0, 1, 8, 0)) == []
+
+    @pytest.mark.parametrize("total", [2, 4, 8, 16])
+    def test_power_of_two_op_counts(self, total):
+        """Every rank does exactly 2*log2(P) operations (send+recv per round)."""
+        import math
+
+        rounds = int(math.log2(total))
+        for rank in range(total):
+            ops = list(allreduce_ops(rank, total, 8, 0))
+            assert len(ops) == 2 * rounds
+
+    @pytest.mark.parametrize("total", [3, 5, 6, 7, 12])
+    def test_non_power_of_two_sends_match_receives(self, total):
+        """Across all ranks, every send must have a matching receive."""
+        sends = []
+        recvs = []
+        for rank in range(total):
+            for op in allreduce_ops(rank, total, 8, 0):
+                if isinstance(op, Send):
+                    sends.append((rank, op.dst, op.tag))
+                else:
+                    recvs.append((op.src, rank, op.tag))
+        assert sorted(sends) == sorted(recvs)
+
+    @pytest.mark.parametrize("total", [2, 3, 4, 6, 8, 16, 24])
+    def test_simulated_allreduce_completes(self, total):
+        """The op sequences execute without deadlock on the simulated machine."""
+        platform = cray_xt4_single_core()
+        machine = SimulatedMachine(platform, total)
+        for rank in range(total):
+            machine.add_rank_program(rank, iter(list(allreduce_ops(rank, total, 8, 0))))
+        stats = machine.run()
+        assert stats.makespan > 0
+
+    def test_allreduce_cost_grows_with_ranks(self):
+        from repro.simulator.pingpong import allreduce_benchmark
+
+        platform = cray_xt4()
+        assert allreduce_benchmark(platform, 16) > allreduce_benchmark(platform, 4)
+
+    def test_tag_span_covers_phases(self):
+        assert allreduce_tag_span(16) >= 2 + 4
+        assert allreduce_tag_span(1) >= 3

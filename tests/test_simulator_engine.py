@@ -1,0 +1,105 @@
+"""Tests for repro.simulator.engine (the discrete-event kernel)."""
+
+import pytest
+
+from repro.simulator.engine import SimulationError, Simulator
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule_at(5.0, lambda: order.append("b"))
+    sim.schedule_at(1.0, lambda: order.append("a"))
+    sim.schedule_at(9.0, lambda: order.append("c"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+    assert sim.now == 9.0
+
+
+def test_ties_break_by_insertion_order():
+    sim = Simulator()
+    order = []
+    for label in "abc":
+        sim.schedule_at(3.0, lambda label=label: order.append(label))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_schedule_after_is_relative():
+    sim = Simulator()
+    times = []
+    sim.schedule_at(10.0, lambda: sim.schedule_after(5.0, lambda: times.append(sim.now)))
+    sim.run()
+    assert times == [15.0]
+
+
+def test_cannot_schedule_in_the_past():
+    sim = Simulator()
+    sim.schedule_at(10.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(5.0, lambda: None)
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule_after(-1.0, lambda: None)
+
+
+def test_events_scheduled_during_run_are_processed():
+    sim = Simulator()
+    seen = []
+
+    def chain(depth):
+        seen.append(depth)
+        if depth < 5:
+            sim.schedule_after(1.0, lambda: chain(depth + 1))
+
+    sim.schedule_at(0.0, lambda: chain(0))
+    sim.run()
+    assert seen == list(range(6))
+    assert sim.now == 5.0
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator()
+    seen = []
+    sim.schedule_at(1.0, lambda: seen.append(1))
+    sim.schedule_at(100.0, lambda: seen.append(100))
+    sim.run(until=10.0)
+    assert seen == [1]
+    assert sim.pending_events == 1
+
+
+def test_max_events_guard():
+    sim = Simulator()
+
+    def forever():
+        sim.schedule_after(1.0, forever)
+
+    sim.schedule_at(0.0, forever)
+    with pytest.raises(SimulationError):
+        sim.run(max_events=100)
+
+
+def test_step_returns_false_when_empty():
+    sim = Simulator()
+    assert sim.step() is False
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for t in range(5):
+        sim.schedule_at(float(t), lambda: None)
+    sim.run()
+    assert sim.events_processed == 5
+
+
+def test_time_never_goes_backwards():
+    sim = Simulator()
+    observed = []
+    for t in (3.0, 1.0, 2.0, 2.0, 5.0):
+        sim.schedule_at(t, lambda: observed.append(sim.now))
+    sim.run()
+    assert observed == sorted(observed)

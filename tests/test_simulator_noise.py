@@ -1,0 +1,54 @@
+"""Tests for the simulator's compute-noise (jitter) feature."""
+
+import pytest
+
+from repro.apps.chimaera import chimaera
+from repro.core.decomposition import ProblemSize, ProcessorGrid
+from repro.core.model import iteration_prediction
+from repro.simulator.wavefront import WavefrontSimulator, simulate_wavefront
+
+
+@pytest.fixture
+def spec():
+    return chimaera(ProblemSize(32, 32, 16), iterations=1)
+
+
+GRID = ProcessorGrid(4, 4)
+
+
+def test_zero_noise_is_default_and_deterministic(spec, xt4_single):
+    a = simulate_wavefront(spec, xt4_single, grid=GRID)
+    b = simulate_wavefront(spec, xt4_single, grid=GRID, compute_noise=0.0)
+    assert a.makespan_us == pytest.approx(b.makespan_us)
+
+
+def test_noise_slows_the_run(spec, xt4_single):
+    clean = simulate_wavefront(spec, xt4_single, grid=GRID)
+    noisy = simulate_wavefront(spec, xt4_single, grid=GRID, compute_noise=0.2, noise_seed=1)
+    assert noisy.makespan_us > clean.makespan_us
+    # Multiplicative jitter in [1, 1.2] can add at most 20% plus pipeline effects.
+    assert noisy.makespan_us < 1.4 * clean.makespan_us
+
+
+def test_noise_is_reproducible_for_a_seed(spec, xt4_single):
+    a = simulate_wavefront(spec, xt4_single, grid=GRID, compute_noise=0.1, noise_seed=7)
+    b = simulate_wavefront(spec, xt4_single, grid=GRID, compute_noise=0.1, noise_seed=7)
+    c = simulate_wavefront(spec, xt4_single, grid=GRID, compute_noise=0.1, noise_seed=8)
+    assert a.makespan_us == pytest.approx(b.makespan_us)
+    assert a.makespan_us != pytest.approx(c.makespan_us)
+
+
+def test_negative_noise_rejected(spec, xt4_single):
+    with pytest.raises(ValueError):
+        WavefrontSimulator(spec, xt4_single, grid=GRID, compute_noise=-0.1)
+
+
+def test_model_error_degrades_gracefully_under_noise(spec, xt4_single):
+    """The (noise-free) model under-predicts a noisy run, but moderate jitter
+    keeps the error within the noise amplitude - the robustness argument for
+    using mean work rates in the model."""
+    noise = 0.10
+    noisy = simulate_wavefront(spec, xt4_single, grid=GRID, compute_noise=noise, noise_seed=3)
+    model = iteration_prediction(spec, xt4_single, GRID).time_per_iteration
+    error = (noisy.time_per_iteration_us - model) / noisy.time_per_iteration_us
+    assert 0 < error < noise + 0.05

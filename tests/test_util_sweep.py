@@ -1,0 +1,73 @@
+"""Tests for repro.util.sweep (parameter sweep helpers)."""
+
+import pytest
+
+from repro.util.sweep import ParameterSweep, geometric_range, powers_of_two
+
+
+def test_powers_of_two_inclusive():
+    assert powers_of_two(1024, 8192) == [1024, 2048, 4096, 8192]
+
+
+def test_powers_of_two_single_value():
+    assert powers_of_two(64, 64) == [64]
+
+
+def test_powers_of_two_rejects_non_powers():
+    with pytest.raises(ValueError):
+        powers_of_two(1000, 8192)
+    with pytest.raises(ValueError):
+        powers_of_two(1024, 3000)
+
+
+def test_powers_of_two_rejects_bad_range():
+    with pytest.raises(ValueError):
+        powers_of_two(2048, 1024)
+    with pytest.raises(ValueError):
+        powers_of_two(0, 8)
+
+
+def test_geometric_range_default_factor():
+    assert geometric_range(1, 8) == [1.0, 2.0, 4.0, 8.0]
+
+
+def test_geometric_range_includes_endpoint_despite_floats():
+    values = geometric_range(0.1, 0.8)
+    assert values[-1] == pytest.approx(0.8)
+
+
+def test_geometric_range_rejects_bad_factor():
+    with pytest.raises(ValueError):
+        geometric_range(1, 8, factor=1.0)
+
+
+def test_parameter_sweep_cartesian_product():
+    sweep = ParameterSweep({"p": [4, 16], "htile": [1, 2, 4]})
+    points = list(sweep)
+    assert len(points) == 6
+    assert len(sweep) == 6
+    assert {"p": 4, "htile": 1} in points
+    assert {"p": 16, "htile": 4} in points
+
+
+def test_parameter_sweep_fixed_parameters_merged():
+    sweep = ParameterSweep({"p": [1, 2]}, fixed={"app": "lu"})
+    for point in sweep:
+        assert point["app"] == "lu"
+
+
+def test_parameter_sweep_rejects_overlap():
+    with pytest.raises(ValueError):
+        ParameterSweep({"p": [1]}, fixed={"p": 2})
+
+
+def test_parameter_sweep_rejects_empty_axis():
+    with pytest.raises(ValueError):
+        ParameterSweep({"p": []})
+
+
+def test_parameter_sweep_run_applies_function():
+    sweep = ParameterSweep({"x": [1, 2, 3]})
+    results = sweep.run(lambda x: x * x)
+    assert [value for _, value in results] == [1, 4, 9]
+    assert results[0][0] == {"x": 1}

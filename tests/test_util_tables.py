@@ -1,0 +1,76 @@
+"""Tests for repro.util.tables."""
+
+import pytest
+
+from repro.util.tables import Table, format_table
+
+
+def test_format_table_basic_alignment():
+    text = format_table(["a", "bb"], [[1, 2.5], [10, 0.25]])
+    lines = text.splitlines()
+    assert len(lines) == 4  # header, separator, two rows
+    assert "a" in lines[0] and "bb" in lines[0]
+    # All lines equal width-aligned columns separated by two spaces.
+    assert lines[1].startswith("-")
+
+
+def test_format_table_with_title():
+    text = format_table(["x"], [[1]], title="my table")
+    assert text.splitlines()[0] == "my table"
+
+
+def test_format_table_rejects_ragged_rows():
+    with pytest.raises(ValueError):
+        format_table(["a", "b"], [[1]])
+
+
+def test_format_table_large_and_small_floats_use_scientific():
+    text = format_table(["v"], [[1.23e-7], [4.5e9]])
+    assert "e-07" in text or "e-7" in text
+    assert "e+09" in text or "e+9" in text
+
+
+def test_format_table_zero_renders_as_zero():
+    text = format_table(["v"], [[0.0]])
+    assert text.splitlines()[-1].strip() == "0"
+
+
+def test_table_add_row_and_render():
+    table = Table(["P", "time"], title="scaling")
+    table.add_row(1024, 10.0)
+    table.add_row(2048, 5.0)
+    assert len(table) == 2
+    rendered = table.render()
+    assert "scaling" in rendered
+    assert "1024" in rendered
+
+
+def test_table_add_row_wrong_arity():
+    table = Table(["a", "b"])
+    with pytest.raises(ValueError):
+        table.add_row(1)
+
+
+def test_table_column_access():
+    table = Table(["P", "time"])
+    table.add_row(1, 10.0)
+    table.add_row(2, 20.0)
+    assert table.column("P") == [1, 2]
+    assert table.column("time") == [10.0, 20.0]
+
+
+def test_table_column_unknown_name():
+    table = Table(["a"])
+    with pytest.raises(KeyError):
+        table.column("nope")
+
+
+def test_table_to_dicts():
+    table = Table(["a", "b"])
+    table.add_row(1, 2)
+    assert table.to_dicts() == [{"a": 1, "b": 2}]
+
+
+def test_boolean_cells_render_as_words():
+    text = format_table(["flag"], [[True], [False]])
+    assert "True" in text and "False" in text

@@ -1,0 +1,55 @@
+"""Tests for repro.util.units."""
+
+import math
+
+import pytest
+
+from repro.util import units
+
+
+def test_microseconds_per_second_constant():
+    assert units.MICROSECONDS_PER_SECOND == 1e6
+
+
+def test_us_to_seconds_roundtrip():
+    assert units.us_to_seconds(2.5e6) == pytest.approx(2.5)
+    assert units.seconds_to_us(2.5) == pytest.approx(2.5e6)
+    assert units.us_to_seconds(units.seconds_to_us(3.7)) == pytest.approx(3.7)
+
+
+def test_seconds_to_days():
+    assert units.seconds_to_days(86400.0) == pytest.approx(1.0)
+    assert units.days_to_seconds(2.0) == pytest.approx(172800.0)
+
+
+def test_seconds_to_months_uses_30_day_months():
+    assert units.seconds_to_months(30 * 86400.0) == pytest.approx(1.0)
+
+
+def test_us_to_days():
+    assert units.us_to_days(86400.0 * 1e6) == pytest.approx(1.0)
+
+
+def test_identity_helpers_cast_to_float():
+    assert units.microseconds(3) == 3.0
+    assert isinstance(units.microseconds(3), float)
+    assert units.seconds(5) == 5.0
+
+
+def test_rate_per_month():
+    # One time step per day -> 30 per month.
+    assert units.rate_per_month(86400.0) == pytest.approx(30.0)
+
+
+def test_rate_per_month_rejects_non_positive():
+    with pytest.raises(ValueError):
+        units.rate_per_month(0.0)
+    with pytest.raises(ValueError):
+        units.rate_per_month(-5.0)
+
+
+def test_conversions_are_monotonic():
+    values = [1.0, 10.0, 1e3, 1e6, 1e9]
+    days = [units.us_to_days(v) for v in values]
+    assert days == sorted(days)
+    assert all(not math.isnan(d) for d in days)

@@ -1,0 +1,78 @@
+"""Tests for repro.apps.workloads (the paper's standard problem configurations)."""
+
+import pytest
+
+from repro.apps.workloads import (
+    CHIMAERA_240_CUBED,
+    NAS_LU_CLASSES,
+    SWEEP3D_1B,
+    SWEEP3D_20M,
+    chimaera_240cubed,
+    chimaera_elongated,
+    lu_class,
+    standard_workloads,
+    sweep3d_1billion,
+    sweep3d_20m,
+    sweep3d_production_1billion,
+)
+
+
+def test_chimaera_240_problem_size():
+    assert CHIMAERA_240_CUBED.total_cells == 240**3
+
+
+def test_chimaera_240_iterations_per_time_step():
+    """The benchmark needs 419 iterations to complete a time step (Section 5)."""
+    assert chimaera_240cubed().iterations == 419
+
+
+def test_chimaera_elongated_problem():
+    spec = chimaera_elongated()
+    assert (spec.problem.nx, spec.problem.ny, spec.problem.nz) == (240, 240, 960)
+
+
+def test_sweep3d_problem_sizes():
+    assert SWEEP3D_1B.total_cells == 1000**3
+    assert abs(SWEEP3D_20M.total_cells - 20e6) / 20e6 < 0.02
+
+
+def test_sweep3d_default_htile_is_2():
+    """The paper uses Htile = 2 for the Section 5 results."""
+    assert sweep3d_20m().htile == pytest.approx(2.0)
+    assert sweep3d_1billion().htile == pytest.approx(2.0)
+
+
+def test_sweep3d_production_run_parameters():
+    spec = sweep3d_production_1billion()
+    assert spec.energy_groups == 30
+    assert spec.time_steps == 10_000
+    assert spec.iterations == 120
+
+
+def test_sweep3d_20m_uses_480_iterations_for_figure5():
+    assert sweep3d_20m().iterations == 480
+
+
+def test_lu_classes():
+    assert set(NAS_LU_CLASSES) == {"A", "B", "C", "D"}
+    assert lu_class("C").problem.nx == 162
+    assert lu_class("a").problem.nx == 64  # case-insensitive
+
+
+def test_lu_class_unknown():
+    with pytest.raises(KeyError):
+        lu_class("Z")
+
+
+def test_standard_workloads_registry_builds_all():
+    registry = standard_workloads()
+    assert len(registry) >= 8
+    for name, factory in registry.items():
+        spec = factory()
+        assert spec.nsweeps in (2, 8), name
+        assert spec.problem.total_cells > 0
+
+
+def test_workload_names_include_expected():
+    names = set(standard_workloads())
+    assert {"chimaera-240", "sweep3d-20m", "sweep3d-1b", "lu-classC"} <= names
