@@ -38,8 +38,10 @@ from repro.core import (
     ProblemSize,
     ProcessorGrid,
     allreduce_time,
+    clear_prediction_cache,
     decompose,
     predict,
+    prediction_cache_info,
 )
 from repro.apps.base import SweepPhase, SweepSchedule, WavefrontSpec
 from repro.platforms import cray_xt3, cray_xt4, cray_xt4_single_core, custom_platform, ibm_sp2
@@ -57,6 +59,7 @@ __all__ = [
     "SweepSchedule",
     "WavefrontSpec",
     "allreduce_time",
+    "clear_prediction_cache",
     "cray_xt3",
     "cray_xt4",
     "cray_xt4_single_core",
@@ -64,5 +67,6 @@ __all__ = [
     "decompose",
     "ibm_sp2",
     "predict",
+    "prediction_cache_info",
     "__version__",
 ]

@@ -10,11 +10,13 @@ the paper finds 2-5 on the XT4 versus 5-10 on the older SP/2.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from functools import partial
+from typing import Callable, Optional, Sequence
 
 from repro.apps.base import WavefrontSpec
 from repro.core.loggp import Platform
 from repro.core.predictor import Prediction, predict
+from repro.util.sweep import parallel_map
 
 __all__ = ["HtilePoint", "HtileStudy", "htile_study", "optimal_htile"]
 
@@ -51,46 +53,59 @@ class HtileStudy:
         return 1.0 - self.optimal.time_per_time_step_s / baseline.time_per_time_step_s
 
 
+def _htile_point(
+    spec_builder: Callable[[float], WavefrontSpec],
+    platform: Platform,
+    total_cores: int,
+    htile: float,
+) -> tuple[str, HtilePoint]:
+    spec = spec_builder(htile)
+    prediction = predict(spec, platform, total_cores=total_cores)
+    iteration = prediction.time_per_iteration_us
+    point = HtilePoint(
+        htile=float(htile),
+        time_per_time_step_s=prediction.time_per_time_step_s,
+        pipeline_fill_fraction=(
+            prediction.pipeline_fill_per_iteration_us / iteration
+            if iteration > 0
+            else 0.0
+        ),
+        communication_fraction=prediction.communication_fraction,
+        prediction=prediction,
+    )
+    return spec.name, point
+
+
 def htile_study(
     spec_builder: Callable[[float], WavefrontSpec],
     platform: Platform,
     total_cores: int,
     htile_values: Sequence[float],
+    *,
+    workers: Optional[int] = None,
+    executor: str = "thread",
 ) -> HtileStudy:
     """Sweep ``Htile`` for the application produced by ``spec_builder``.
 
     ``spec_builder(htile)`` must return the application spec configured with
     that tile height (for Sweep3D this maps Htile back onto ``mk``; for
     Chimaera / custom codes it sets the blocking factor directly).
+    ``workers``/``executor`` optionally fan the sweep out over a pool; with
+    ``executor="process"`` the builder must be picklable.
     """
     if not htile_values:
         raise ValueError("htile_values must not be empty")
-    points = []
-    application = None
-    for htile in htile_values:
-        spec = spec_builder(htile)
-        application = spec.name
-        prediction = predict(spec, platform, total_cores=total_cores)
-        iteration = prediction.time_per_iteration_us
-        points.append(
-            HtilePoint(
-                htile=float(htile),
-                time_per_time_step_s=prediction.time_per_time_step_s,
-                pipeline_fill_fraction=(
-                    prediction.pipeline_fill_per_iteration_us / iteration
-                    if iteration > 0
-                    else 0.0
-                ),
-                communication_fraction=prediction.communication_fraction,
-                prediction=prediction,
-            )
-        )
-    assert application is not None
+    results = parallel_map(
+        partial(_htile_point, spec_builder, platform, total_cores),
+        htile_values,
+        workers,
+        executor,
+    )
     return HtileStudy(
-        application=application,
+        application=results[-1][0],
         platform=platform.name,
         total_cores=total_cores,
-        points=tuple(points),
+        points=tuple(point for _, point in results),
     )
 
 
@@ -99,7 +114,12 @@ def optimal_htile(
     platform: Platform,
     total_cores: int,
     htile_values: Sequence[float],
+    *,
+    workers: Optional[int] = None,
+    executor: str = "thread",
 ) -> float:
     """The Htile value minimising execution time over the given candidates."""
-    study = htile_study(spec_builder, platform, total_cores, htile_values)
+    study = htile_study(
+        spec_builder, platform, total_cores, htile_values, workers=workers, executor=executor
+    )
     return study.optimal.htile

@@ -12,11 +12,13 @@ diminishing or negative returns for transport codes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from functools import partial
+from typing import Optional, Sequence
 
 from repro.apps.base import WavefrontSpec
 from repro.core.loggp import Platform
 from repro.core.predictor import Prediction, predict
+from repro.util.sweep import parallel_map
 
 __all__ = ["MulticoreDesignPoint", "cores_per_node_study", "equivalent_node_counts"]
 
@@ -46,30 +48,38 @@ def cores_per_node_study(
     *,
     cores_per_node_options: Sequence[int] = (1, 2, 4, 8, 16),
     buses_per_node: int = 1,
+    workers: Optional[int] = None,
+    executor: str = "thread",
 ) -> list[MulticoreDesignPoint]:
     """Evaluate the Figure 10 design space.
 
     ``base_platform`` supplies the communication constants (typically the
     XT4); its node architecture is overridden per design point.
+    ``workers``/``executor`` optionally fan the design points out over a pool.
     """
-    points: list[MulticoreDesignPoint] = []
+    combos = []
     for cores in cores_per_node_options:
         buses = min(buses_per_node, cores)
         platform = base_platform.with_cores_per_node(cores, buses)
         for nodes in node_counts:
-            total_cores = nodes * cores
-            prediction = predict(spec, platform, total_cores=total_cores)
-            points.append(
-                MulticoreDesignPoint(
-                    nodes=nodes,
-                    cores_per_node=cores,
-                    buses_per_node=buses,
-                    total_cores=total_cores,
-                    total_time_days=prediction.total_time_days,
-                    prediction=prediction,
-                )
-            )
-    return points
+            combos.append((nodes, cores, buses, platform))
+    return parallel_map(partial(_design_point, spec), combos, workers, executor)
+
+
+def _design_point(
+    spec: WavefrontSpec, combo: tuple[int, int, int, Platform]
+) -> MulticoreDesignPoint:
+    nodes, cores, buses, platform = combo
+    total_cores = nodes * cores
+    prediction = predict(spec, platform, total_cores=total_cores)
+    return MulticoreDesignPoint(
+        nodes=nodes,
+        cores_per_node=cores,
+        buses_per_node=buses,
+        total_cores=total_cores,
+        total_time_days=prediction.total_time_days,
+        prediction=prediction,
+    )
 
 
 def equivalent_node_counts(

@@ -17,12 +17,14 @@ the trade-off with:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from functools import partial
+from typing import Optional, Sequence
 
 from repro.apps.base import WavefrontSpec
 from repro.core.loggp import Platform
 from repro.core.predictor import predict
-from repro.util.units import SECONDS_PER_MONTH, us_to_seconds
+from repro.util.sweep import parallel_map
+from repro.util.units import rate_per_month, us_to_seconds
 
 __all__ = [
     "ThroughputPoint",
@@ -30,6 +32,7 @@ __all__ = [
     "throughput_study",
     "partition_tradeoff",
     "optimal_parallel_jobs",
+    "halving_partition_sizes",
 ]
 
 
@@ -60,25 +63,39 @@ def throughput_study(
     total_cores_options: Sequence[int],
     *,
     parallel_jobs_options: Sequence[int] = (1, 2, 4, 8),
+    workers: Optional[int] = None,
+    executor: str = "thread",
 ) -> list[ThroughputPoint]:
-    """The Figure 7 study: time steps per problem per month vs partitioning."""
-    points: list[ThroughputPoint] = []
-    for total_cores in total_cores_options:
-        for jobs in parallel_jobs_options:
-            if jobs < 1 or total_cores % jobs != 0:
-                continue
-            partition = total_cores // jobs
-            step_time = _time_per_time_step_s(spec, platform, partition)
-            points.append(
-                ThroughputPoint(
-                    total_cores=total_cores,
-                    parallel_jobs=jobs,
-                    partition_cores=partition,
-                    time_per_time_step_s=step_time,
-                    time_steps_per_month_per_job=SECONDS_PER_MONTH / step_time,
-                )
-            )
-    return points
+    """The Figure 7 study: time steps per problem per month vs partitioning.
+
+    The same partition size recurs across many ``total_cores`` entries; the
+    prediction cache makes each repeat free.  ``workers``/``executor``
+    optionally fan the distinct sweep points out over a pool.  The monthly
+    rate goes through :func:`repro.util.units.rate_per_month`, so a
+    degenerate zero-time prediction raises instead of dividing by zero.
+    """
+    combos = [
+        (total_cores, jobs)
+        for total_cores in total_cores_options
+        for jobs in parallel_jobs_options
+        if jobs >= 1 and total_cores % jobs == 0
+    ]
+    return parallel_map(partial(_throughput_point, spec, platform), combos, workers, executor)
+
+
+def _throughput_point(
+    spec: WavefrontSpec, platform: Platform, combo: tuple[int, int]
+) -> ThroughputPoint:
+    total_cores, jobs = combo
+    partition = total_cores // jobs
+    step_time = _time_per_time_step_s(spec, platform, partition)
+    return ThroughputPoint(
+        total_cores=total_cores,
+        parallel_jobs=jobs,
+        partition_cores=partition,
+        time_per_time_step_s=step_time,
+        time_steps_per_month_per_job=rate_per_month(step_time),
+    )
 
 
 @dataclass(frozen=True)
@@ -110,28 +127,64 @@ def partition_tradeoff(
     platform: Platform,
     available_cores: int,
     partition_sizes: Sequence[int],
+    *,
+    workers: Optional[int] = None,
+    executor: str = "thread",
 ) -> list[PartitionTradeoffPoint]:
     """Evaluate ``R/X`` and ``R^2/X`` for each candidate partition size."""
-    points: list[PartitionTradeoffPoint] = []
-    for partition in partition_sizes:
-        if partition < 1 or partition > available_cores or available_cores % partition != 0:
-            continue
-        jobs = available_cores // partition
-        prediction = predict(spec, platform, total_cores=partition)
-        runtime_s = us_to_seconds(prediction.total_time_us)
-        throughput = jobs / runtime_s
-        points.append(
-            PartitionTradeoffPoint(
-                available_cores=available_cores,
-                partition_cores=partition,
-                parallel_jobs=jobs,
-                runtime_s=runtime_s,
-                throughput_per_s=throughput,
-            )
-        )
-    if not points:
+    valid = [
+        partition
+        for partition in partition_sizes
+        if 1 <= partition <= available_cores and available_cores % partition == 0
+    ]
+    if not valid:
         raise ValueError("no valid partition sizes were supplied")
-    return points
+    return parallel_map(
+        partial(_tradeoff_point, spec, platform, available_cores), valid, workers, executor
+    )
+
+
+def _tradeoff_point(
+    spec: WavefrontSpec, platform: Platform, available_cores: int, partition: int
+) -> PartitionTradeoffPoint:
+    jobs = available_cores // partition
+    prediction = predict(spec, platform, total_cores=partition)
+    runtime_s = us_to_seconds(prediction.total_time_us)
+    return PartitionTradeoffPoint(
+        available_cores=available_cores,
+        partition_cores=partition,
+        parallel_jobs=jobs,
+        runtime_s=runtime_s,
+        throughput_per_s=jobs / runtime_s,
+    )
+
+
+def halving_partition_sizes(available_cores: int, min_partition_cores: int) -> list[int]:
+    """Candidate partition sizes: repeated halvings of ``available_cores``.
+
+    Halving stops at ``min_partition_cores``, or - for non-power-of-two
+    machines - as soon as the partition size becomes odd, since an odd
+    partition cannot be split into two equal integer halves.  Every returned
+    size therefore divides ``available_cores`` exactly.
+    """
+    if available_cores < 1:
+        raise ValueError("available_cores must be positive")
+    if min_partition_cores < 1:
+        raise ValueError("min_partition_cores must be positive")
+    if available_cores < min_partition_cores:
+        raise ValueError(
+            f"available_cores ({available_cores}) is below min_partition_cores "
+            f"({min_partition_cores}): no partition satisfies the minimum; "
+            "lower min_partition_cores or grow the machine"
+        )
+    sizes = []
+    partition = available_cores
+    while partition >= min_partition_cores:
+        sizes.append(partition)
+        if partition % 2 != 0:
+            break
+        partition //= 2
+    return sizes
 
 
 def optimal_parallel_jobs(
@@ -141,21 +194,21 @@ def optimal_parallel_jobs(
     *,
     criterion: str = "r_over_x",
     min_partition_cores: int = 1024,
+    workers: Optional[int] = None,
+    executor: str = "thread",
 ) -> PartitionTradeoffPoint:
     """The Figure 9 quantity: the best number of parallel simulations.
 
-    Partitions are powers-of-two divisions of ``available_cores`` with at
-    least ``min_partition_cores`` cores each.  ``criterion`` selects the
-    metric to minimise: ``"r_over_x"`` or ``"r2_over_x"``.
+    Partitions are halvings of ``available_cores`` with at least
+    ``min_partition_cores`` cores each (see :func:`halving_partition_sizes`
+    for the treatment of non-power-of-two machines).  ``criterion`` selects
+    the metric to minimise: ``"r_over_x"`` or ``"r2_over_x"``.  Raises
+    ``ValueError`` when ``available_cores`` is below ``min_partition_cores``.
     """
     if criterion not in ("r_over_x", "r2_over_x"):
         raise ValueError("criterion must be 'r_over_x' or 'r2_over_x'")
-    sizes = []
-    partition = available_cores
-    while partition >= max(min_partition_cores, 1):
-        sizes.append(partition)
-        if partition % 2 != 0:
-            break
-        partition //= 2
-    points = partition_tradeoff(spec, platform, available_cores, sizes)
+    sizes = halving_partition_sizes(available_cores, min_partition_cores)
+    points = partition_tradeoff(
+        spec, platform, available_cores, sizes, workers=workers, executor=executor
+    )
     return min(points, key=lambda p: getattr(p, criterion))

@@ -11,12 +11,14 @@ problem with the machine.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Callable, Optional, Sequence
 
 from repro.apps.base import WavefrontSpec
 from repro.core.decomposition import ProcessorGrid, decompose
 from repro.core.loggp import Platform
 from repro.core.predictor import Prediction, predict
+from repro.util.sweep import parallel_map
 
 __all__ = [
     "ScalingPoint",
@@ -87,45 +89,79 @@ def _point(prediction: Prediction) -> ScalingPoint:
     )
 
 
+def _strong_scaling_point(spec: WavefrontSpec, platform: Platform, count: int) -> ScalingPoint:
+    return _point(predict(spec, platform, total_cores=count))
+
+
 def strong_scaling(
     spec: WavefrontSpec,
     platform: Platform,
     processor_counts: Sequence[int],
+    *,
+    workers: Optional[int] = None,
+    executor: str = "thread",
 ) -> ScalingCurve:
-    """Fixed problem, growing machine (the Figure 6 study)."""
+    """Fixed problem, growing machine (the Figure 6 study).
+
+    ``workers``/``executor`` optionally fan the processor counts out over a
+    pool (``executor="process"`` uses multiple cores - see
+    :func:`repro.util.sweep.parallel_map`); the curve's point order always
+    follows ``processor_counts``.
+    """
     if not processor_counts:
         raise ValueError("processor_counts must not be empty")
     points = tuple(
-        _point(predict(spec, platform, total_cores=count)) for count in processor_counts
+        parallel_map(
+            partial(_strong_scaling_point, spec, platform),
+            processor_counts,
+            workers,
+            executor,
+        )
     )
     return ScalingCurve(
         application=spec.name, platform=platform.name, points=points, mode="strong"
     )
 
 
+def _weak_scaling_point(
+    spec_builder: Callable[[ProcessorGrid], WavefrontSpec],
+    platform: Platform,
+    count: int,
+) -> tuple[str, ScalingPoint]:
+    grid = decompose(count)
+    spec = spec_builder(grid)
+    return spec.name, _point(predict(spec, platform, grid=grid))
+
+
 def weak_scaling(
     spec_builder: Callable[[ProcessorGrid], WavefrontSpec],
     platform: Platform,
     processor_counts: Sequence[int],
+    *,
+    workers: Optional[int] = None,
+    executor: str = "thread",
 ) -> ScalingCurve:
     """Fixed per-processor subdomain, growing machine (the Figure 12 setup).
 
     ``spec_builder(grid)`` receives the decomposed processor grid and must
     return the spec whose global problem matches that grid (e.g. 4x4x1000
-    cells per processor).
+    cells per processor).  With ``executor="process"`` the builder must be
+    picklable (a module-level function or partial, not a lambda).
     """
     if not processor_counts:
         raise ValueError("processor_counts must not be empty")
-    points = []
-    application = None
-    for count in processor_counts:
-        grid = decompose(count)
-        spec = spec_builder(grid)
-        application = spec.name
-        points.append(_point(predict(spec, platform, grid=grid)))
-    assert application is not None
+    results = parallel_map(
+        partial(_weak_scaling_point, spec_builder, platform),
+        processor_counts,
+        workers,
+        executor,
+    )
+    application = results[-1][0]
     return ScalingCurve(
-        application=application, platform=platform.name, points=tuple(points), mode="weak"
+        application=application,
+        platform=platform.name,
+        points=tuple(point for _, point in results),
+        mode="weak",
     )
 
 

@@ -16,11 +16,13 @@ use-case the paper motivates.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, Sequence
+from functools import partial
+from typing import Callable, Dict, Optional, Sequence
 
 from repro.apps.base import WavefrontSpec
 from repro.core.loggp import OffNodeParams, OnChipParams, Platform
 from repro.core.predictor import predict
+from repro.util.sweep import parallel_map
 
 __all__ = [
     "SensitivityResult",
@@ -147,37 +149,54 @@ def sensitivity_study(
     factor: float = 1.10,
     platform_parameters: Sequence[str] = PLATFORM_PARAMETERS,
     application_parameters: Sequence[str] = APPLICATION_PARAMETERS,
+    workers: Optional[int] = None,
+    executor: str = "thread",
 ) -> Dict[str, SensitivityResult]:
-    """Perturb each parameter by ``factor`` and report the time elasticity."""
+    """Perturb each parameter by ``factor`` and report the time elasticity.
+
+    ``workers``/``executor`` optionally evaluate the perturbations on a pool
+    (each perturbation is an independent model evaluation).
+    """
     if factor <= 0 or factor == 1.0:
         raise ValueError("factor must be positive and different from 1")
     baseline = predict(spec, platform, total_cores=total_cores).time_per_iteration_us
-    results: Dict[str, SensitivityResult] = {}
-    for parameter in platform_parameters:
-        perturbed_platform = perturb_platform(platform, parameter, factor)
+
+    perturbations = [("platform", parameter) for parameter in platform_parameters] + [
+        ("application", parameter) for parameter in application_parameters
+    ]
+    evaluate = partial(
+        _sensitivity_point, spec, platform, total_cores, factor, baseline
+    )
+    return {
+        result.parameter: result
+        for result in parallel_map(evaluate, perturbations, workers, executor)
+    }
+
+
+def _sensitivity_point(
+    spec: WavefrontSpec,
+    platform: Platform,
+    total_cores: int,
+    factor: float,
+    baseline: float,
+    perturbation: tuple[str, str],
+) -> SensitivityResult:
+    kind, parameter = perturbation
+    if kind == "platform":
         perturbed = predict(
-            spec, perturbed_platform, total_cores=total_cores
+            spec, perturb_platform(platform, parameter, factor), total_cores=total_cores
         ).time_per_iteration_us
-        results[parameter] = SensitivityResult(
-            parameter=parameter,
-            kind="platform",
-            baseline_us=baseline,
-            perturbed_us=perturbed,
-            factor=factor,
-        )
-    for parameter in application_parameters:
-        perturbed_spec = perturb_application(spec, parameter, factor)
+    else:
         perturbed = predict(
-            perturbed_spec, platform, total_cores=total_cores
+            perturb_application(spec, parameter, factor), platform, total_cores=total_cores
         ).time_per_iteration_us
-        results[parameter] = SensitivityResult(
-            parameter=parameter,
-            kind="application",
-            baseline_us=baseline,
-            perturbed_us=perturbed,
-            factor=factor,
-        )
-    return results
+    return SensitivityResult(
+        parameter=parameter,
+        kind=kind,
+        baseline_us=baseline,
+        perturbed_us=perturbed,
+        factor=factor,
+    )
 
 
 def dominant_parameter(

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from functools import partial
 from typing import Callable, Sequence
 
 from repro.analysis.htile import htile_study
@@ -31,6 +32,7 @@ from repro.calibration.workrate import (
     measure_stencil_wg,
     measure_transport_wg,
 )
+from repro.core.model import FILL_METHODS
 from repro.core.predictor import predict
 from repro.platforms import get_platform, platform_registry
 from repro.util.tables import Table
@@ -63,7 +65,7 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     if args.time_steps is not None:
         spec = spec.with_time_steps(args.time_steps)
     platform = get_platform(args.platform)
-    prediction = predict(spec, platform, total_cores=args.cores)
+    prediction = predict(spec, platform, total_cores=args.cores, method=args.method)
     table = Table(["quantity", "value"], title=f"{spec.name} on {platform.name}, P={args.cores}")
     for key, value in prediction.summary().items():
         table.add_row(key, value)
@@ -90,17 +92,25 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _htile_builder(base, htile: float):
+    """Module-level builder so the htile sweep can use a process pool."""
+    if base.name == "sweep3d":
+        config = Sweep3DConfig.for_htile(htile)
+        return base.with_htile(config.htile)
+    return base.with_htile(htile)
+
+
 def _cmd_htile(args: argparse.Namespace) -> int:
     base = _workload(args.app)
     platform = get_platform(args.platform)
-
-    def builder(htile: float):
-        if base.name == "sweep3d":
-            config = Sweep3DConfig.for_htile(htile)
-            return base.with_htile(config.htile)
-        return base.with_htile(htile)
-
-    study = htile_study(builder, platform, args.cores, args.values)
+    study = htile_study(
+        partial(_htile_builder, base),
+        platform,
+        args.cores,
+        args.values,
+        workers=args.workers,
+        executor=args.executor,
+    )
     table = Table(
         ["Htile", "time/time-step (s)", "fill fraction", "comm fraction"],
         title=f"Htile study: {study.application}, P={args.cores}",
@@ -120,7 +130,9 @@ def _cmd_htile(args: argparse.Namespace) -> int:
 def _cmd_scaling(args: argparse.Namespace) -> int:
     spec = _workload(args.app)
     platform = get_platform(args.platform)
-    curve = strong_scaling(spec, platform, args.cores)
+    curve = strong_scaling(
+        spec, platform, args.cores, workers=args.workers, executor=args.executor
+    )
     table = Table(
         ["P", "total time (days)", "time/time-step (s)", "comm fraction"],
         title=f"strong scaling: {curve.application} on {curve.platform}",
@@ -209,6 +221,12 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(p_predict)
     p_predict.add_argument("--htile", type=float, default=None)
     p_predict.add_argument("--time-steps", type=int, default=None)
+    p_predict.add_argument(
+        "--method",
+        choices=FILL_METHODS,
+        default="auto",
+        help="StartP evaluator: fast closed-form/period-folded path or the exact grid walk",
+    )
     p_predict.set_defaults(func=_cmd_predict)
 
     p_validate = sub.add_parser("validate", help="compare model against the simulator")
@@ -218,10 +236,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_htile = sub.add_parser("htile", help="tile-height optimisation study (Figure 5)")
     add_common(p_htile)
     p_htile.add_argument("--values", type=_float_list, default=[1, 2, 3, 4, 5, 6, 8, 10])
+    def add_pool_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--workers",
+            type=int,
+            default=None,
+            help="pool size for the sweep (omitted: run serially)",
+        )
+        p.add_argument(
+            "--executor",
+            choices=("process", "thread"),
+            default="process",
+            help="pool kind used when --workers is given; processes use "
+            "multiple cores (pure-Python model evaluation holds the GIL, "
+            "so threads give no speedup)",
+        )
+
+    add_pool_flags(p_htile)
     p_htile.set_defaults(func=_cmd_htile)
 
     p_scaling = sub.add_parser("scaling", help="strong scaling study (Figure 6)")
     add_common(p_scaling, cores_list=True)
+    add_pool_flags(p_scaling)
     p_scaling.set_defaults(func=_cmd_scaling)
 
     p_pingpong = sub.add_parser(

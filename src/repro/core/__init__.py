@@ -24,6 +24,7 @@ from repro.core.comm import (
     ALLREDUCE_PAYLOAD_BYTES,
     CommunicationCosts,
     allreduce_time,
+    clear_comm_cost_cache,
     receive_cost,
     send_cost,
     total_comm,
@@ -38,6 +39,7 @@ from repro.core.decomposition import (
 )
 from repro.core.loggp import NodeArchitecture, OffNodeParams, OnChipParams, Platform
 from repro.core.model import (
+    FILL_METHODS,
     FillTimes,
     IterationPrediction,
     StackTime,
@@ -52,12 +54,18 @@ from repro.core.multicore import (
     interference_term,
     stack_comm_costs,
 )
-from repro.core.predictor import Prediction, predict
+from repro.core.predictor import (
+    Prediction,
+    clear_prediction_cache,
+    predict,
+    prediction_cache_info,
+)
 
 __all__ = [
     "ALLREDUCE_PAYLOAD_BYTES",
     "CommunicationCosts",
     "allreduce_time",
+    "clear_comm_cost_cache",
     "receive_cost",
     "send_cost",
     "total_comm",
@@ -71,6 +79,7 @@ __all__ = [
     "OffNodeParams",
     "OnChipParams",
     "Platform",
+    "FILL_METHODS",
     "FillTimes",
     "IterationPrediction",
     "StackTime",
@@ -83,5 +92,7 @@ __all__ = [
     "interference_term",
     "stack_comm_costs",
     "Prediction",
+    "clear_prediction_cache",
     "predict",
+    "prediction_cache_info",
 ]

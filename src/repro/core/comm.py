@@ -21,8 +21,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.core.loggp import OffNodeParams, OnChipParams, Platform
+from repro.util.caching import call_with_unhashable_fallback
 
 __all__ = [
     "CommunicationCosts",
@@ -36,6 +38,7 @@ __all__ = [
     "send_cost",
     "receive_cost",
     "allreduce_time",
+    "clear_comm_cost_cache",
     "ALLREDUCE_PAYLOAD_BYTES",
 ]
 
@@ -184,8 +187,31 @@ class CommunicationCosts:
     def for_message(
         cls, platform: Platform, message_bytes: float, *, on_chip: bool = False
     ) -> "CommunicationCosts":
+        """Costs for one message, memoised on ``(cls, platform, size, on_chip)``.
+
+        Parameter sweeps re-evaluate the same handful of message sizes for
+        thousands of grid positions and sweep points; the keyed memo makes
+        every repeat a dictionary hit.  Platforms are frozen dataclasses, so
+        value-equal platforms share cache entries; subclasses get their own
+        entries (and instances of their own type).
+        """
+        # An unhashable (e.g. subclassed) platform falls back to an uncached
+        # computation.
+        return call_with_unhashable_fallback(
+            _for_message_cached,
+            _for_message_uncached,
+            cls,
+            platform,
+            float(message_bytes),
+            bool(on_chip),
+        )
+
+    @classmethod
+    def _compute(
+        cls, platform: Platform, message_bytes: float, on_chip: bool
+    ) -> "CommunicationCosts":
         return cls(
-            message_bytes=float(message_bytes),
+            message_bytes=message_bytes,
             send=send_cost(platform, message_bytes, on_chip=on_chip),
             receive=receive_cost(platform, message_bytes, on_chip=on_chip),
             total=total_comm(platform, message_bytes, on_chip=on_chip),
@@ -206,6 +232,20 @@ class CommunicationCosts:
             total=self.total + send_extra + receive_extra,
             on_chip=self.on_chip,
         )
+
+
+def _for_message_uncached(
+    cls: type, platform: Platform, message_bytes: float, on_chip: bool
+) -> CommunicationCosts:
+    return cls._compute(platform, message_bytes, on_chip)
+
+
+_for_message_cached = lru_cache(maxsize=16384)(_for_message_uncached)
+
+
+def clear_comm_cost_cache() -> None:
+    """Drop all memoised :meth:`CommunicationCosts.for_message` entries."""
+    _for_message_cached.cache_clear()
 
 
 # ---------------------------------------------------------------------------

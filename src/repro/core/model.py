@@ -26,6 +26,35 @@ pipeline-fill component (Figure 12).  The split follows the paper's
 definition - "the communication component ... is derived from the Send,
 Receive, TotalComm and Tallreduce terms in the model; the computation
 component is the rest".
+
+Fast prediction engine
+----------------------
+
+Evaluating ``StartP`` by walking the full ``n x m`` grid costs O(n*m); at the
+paper's largest study size (131,072 processors, a 512 x 256 array) that walk
+dominates every sweep-heavy analysis.  Two observations make a fast path with
+identical results possible:
+
+* **Homogeneous costs** (one core per node): every grid position pays the same
+  communication costs, so the maximising path of equation (r2b) is known in
+  closed form - descend to the last row first (earning the ``ReceiveN`` term
+  on every eastward step), then traverse east.  ``StartP(n, m)`` reduces to a
+  max-plus expression over the two lattice directions; no grid walk at all.
+
+* **Periodic costs** (multi-core nodes): the Table 6 on-chip/off-node
+  classification depends only on ``i mod Cx`` and ``j mod Cy``, so the cost
+  field repeats with the node's core rectangle.  Beyond a transient of a few
+  periods the recurrence grows *exactly* linearly per period in each
+  direction, so it suffices to evaluate a small folded grid (a few periods a
+  side, holding the full-grid per-tile costs fixed) plus a linear
+  extrapolation.  The folded evaluator verifies the linearity numerically
+  (second differences and the cross term) and falls back to the exact walk
+  whenever the grid is too small to fold or the check fails.
+
+``fill_times`` selects the evaluator automatically (``method="auto"``);
+``method="exact"`` forces the reference recurrence, which the tests use to
+cross-check the fast path across a randomised matrix of applications,
+platforms, grids and core mappings.
 """
 
 from __future__ import annotations
@@ -37,19 +66,33 @@ from repro.core.decomposition import CoreMapping, ProcessorGrid
 from repro.core.loggp import Platform
 from repro.core.multicore import (
     StackCommCosts,
+    fill_step_costs,
     resolve_core_mapping,
     stack_comm_costs,
 )
-from repro.core.comm import CommunicationCosts
 
 __all__ = [
     "FillTimes",
     "StackTime",
     "IterationPrediction",
+    "FILL_METHODS",
     "fill_times",
     "stack_time",
     "iteration_prediction",
 ]
+
+#: Valid ``method`` arguments of :func:`fill_times` / :func:`predict`.
+FILL_METHODS: tuple[str, ...] = ("auto", "fast", "exact")
+
+#: Number of cost periods kept on each side of the folded grid.  Empirically
+#: the recurrence enters its linear regime well within two periods; six gives
+#: a wide safety margin while keeping the folded walk tiny.
+_FOLD_BASE_PERIODS: int = 6
+
+#: Relative tolerance of the folded evaluator's linearity verification.  The
+#: per-period increments agree to ~1e-15 relative once the recurrence is in
+#: its linear regime, so any genuine non-linearity trips this immediately.
+_FOLD_REL_TOL: float = 1e-10
 
 
 @dataclass(frozen=True)
@@ -141,11 +184,189 @@ class IterationPrediction:
         return self.time_per_iteration - self.computation_per_iteration
 
 
+def _fill_cost_table(
+    spec: WavefrontSpec,
+    platform: Platform,
+    grid: ProcessorGrid,
+    mapping: CoreMapping,
+) -> tuple[list[list[tuple[float, float, float, float]]], bool]:
+    """Per-residue-class ``(TotalCommE, ReceiveN, SendE, TotalCommS)`` costs.
+
+    The table is indexed ``[i % Cx][j % Cy]`` (1-based grid coordinates); the
+    Table 6 on-chip/off-node classification - delegated to
+    :func:`repro.core.multicore.fill_step_costs`, the single source of truth -
+    depends only on those residues.  For single-core platforms the table
+    collapses to one off-node entry.
+    """
+    multicore = platform.is_multicore and mapping.cores_per_node > 1
+    cx, cy = (mapping.cx, mapping.cy) if multicore else (1, 1)
+    table = []
+    for im in range(cx):
+        i = im if im >= 1 else cx  # representative 1-based column of the class
+        column = []
+        for jm in range(cy):
+            j = jm if jm >= 1 else cy
+            costs = fill_step_costs(platform, spec, grid, i, j, mapping)
+            column.append(
+                (
+                    costs.total_comm_east,
+                    costs.receive_north,
+                    costs.send_east,
+                    costs.total_comm_south,
+                )
+            )
+        table.append(column)
+    return table, multicore
+
+
+def _startp_exact(
+    n: int,
+    m: int,
+    w: float,
+    wpre: float,
+    table: list[list[tuple[float, float, float, float]]],
+    cx: int,
+    cy: int,
+) -> tuple[float, float]:
+    """Reference evaluation of equations (r2a)-(r2b): the full grid walk.
+
+    Returns ``(StartP(1, m), StartP(n, m))``, i.e. the diagonal- and
+    full-fill corner values for a sweep originating at ``(1, 1)``.
+    """
+    # Only cy distinct row cost patterns exist; materialise each once.
+    rows = [[table[i % cx][jm] for i in range(1, n + 1)] for jm in range(cy)]
+
+    # Row j = 1: west dependencies only, and no ReceiveN term.
+    prev = [0.0] * n
+    prev[0] = wpre
+    row1 = rows[1 % cy]
+    for i in range(2, n + 1):
+        prev[i - 1] = prev[i - 2] + w + row1[i - 1][0]
+
+    for j in range(2, m + 1):
+        row = rows[j % cy]
+        cur = [0.0] * n
+        # Column i = 1: north dependency only (SendE applies only when n > 1).
+        cur[0] = prev[0] + w + (row[0][2] if n > 1 else 0.0) + row[0][3]
+        for i in range(2, n + 1):
+            comm_e, recv_n, send_e, comm_s = row[i - 1]
+            west = cur[i - 2] + w + comm_e + recv_n
+            north = prev[i - 1] + w + send_e + comm_s
+            cur[i - 1] = west if west >= north else north
+        prev = cur
+
+    return prev[0], prev[n - 1]
+
+
+def _count_residue(lo: int, hi: int, period: int, residue: int) -> int:
+    """Number of integers in ``[lo, hi]`` congruent to ``residue`` mod ``period``."""
+    if hi < lo:
+        return 0
+    return (hi - residue) // period - (lo - 1 - residue) // period
+
+
+def _startp_diag(
+    n: int,
+    m: int,
+    w: float,
+    wpre: float,
+    table: list[list[tuple[float, float, float, float]]],
+    cx: int,
+    cy: int,
+) -> float:
+    """``StartP(1, m)`` in closed form: the single path down column 1."""
+    send_e = table[1 % cx][0][2] if n > 1 else 0.0  # SendE is j-independent
+    total = wpre
+    for jm in range(cy):
+        count = _count_residue(2, m, cy, jm)
+        if count:
+            total += count * (w + send_e + table[1 % cx][jm][3])
+    return total
+
+
+def _startp_homogeneous(
+    n: int,
+    m: int,
+    w: float,
+    wpre: float,
+    costs: tuple[float, float, float, float],
+) -> tuple[float, float]:
+    """Closed-form ``StartP`` corners for position-independent costs.
+
+    Every monotone path from ``(1, 1)`` to ``(n, m)`` takes ``n - 1`` east
+    and ``m - 1`` south steps; the only path-dependent term is the
+    ``ReceiveN`` earned by east steps taken below row 1.  Since ``ReceiveN``
+    is non-negative, the maximising path descends first and then traverses
+    east, which yields the expressions below.
+    """
+    comm_e, recv_n, send_e, comm_s = costs
+    south = w + (send_e if n > 1 else 0.0) + comm_s
+    tdiag = wpre + (m - 1) * south
+    if m == 1:
+        return tdiag, wpre + (n - 1) * (w + comm_e)
+    return tdiag, tdiag + (n - 1) * (w + comm_e + recv_n)
+
+
+def _startp_periodic(
+    n: int,
+    m: int,
+    w: float,
+    wpre: float,
+    table: list[list[tuple[float, float, float, float]]],
+    cx: int,
+    cy: int,
+) -> tuple[float, float] | None:
+    """Period-folded ``StartP`` for multi-core (periodic-cost) grids.
+
+    Folds each axis down to ``_FOLD_BASE_PERIODS`` cost periods (preserving
+    the residue of the grid dimension, so the folded grid sees exactly the
+    same cost classes), measures the per-period growth of ``StartP(n, m)``
+    in each direction, verifies the growth is linear (vanishing second
+    differences and cross term), and extrapolates.  Returns ``None`` when
+    the grid is too small to fold, the folded walks would cost more than the
+    exact one, or the linearity verification fails.
+    """
+    base = _FOLD_BASE_PERIODS
+    n0 = n if n <= (base + 2) * cx else base * cx + (n - base * cx) % cx
+    m0 = m if m <= (base + 2) * cy else base * cy + (m - base * cy) % cy
+    kx = (n - n0) // cx
+    ky = (m - m0) // cy
+    if kx == 0 and ky == 0:
+        return None
+    evaluations = 1 + (2 if kx else 0) + (2 if ky else 0) + (1 if kx and ky else 0)
+    if evaluations * (n0 + 2 * cx) * (m0 + 2 * cy) >= n * m:
+        return None
+
+    def corner(a: int, b: int) -> float:
+        return _startp_exact(n0 + a * cx, m0 + b * cy, w, wpre, table, cx, cy)[1]
+
+    f00 = corner(0, 0)
+    tolerance = _FOLD_REL_TOL * max(1.0, abs(f00))
+    dx = dy = 0.0
+    if kx:
+        f10 = corner(1, 0)
+        dx = f10 - f00
+        if abs((corner(2, 0) - f10) - dx) > tolerance:
+            return None
+    if ky:
+        f01 = corner(0, 1)
+        dy = f01 - f00
+        if abs((corner(0, 2) - f01) - dy) > tolerance:
+            return None
+    if kx and ky and abs(corner(1, 1) - (f00 + dx + dy)) > tolerance:
+        return None
+
+    tfull = f00 + kx * dx + ky * dy
+    return _startp_diag(n, m, w, wpre, table, cx, cy), tfull
+
+
 def fill_times(
     spec: WavefrontSpec,
     platform: Platform,
     grid: ProcessorGrid,
     core_mapping: CoreMapping | None = None,
+    *,
+    method: str = "auto",
 ) -> FillTimes:
     """Evaluate the ``StartP`` recurrence (equations (r2a)-(r3b)).
 
@@ -154,90 +375,40 @@ def fill_times(
     same whichever corner a sweep actually starts from (Section 4.2).  On
     multi-core platforms the per-position communication costs follow the
     Table 6 on-chip/off-node classification.
+
+    ``method`` selects the evaluator: ``"auto"``/``"fast"`` use the
+    closed-form (single-core) or period-folded (multi-core) fast path with
+    an automatic fallback to the exact walk, ``"exact"`` always walks the
+    full grid.  The fast path is numerically equivalent to the exact
+    recurrence (within ~1e-12 relative floating-point reassociation noise).
     """
+    if method not in FILL_METHODS:
+        raise ValueError(f"method must be one of {FILL_METHODS}, got {method!r}")
     mapping = resolve_core_mapping(platform, core_mapping)
     n, m = grid.n, grid.m
     w = spec.work_per_tile(grid, platform)
     wpre = spec.pre_work_per_tile(grid, platform)
+    table, multicore = _fill_cost_table(spec, platform, grid, mapping)
+    cx, cy = len(table), len(table[0])
 
-    ew_bytes = spec.message_size_ew(grid)
-    ns_bytes = spec.message_size_ns(grid)
-    multicore = platform.is_multicore and mapping.cores_per_node > 1
-
-    ew_off = CommunicationCosts.for_message(platform, ew_bytes, on_chip=False)
-    ns_off = CommunicationCosts.for_message(platform, ns_bytes, on_chip=False)
-    if multicore:
-        ew_on = CommunicationCosts.for_message(platform, ew_bytes, on_chip=True)
-        ns_on = CommunicationCosts.for_message(platform, ns_bytes, on_chip=True)
+    if method == "exact":
+        tdiag, tfull = _startp_exact(n, m, w, wpre, table, cx, cy)
+    elif not multicore:
+        tdiag, tfull = _startp_homogeneous(n, m, w, wpre, table[0][0])
     else:
-        ew_on, ns_on = ew_off, ns_off
-
-    # StartP and its computation-only portion, stored as flat row-major
-    # arrays indexed by (j-1) * n + (i-1).
-    start = [0.0] * (n * m)
-    start_work = [0.0] * (n * m)
-
-    # Position-dependent costs repeat with period (Cx, Cy); memoise them.
-    cost_cache: dict[tuple[bool, bool, bool, bool], tuple[float, float, float, float]] = {}
-
-    def costs_at(i: int, j: int) -> tuple[float, float, float, float]:
-        if multicore:
-            key = (
-                mapping.comm_from_west_on_chip(i, j),
-                mapping.receive_north_on_chip(i, j),
-                mapping.send_east_on_chip(i, j),
-                mapping.send_south_on_chip(i, j),
-            )
+        folded = _startp_periodic(n, m, w, wpre, table, cx, cy)
+        if folded is None:
+            tdiag, tfull = _startp_exact(n, m, w, wpre, table, cx, cy)
         else:
-            key = (False, False, False, False)
-        cached = cost_cache.get(key)
-        if cached is None:
-            comm_e = (ew_on if key[0] else ew_off).total
-            recv_n = (ns_on if key[1] else ns_off).receive
-            send_e = (ew_on if key[2] else ew_off).send
-            comm_s = (ns_on if key[3] else ns_off).total
-            cached = (comm_e, recv_n, send_e, comm_s)
-            cost_cache[key] = cached
-        return cached
+            tdiag, tfull = folded
 
-    start[0] = wpre
-    start_work[0] = wpre
-
-    for j in range(1, m + 1):
-        row_base = (j - 1) * n
-        for i in range(1, n + 1):
-            if i == 1 and j == 1:
-                continue
-            idx = row_base + (i - 1)
-            comm_e, recv_n, send_e, comm_s = costs_at(i, j)
-            west_total = -1.0
-            west_work = 0.0
-            if i > 1:
-                west_idx = idx - 1
-                extra = comm_e + (recv_n if j > 1 else 0.0)
-                west_total = start[west_idx] + w + extra
-                west_work = start_work[west_idx] + w
-            north_total = -1.0
-            north_work = 0.0
-            if j > 1:
-                north_idx = idx - n
-                extra = (send_e if n > 1 else 0.0) + comm_s
-                north_total = start[north_idx] + w + extra
-                north_work = start_work[north_idx] + w
-            if west_total >= north_total:
-                start[idx] = west_total
-                start_work[idx] = west_work
-            else:
-                start[idx] = north_total
-                start_work[idx] = north_work
-
-    diag_idx = (m - 1) * n  # position (1, m)
-    full_idx = (m - 1) * n + (n - 1)  # position (n, m)
+    # The computation portion is path-independent: every monotone path to a
+    # corner takes the same number of steps, each contributing one W.
     return FillTimes(
-        tdiagfill=start[diag_idx],
-        tfullfill=start[full_idx],
-        tdiagfill_work=start_work[diag_idx],
-        tfullfill_work=start_work[full_idx],
+        tdiagfill=tdiag,
+        tfullfill=tfull,
+        tdiagfill_work=wpre + (m - 1) * w,
+        tfullfill_work=wpre + (n + m - 2) * w,
     )
 
 
@@ -274,10 +445,15 @@ def iteration_prediction(
     platform: Platform,
     grid: ProcessorGrid,
     core_mapping: CoreMapping | None = None,
+    *,
+    method: str = "auto",
 ) -> IterationPrediction:
-    """Evaluate the full Table 5 / Table 6 model for one iteration."""
+    """Evaluate the full Table 5 / Table 6 model for one iteration.
+
+    ``method`` selects the ``StartP`` evaluator (see :func:`fill_times`).
+    """
     mapping = resolve_core_mapping(platform, core_mapping)
-    fill = fill_times(spec, platform, grid, mapping)
+    fill = fill_times(spec, platform, grid, mapping, method=method)
     stack = stack_time(spec, platform, grid, mapping)
     nonwf_work, nonwf_comm = spec.nonwavefront.evaluate_components(platform, spec, grid)
     return IterationPrediction(

@@ -11,21 +11,39 @@ the Section 5 analyses.
 >>> result = predict(chimaera_240cubed(), cray_xt4(), total_cores=4096)
 >>> result.grid.total_processors
 4096
+
+Evaluations are cached: the model's inputs (spec, platform, grid, core
+mapping) are all frozen value types, so :func:`predict` memoises on their
+identity and parameter sweeps that revisit a configuration (e.g. the
+partition-throughput study's repeated partition sizes) pay for the model
+once.  :func:`clear_prediction_cache` resets the memo;
+:func:`prediction_cache_info` exposes hit/miss statistics.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Optional
 
 from repro.apps.base import WavefrontSpec
 from repro.core.decomposition import CoreMapping, ProcessorGrid, decompose
 from repro.core.loggp import Platform
-from repro.core.model import IterationPrediction, iteration_prediction
+from repro.core.model import (
+    FILL_METHODS,
+    IterationPrediction,
+    iteration_prediction,
+)
 from repro.core.multicore import resolve_core_mapping
+from repro.util.caching import call_with_unhashable_fallback
 from repro.util.units import seconds_to_days, us_to_seconds
 
-__all__ = ["Prediction", "predict"]
+__all__ = [
+    "Prediction",
+    "predict",
+    "clear_prediction_cache",
+    "prediction_cache_info",
+]
 
 
 @dataclass(frozen=True)
@@ -138,6 +156,7 @@ def predict(
     total_cores: Optional[int] = None,
     grid: Optional[ProcessorGrid] = None,
     core_mapping: Optional[CoreMapping] = None,
+    method: str = "auto",
 ) -> Prediction:
     """Predict the execution time of ``spec`` on ``platform``.
 
@@ -148,7 +167,14 @@ def predict(
     ``core_mapping`` overrides the ``Cx x Cy`` rectangle that each node's
     cores occupy; by default the paper's mapping for the platform's
     ``cores_per_node`` is used (1x2 for dual-core, 2x2 for quad-core, ...).
+
+    ``method`` selects the ``StartP`` evaluator - ``"auto"``/``"fast"`` for
+    the closed-form/period-folded fast path, ``"exact"`` for the reference
+    grid walk (see :func:`repro.core.model.fill_times`).  Results are
+    memoised on ``(spec, platform, grid, core_mapping, method)``.
     """
+    if method not in FILL_METHODS:
+        raise ValueError(f"method must be one of {FILL_METHODS}, got {method!r}")
     if (total_cores is None) == (grid is None):
         raise ValueError("specify exactly one of total_cores or grid")
     if grid is None:
@@ -157,7 +183,21 @@ def predict(
             raise ValueError("total_cores must be positive")
         grid = decompose(total_cores)
     mapping = resolve_core_mapping(platform, core_mapping)
-    iteration = iteration_prediction(spec, platform, grid, mapping)
+    # Unhashable spec/platform components (e.g. a custom non-wavefront model
+    # holding a mutable object) fall back to uncached evaluation.
+    return call_with_unhashable_fallback(
+        _predict_cached, _predict_uncached, spec, platform, grid, mapping, method
+    )
+
+
+def _predict_uncached(
+    spec: WavefrontSpec,
+    platform: Platform,
+    grid: ProcessorGrid,
+    mapping: CoreMapping,
+    method: str,
+) -> Prediction:
+    iteration = iteration_prediction(spec, platform, grid, mapping, method=method)
     return Prediction(
         spec=spec,
         platform=platform,
@@ -165,3 +205,16 @@ def predict(
         core_mapping=mapping,
         iteration=iteration,
     )
+
+
+_predict_cached = lru_cache(maxsize=4096)(_predict_uncached)
+
+
+def clear_prediction_cache() -> None:
+    """Drop all memoised :func:`predict` results."""
+    _predict_cached.cache_clear()
+
+
+def prediction_cache_info():
+    """Hit/miss statistics of the :func:`predict` memo (``functools`` format)."""
+    return _predict_cached.cache_info()

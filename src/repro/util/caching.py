@@ -1,0 +1,39 @@
+"""Shared memoisation helpers.
+
+The prediction engine memoises on frozen value objects (platforms, specs,
+grids, core mappings).  User subclasses may be unhashable, so cache entry
+points need a graceful uncached fallback - while TypeErrors raised by the
+computation itself must still propagate unchanged (and without silently
+re-running the computation).  This helper centralises that control flow.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+_R = TypeVar("_R")
+
+__all__ = ["call_with_unhashable_fallback"]
+
+
+def call_with_unhashable_fallback(
+    cached: Callable[..., _R],
+    uncached: Callable[..., _R],
+    *args,
+) -> _R:
+    """``cached(*args)``, falling back to ``uncached(*args)`` on unhashable args.
+
+    ``cached`` is an ``lru_cache``-wrapped function, which raises TypeError
+    while building its key if any argument is unhashable - before the wrapped
+    computation runs.  A TypeError raised *by the computation* is
+    distinguished by probing ``hash(args)``: if the key hashes fine, the
+    error came from the computation and is re-raised as-is.
+    """
+    try:
+        return cached(*args)
+    except TypeError:
+        try:
+            hash(args)
+        except TypeError:
+            return uncached(*args)
+        raise  # the TypeError came from the computation, not the cache key

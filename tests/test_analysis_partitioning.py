@@ -3,6 +3,7 @@
 import pytest
 
 from repro.analysis.partitioning import (
+    halving_partition_sizes,
     optimal_parallel_jobs,
     partition_tradeoff,
     throughput_study,
@@ -50,6 +51,20 @@ class TestThroughputStudy:
         rate = {p.parallel_jobs: p.time_steps_per_month_per_job for p in points}
         ratio = rate[2] / rate[1]
         assert 0.70 < ratio < 0.98
+
+    def test_degenerate_zero_step_time_fails_loudly(self, xt4, production_spec, monkeypatch):
+        """Regression: the monthly rate goes through rate_per_month, so a
+        zero-time prediction raises instead of dividing by zero."""
+        import repro.analysis.partitioning as partitioning
+
+        monkeypatch.setattr(partitioning, "_time_per_time_step_s", lambda *args: 0.0)
+        with pytest.raises(ValueError, match="time_per_item_s"):
+            throughput_study(production_spec, xt4, (1024,), parallel_jobs_options=(1,))
+
+    def test_workers_match_serial(self, xt4, production_spec):
+        serial = throughput_study(production_spec, xt4, (16384, 32768))
+        threaded = throughput_study(production_spec, xt4, (16384, 32768), workers=4)
+        assert threaded == serial
 
 
 class TestPartitionTradeoff:
@@ -108,3 +123,53 @@ class TestOptimalParallelJobs:
             spec, xt4, 16384, criterion="r_over_x", min_partition_cores=4096
         )
         assert best.partition_cores >= 4096
+
+    def test_machine_below_min_partition_raises_clearly(self, xt4, production_spec):
+        """Regression: available_cores < min_partition_cores used to surface the
+        unrelated 'no valid partition sizes were supplied' error."""
+        with pytest.raises(ValueError, match="min_partition_cores"):
+            optimal_parallel_jobs(
+                production_spec, xt4, 512, criterion="r_over_x", min_partition_cores=1024
+            )
+
+    def test_odd_available_cores_stops_halving_cleanly(self, xt4):
+        """Regression: a non-power-of-two machine halves only while even, so
+        every candidate divides the machine exactly."""
+        spec = chimaera_240cubed(htile=2)
+        best = optimal_parallel_jobs(
+            spec, xt4, 6144, criterion="r_over_x", min_partition_cores=1024
+        )
+        assert best.available_cores % best.partition_cores == 0
+
+    def test_workers_match_serial(self, xt4, production_spec):
+        serial = optimal_parallel_jobs(production_spec, xt4, 16384)
+        threaded = optimal_parallel_jobs(production_spec, xt4, 16384, workers=4)
+        assert threaded == serial
+
+
+class TestHalvingPartitionSizes:
+    def test_power_of_two_machine(self):
+        assert halving_partition_sizes(8192, 1024) == [8192, 4096, 2048, 1024]
+
+    def test_odd_machine_is_its_own_only_partition(self):
+        assert halving_partition_sizes(1025, 1024) == [1025]
+
+    def test_non_power_of_two_machine_divides_exactly(self):
+        # 6144 = 3 * 2048: every candidate must divide the machine.
+        sizes = halving_partition_sizes(6144, 1024)
+        assert sizes == [6144, 3072, 1536]
+        assert all(6144 % size == 0 for size in sizes)
+
+    def test_halving_stops_at_odd_size(self):
+        # 96 = 3 * 32: the odd factor 3 ends the halving explicitly.
+        assert halving_partition_sizes(96, 2) == [96, 48, 24, 12, 6, 3]
+
+    def test_machine_below_minimum_raises(self):
+        with pytest.raises(ValueError, match="min_partition_cores"):
+            halving_partition_sizes(512, 1024)
+
+    def test_rejects_nonpositive_inputs(self):
+        with pytest.raises(ValueError):
+            halving_partition_sizes(0, 1024)
+        with pytest.raises(ValueError):
+            halving_partition_sizes(1024, 0)

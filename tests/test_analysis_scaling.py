@@ -21,6 +21,15 @@ class TestStrongScaling:
         with pytest.raises(ValueError):
             strong_scaling(chimaera_240cubed(), xt4, [])
 
+    def test_pool_executors_match_serial(self, xt4):
+        serial = strong_scaling(chimaera_240cubed(), xt4, (1024, 4096))
+        threaded = strong_scaling(chimaera_240cubed(), xt4, (1024, 4096), workers=2)
+        forked = strong_scaling(
+            chimaera_240cubed(), xt4, (1024, 4096), workers=2, executor="process"
+        )
+        assert threaded == serial
+        assert forked == serial
+
     def test_time_decreases_monotonically(self, xt4):
         curve = strong_scaling(sweep3d_production_1billion(), xt4, PROCESSOR_COUNTS)
         days = [p.total_time_days for p in curve.points]

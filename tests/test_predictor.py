@@ -1,11 +1,18 @@
 """Tests for repro.core.predictor (the high-level predict() API)."""
 
+import dataclasses
+
 import pytest
 
+from repro.apps.base import NoNonWavefront
 from repro.apps.chimaera import chimaera
 from repro.apps.workloads import chimaera_240cubed, sweep3d_1billion
 from repro.core.decomposition import CoreMapping, ProblemSize, ProcessorGrid
-from repro.core.predictor import predict
+from repro.core.predictor import (
+    clear_prediction_cache,
+    predict,
+    prediction_cache_info,
+)
 from repro.platforms import cray_xt4, cray_xt4_single_core
 
 
@@ -133,3 +140,48 @@ class TestPredictionPhysics:
         faster = predict(spec, xt4.with_compute_scale(0.5), total_cores=64)
         assert faster.time_per_iteration_us < normal.time_per_iteration_us
         assert faster.communication_fraction > normal.communication_fraction
+
+
+class TestPredictionCache:
+    def test_repeat_calls_hit_the_cache(self, spec, xt4):
+        clear_prediction_cache()
+        first = predict(spec, xt4, total_cores=64)
+        before = prediction_cache_info().hits
+        second = predict(spec, xt4, total_cores=64)
+        assert second is first  # frozen value object, shared from the memo
+        assert prediction_cache_info().hits == before + 1
+
+    def test_value_equal_inputs_share_cache_entries(self, xt4):
+        clear_prediction_cache()
+        first = predict(chimaera(ProblemSize(64, 64, 32), iterations=1), xt4, total_cores=64)
+        second = predict(chimaera(ProblemSize(64, 64, 32), iterations=1), cray_xt4(), total_cores=64)
+        assert second is first
+
+    def test_distinct_methods_cached_separately(self, spec, xt4):
+        clear_prediction_cache()
+        fast = predict(spec, xt4, total_cores=64, method="fast")
+        exact = predict(spec, xt4, total_cores=64, method="exact")
+        assert fast is not exact
+        assert fast.time_per_iteration_us == pytest.approx(exact.time_per_iteration_us)
+
+    def test_clear_prediction_cache_resets_statistics(self, spec, xt4):
+        predict(spec, xt4, total_cores=64)
+        clear_prediction_cache()
+        info = prediction_cache_info()
+        assert info.hits == 0 and info.misses == 0 and info.currsize == 0
+
+    def test_unhashable_spec_component_still_predicts(self, xt4):
+        """A custom non-wavefront model holding a mutable object bypasses the
+        memo but must still evaluate correctly."""
+
+        class UnhashableNonWavefront(NoNonWavefront):
+            __hash__ = None  # type: ignore[assignment]
+
+        spec = chimaera(ProblemSize(64, 64, 32), iterations=1)
+        custom = dataclasses.replace(spec, nonwavefront=UnhashableNonWavefront())
+        baseline = dataclasses.replace(spec, nonwavefront=NoNonWavefront())
+        prediction = predict(custom, xt4, total_cores=64)
+        expected = predict(baseline, xt4, total_cores=64)
+        assert prediction.time_per_iteration_us == pytest.approx(
+            expected.time_per_iteration_us
+        )

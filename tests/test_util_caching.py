@@ -1,0 +1,56 @@
+"""Tests for repro.util.caching (the unhashable-fallback cache dispatch)."""
+
+from functools import lru_cache
+
+import pytest
+
+from repro.util.caching import call_with_unhashable_fallback
+
+
+def test_hashable_args_use_the_cache():
+    calls = []
+
+    @lru_cache(maxsize=None)
+    def cached(x):
+        calls.append(x)
+        return x * 2
+
+    def uncached(x):
+        raise AssertionError("must not be reached for hashable args")
+
+    assert call_with_unhashable_fallback(cached, uncached, 3) == 6
+    assert call_with_unhashable_fallback(cached, uncached, 3) == 6
+    assert calls == [3]  # second call was a cache hit
+
+
+def test_unhashable_args_fall_back_to_uncached():
+    @lru_cache(maxsize=None)
+    def cached(x):
+        return sum(x)
+
+    fallback_calls = []
+
+    def uncached(x):
+        fallback_calls.append(x)
+        return sum(x)
+
+    assert call_with_unhashable_fallback(cached, uncached, [1, 2, 3]) == 6
+    assert fallback_calls == [[1, 2, 3]]
+
+
+def test_type_error_from_the_computation_propagates_once():
+    attempts = []
+
+    @lru_cache(maxsize=None)
+    def cached(x):
+        attempts.append(x)
+        raise TypeError("broken computation")
+
+    def uncached(x):
+        attempts.append(("uncached", x))
+        return x
+
+    with pytest.raises(TypeError, match="broken computation"):
+        call_with_unhashable_fallback(cached, uncached, 5)
+    # The computation ran exactly once; no silent uncached re-run.
+    assert attempts == [5]
