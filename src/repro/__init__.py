@@ -44,29 +44,45 @@ from repro.core import (
     prediction_cache_info,
 )
 from repro.apps.base import SweepPhase, SweepSchedule, WavefrontSpec
+from repro.backends import (
+    BackendResult,
+    PredictionRequest,
+    available_backends,
+    get_backend,
+    predict_many,
+    predict_one,
+    register_backend,
+)
 from repro.platforms import cray_xt3, cray_xt4, cray_xt4_single_core, custom_platform, ibm_sp2
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "BackendResult",
     "CoreMapping",
     "Corner",
     "Platform",
     "Prediction",
+    "PredictionRequest",
     "ProblemSize",
     "ProcessorGrid",
     "SweepPhase",
     "SweepSchedule",
     "WavefrontSpec",
     "allreduce_time",
+    "available_backends",
     "clear_prediction_cache",
     "cray_xt3",
     "cray_xt4",
     "cray_xt4_single_core",
     "custom_platform",
     "decompose",
+    "get_backend",
     "ibm_sp2",
     "predict",
+    "predict_many",
+    "predict_one",
     "prediction_cache_info",
+    "register_backend",
     "__version__",
 ]

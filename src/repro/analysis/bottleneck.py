@@ -15,8 +15,11 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.apps.base import WavefrontSpec
+from repro.backends.base import BackendResult, PredictionRequest
+from repro.backends.registry import BackendSpec
+from repro.backends.service import predict_many
 from repro.core.loggp import Platform
-from repro.core.predictor import Prediction, predict
+from repro.core.predictor import Prediction
 
 __all__ = ["BreakdownPoint", "cost_breakdown", "communication_crossover"]
 
@@ -29,8 +32,9 @@ class BreakdownPoint:
     total_time_days: float
     computation_days: float
     communication_days: float
-    pipeline_fill_days: float
-    prediction: Prediction
+    pipeline_fill_days: Optional[float]
+    prediction: Optional[Prediction]
+    result: Optional[BackendResult] = None
 
     @property
     def communication_dominates(self) -> bool:
@@ -41,25 +45,37 @@ def cost_breakdown(
     spec: WavefrontSpec,
     platform: Platform,
     processor_counts: Sequence[int],
+    *,
+    backend: BackendSpec = "analytic-fast",
+    workers: Optional[int] = None,
+    executor: str = "thread",
 ) -> list[BreakdownPoint]:
-    """The Figure 11 curves: total, computation and communication time vs P."""
+    """The Figure 11 curves: total, computation and communication time vs P.
+
+    ``backend`` selects the prediction engine; ``pipeline_fill_days`` is
+    None for backends that cannot separate the fill component.
+    """
+    requests = [
+        PredictionRequest(spec, platform, total_cores=count)
+        for count in processor_counts
+    ]
+    results = predict_many(requests, backend=backend, workers=workers, executor=executor)
     points: list[BreakdownPoint] = []
-    for count in processor_counts:
-        prediction = predict(spec, platform, total_cores=count)
-        total_days = prediction.total_time_days
-        comp_days = total_days * prediction.computation_fraction
-        iteration = prediction.time_per_iteration_us
-        fill_fraction = (
-            prediction.pipeline_fill_per_iteration_us / iteration if iteration > 0 else 0.0
-        )
+    for count, result in zip(processor_counts, results):
+        total_days = result.total_time_days
+        comp_days = total_days * result.computation_fraction
+        fill_fraction = result.pipeline_fill_fraction
         points.append(
             BreakdownPoint(
                 total_cores=count,
                 total_time_days=total_days,
                 computation_days=comp_days,
                 communication_days=total_days - comp_days,
-                pipeline_fill_days=total_days * fill_fraction,
-                prediction=prediction,
+                pipeline_fill_days=(
+                    total_days * fill_fraction if fill_fraction is not None else None
+                ),
+                prediction=result.prediction,
+                result=result,
             )
         )
     return points

@@ -13,12 +13,15 @@ elongated.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.apps.base import WavefrontSpec
+from repro.backends.base import BackendResult, PredictionRequest
+from repro.backends.registry import BackendSpec
+from repro.backends.service import predict_many
 from repro.core.decomposition import ProcessorGrid
 from repro.core.loggp import Platform
-from repro.core.predictor import Prediction, predict
+from repro.core.predictor import Prediction
 
 __all__ = ["DecompositionPoint", "all_factorisations", "decomposition_study", "best_decomposition"]
 
@@ -29,8 +32,9 @@ class DecompositionPoint:
 
     grid: ProcessorGrid
     time_per_iteration_us: float
-    pipeline_fill_us: float
-    prediction: Prediction
+    pipeline_fill_us: Optional[float]
+    prediction: Optional[Prediction]
+    result: Optional[BackendResult] = None
 
     @property
     def aspect_ratio(self) -> float:
@@ -56,16 +60,19 @@ def decomposition_study(
     *,
     grids: Sequence[ProcessorGrid] | None = None,
     max_aspect_ratio: float | None = 64.0,
+    backend: BackendSpec = "analytic-fast",
+    workers: Optional[int] = None,
+    executor: str = "thread",
 ) -> List[DecompositionPoint]:
     """Evaluate the model for each candidate factorisation of ``total_processors``.
 
     ``max_aspect_ratio`` discards extremely elongated arrays (1 x P and
     friends) which are never competitive and only slow the study down; pass
-    ``None`` to keep them all.
+    ``None`` to keep them all.  ``backend`` selects the prediction engine.
     """
     if grids is None:
         grids = all_factorisations(total_processors)
-    points: List[DecompositionPoint] = []
+    kept: List[ProcessorGrid] = []
     for grid in grids:
         if grid.total_processors != total_processors:
             raise ValueError(
@@ -74,18 +81,21 @@ def decomposition_study(
         ratio = max(grid.n / grid.m, grid.m / grid.n)
         if max_aspect_ratio is not None and ratio > max_aspect_ratio:
             continue
-        prediction = predict(spec, platform, grid=grid)
-        points.append(
-            DecompositionPoint(
-                grid=grid,
-                time_per_iteration_us=prediction.time_per_iteration_us,
-                pipeline_fill_us=prediction.pipeline_fill_per_iteration_us,
-                prediction=prediction,
-            )
-        )
-    if not points:
+        kept.append(grid)
+    if not kept:
         raise ValueError("no factorisations left after filtering")
-    return points
+    requests = [PredictionRequest(spec, platform, grid=grid) for grid in kept]
+    results = predict_many(requests, backend=backend, workers=workers, executor=executor)
+    return [
+        DecompositionPoint(
+            grid=grid,
+            time_per_iteration_us=result.time_per_iteration_us,
+            pipeline_fill_us=result.pipeline_fill_per_iteration_us,
+            prediction=result.prediction,
+            result=result,
+        )
+        for grid, result in zip(kept, results)
+    ]
 
 
 def best_decomposition(

@@ -10,26 +10,33 @@ the paper finds 2-5 on the XT4 versus 5-10 on the older SP/2.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import partial
 from typing import Callable, Optional, Sequence
 
 from repro.apps.base import WavefrontSpec
+from repro.backends.base import BackendResult, PredictionRequest
+from repro.backends.registry import BackendSpec
+from repro.backends.service import predict_many
 from repro.core.loggp import Platform
-from repro.core.predictor import Prediction, predict
-from repro.util.sweep import parallel_map
+from repro.core.predictor import Prediction
 
 __all__ = ["HtilePoint", "HtileStudy", "htile_study", "optimal_htile"]
 
 
 @dataclass(frozen=True)
 class HtilePoint:
-    """One point of the Htile sweep."""
+    """One point of the Htile sweep.
+
+    ``pipeline_fill_fraction`` is None when the backend cannot separate the
+    fill component (e.g. the simulator); ``prediction`` carries the analytic
+    detail object when available and ``result`` the backend-agnostic one.
+    """
 
     htile: float
     time_per_time_step_s: float
-    pipeline_fill_fraction: float
+    pipeline_fill_fraction: Optional[float]
     communication_fraction: float
-    prediction: Prediction
+    prediction: Optional[Prediction]
+    result: Optional[BackendResult] = None
 
 
 @dataclass(frozen=True)
@@ -53,27 +60,15 @@ class HtileStudy:
         return 1.0 - self.optimal.time_per_time_step_s / baseline.time_per_time_step_s
 
 
-def _htile_point(
-    spec_builder: Callable[[float], WavefrontSpec],
-    platform: Platform,
-    total_cores: int,
-    htile: float,
-) -> tuple[str, HtilePoint]:
-    spec = spec_builder(htile)
-    prediction = predict(spec, platform, total_cores=total_cores)
-    iteration = prediction.time_per_iteration_us
-    point = HtilePoint(
+def _htile_point(htile: float, result: BackendResult) -> HtilePoint:
+    return HtilePoint(
         htile=float(htile),
-        time_per_time_step_s=prediction.time_per_time_step_s,
-        pipeline_fill_fraction=(
-            prediction.pipeline_fill_per_iteration_us / iteration
-            if iteration > 0
-            else 0.0
-        ),
-        communication_fraction=prediction.communication_fraction,
-        prediction=prediction,
+        time_per_time_step_s=result.time_per_time_step_s,
+        pipeline_fill_fraction=result.pipeline_fill_fraction,
+        communication_fraction=result.communication_fraction,
+        prediction=result.prediction,
+        result=result,
     )
-    return spec.name, point
 
 
 def htile_study(
@@ -82,6 +77,7 @@ def htile_study(
     total_cores: int,
     htile_values: Sequence[float],
     *,
+    backend: BackendSpec = "analytic-fast",
     workers: Optional[int] = None,
     executor: str = "thread",
 ) -> HtileStudy:
@@ -89,23 +85,26 @@ def htile_study(
 
     ``spec_builder(htile)`` must return the application spec configured with
     that tile height (for Sweep3D this maps Htile back onto ``mk``; for
-    Chimaera / custom codes it sets the blocking factor directly).
-    ``workers``/``executor`` optionally fan the sweep out over a pool; with
-    ``executor="process"`` the builder must be picklable.
+    Chimaera / custom codes it sets the blocking factor directly); it runs
+    in the calling process.  ``backend`` selects the prediction engine and
+    ``workers``/``executor`` optionally fan the evaluations out over a pool
+    (see :func:`repro.backends.service.predict_many`).
     """
     if not htile_values:
         raise ValueError("htile_values must not be empty")
-    results = parallel_map(
-        partial(_htile_point, spec_builder, platform, total_cores),
-        htile_values,
-        workers,
-        executor,
-    )
+    specs = [spec_builder(htile) for htile in htile_values]
+    requests = [
+        PredictionRequest(spec, platform, total_cores=total_cores) for spec in specs
+    ]
+    results = predict_many(requests, backend=backend, workers=workers, executor=executor)
     return HtileStudy(
-        application=results[-1][0],
+        application=specs[-1].name,
         platform=platform.name,
         total_cores=total_cores,
-        points=tuple(point for _, point in results),
+        points=tuple(
+            _htile_point(htile, result)
+            for htile, result in zip(htile_values, results)
+        ),
     )
 
 
@@ -115,11 +114,18 @@ def optimal_htile(
     total_cores: int,
     htile_values: Sequence[float],
     *,
+    backend: BackendSpec = "analytic-fast",
     workers: Optional[int] = None,
     executor: str = "thread",
 ) -> float:
     """The Htile value minimising execution time over the given candidates."""
     study = htile_study(
-        spec_builder, platform, total_cores, htile_values, workers=workers, executor=executor
+        spec_builder,
+        platform,
+        total_cores,
+        htile_values,
+        backend=backend,
+        workers=workers,
+        executor=executor,
     )
     return study.optimal.htile

@@ -12,13 +12,14 @@ diminishing or negative returns for transport codes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import partial
 from typing import Optional, Sequence
 
 from repro.apps.base import WavefrontSpec
+from repro.backends.base import BackendResult, PredictionRequest
+from repro.backends.registry import BackendSpec
+from repro.backends.service import predict_many
 from repro.core.loggp import Platform
-from repro.core.predictor import Prediction, predict
-from repro.util.sweep import parallel_map
+from repro.core.predictor import Prediction
 
 __all__ = ["MulticoreDesignPoint", "cores_per_node_study", "equivalent_node_counts"]
 
@@ -32,7 +33,8 @@ class MulticoreDesignPoint:
     buses_per_node: int
     total_cores: int
     total_time_days: float
-    prediction: Prediction
+    prediction: Optional[Prediction]
+    result: Optional[BackendResult] = None
 
     @property
     def label(self) -> str:
@@ -48,6 +50,7 @@ def cores_per_node_study(
     *,
     cores_per_node_options: Sequence[int] = (1, 2, 4, 8, 16),
     buses_per_node: int = 1,
+    backend: BackendSpec = "analytic-fast",
     workers: Optional[int] = None,
     executor: str = "thread",
 ) -> list[MulticoreDesignPoint]:
@@ -55,7 +58,8 @@ def cores_per_node_study(
 
     ``base_platform`` supplies the communication constants (typically the
     XT4); its node architecture is overridden per design point.
-    ``workers``/``executor`` optionally fan the design points out over a pool.
+    ``backend`` selects the prediction engine; ``workers``/``executor``
+    optionally fan the design points out over a pool.
     """
     combos = []
     for cores in cores_per_node_options:
@@ -63,23 +67,23 @@ def cores_per_node_study(
         platform = base_platform.with_cores_per_node(cores, buses)
         for nodes in node_counts:
             combos.append((nodes, cores, buses, platform))
-    return parallel_map(partial(_design_point, spec), combos, workers, executor)
-
-
-def _design_point(
-    spec: WavefrontSpec, combo: tuple[int, int, int, Platform]
-) -> MulticoreDesignPoint:
-    nodes, cores, buses, platform = combo
-    total_cores = nodes * cores
-    prediction = predict(spec, platform, total_cores=total_cores)
-    return MulticoreDesignPoint(
-        nodes=nodes,
-        cores_per_node=cores,
-        buses_per_node=buses,
-        total_cores=total_cores,
-        total_time_days=prediction.total_time_days,
-        prediction=prediction,
-    )
+    requests = [
+        PredictionRequest(spec, platform, total_cores=nodes * cores)
+        for nodes, cores, _buses, platform in combos
+    ]
+    results = predict_many(requests, backend=backend, workers=workers, executor=executor)
+    return [
+        MulticoreDesignPoint(
+            nodes=nodes,
+            cores_per_node=cores,
+            buses_per_node=buses,
+            total_cores=nodes * cores,
+            total_time_days=result.total_time_days,
+            prediction=result.prediction,
+            result=result,
+        )
+        for (nodes, cores, buses, _platform), result in zip(combos, results)
+    ]
 
 
 def equivalent_node_counts(

@@ -17,13 +17,13 @@ the trade-off with:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import partial
 from typing import Optional, Sequence
 
 from repro.apps.base import WavefrontSpec
+from repro.backends.base import PredictionRequest
+from repro.backends.registry import BackendSpec
+from repro.backends.service import predict_many
 from repro.core.loggp import Platform
-from repro.core.predictor import predict
-from repro.util.sweep import parallel_map
 from repro.util.units import rate_per_month, us_to_seconds
 
 __all__ = [
@@ -52,9 +52,9 @@ class ThroughputPoint:
         return self.time_steps_per_month_per_job * self.parallel_jobs
 
 
-def _time_per_time_step_s(spec: WavefrontSpec, platform: Platform, cores: int) -> float:
-    prediction = predict(spec, platform, total_cores=cores)
-    return prediction.time_per_time_step_s
+def _time_per_time_step_s(result) -> float:
+    """Extraction hook (kept separable so tests can stub degenerate timings)."""
+    return result.time_per_time_step_s
 
 
 def throughput_study(
@@ -63,16 +63,18 @@ def throughput_study(
     total_cores_options: Sequence[int],
     *,
     parallel_jobs_options: Sequence[int] = (1, 2, 4, 8),
+    backend: BackendSpec = "analytic-fast",
     workers: Optional[int] = None,
     executor: str = "thread",
 ) -> list[ThroughputPoint]:
     """The Figure 7 study: time steps per problem per month vs partitioning.
 
     The same partition size recurs across many ``total_cores`` entries; the
-    prediction cache makes each repeat free.  ``workers``/``executor``
-    optionally fan the distinct sweep points out over a pool.  The monthly
-    rate goes through :func:`repro.util.units.rate_per_month`, so a
-    degenerate zero-time prediction raises instead of dividing by zero.
+    batch service deduplicates the repeats and evaluates each distinct
+    partition once (on any ``backend``, optionally over a
+    ``workers``/``executor`` pool).  The monthly rate goes through
+    :func:`repro.util.units.rate_per_month`, so a degenerate zero-time
+    prediction raises instead of dividing by zero.
     """
     combos = [
         (total_cores, jobs)
@@ -80,22 +82,24 @@ def throughput_study(
         for jobs in parallel_jobs_options
         if jobs >= 1 and total_cores % jobs == 0
     ]
-    return parallel_map(partial(_throughput_point, spec, platform), combos, workers, executor)
-
-
-def _throughput_point(
-    spec: WavefrontSpec, platform: Platform, combo: tuple[int, int]
-) -> ThroughputPoint:
-    total_cores, jobs = combo
-    partition = total_cores // jobs
-    step_time = _time_per_time_step_s(spec, platform, partition)
-    return ThroughputPoint(
-        total_cores=total_cores,
-        parallel_jobs=jobs,
-        partition_cores=partition,
-        time_per_time_step_s=step_time,
-        time_steps_per_month_per_job=rate_per_month(step_time),
-    )
+    requests = [
+        PredictionRequest(spec, platform, total_cores=total_cores // jobs)
+        for total_cores, jobs in combos
+    ]
+    results = predict_many(requests, backend=backend, workers=workers, executor=executor)
+    points = []
+    for (total_cores, jobs), result in zip(combos, results):
+        step_time = _time_per_time_step_s(result)
+        points.append(
+            ThroughputPoint(
+                total_cores=total_cores,
+                parallel_jobs=jobs,
+                partition_cores=total_cores // jobs,
+                time_per_time_step_s=step_time,
+                time_steps_per_month_per_job=rate_per_month(step_time),
+            )
+        )
+    return points
 
 
 @dataclass(frozen=True)
@@ -128,6 +132,7 @@ def partition_tradeoff(
     available_cores: int,
     partition_sizes: Sequence[int],
     *,
+    backend: BackendSpec = "analytic-fast",
     workers: Optional[int] = None,
     executor: str = "thread",
 ) -> list[PartitionTradeoffPoint]:
@@ -139,24 +144,24 @@ def partition_tradeoff(
     ]
     if not valid:
         raise ValueError("no valid partition sizes were supplied")
-    return parallel_map(
-        partial(_tradeoff_point, spec, platform, available_cores), valid, workers, executor
-    )
-
-
-def _tradeoff_point(
-    spec: WavefrontSpec, platform: Platform, available_cores: int, partition: int
-) -> PartitionTradeoffPoint:
-    jobs = available_cores // partition
-    prediction = predict(spec, platform, total_cores=partition)
-    runtime_s = us_to_seconds(prediction.total_time_us)
-    return PartitionTradeoffPoint(
-        available_cores=available_cores,
-        partition_cores=partition,
-        parallel_jobs=jobs,
-        runtime_s=runtime_s,
-        throughput_per_s=jobs / runtime_s,
-    )
+    requests = [
+        PredictionRequest(spec, platform, total_cores=partition) for partition in valid
+    ]
+    results = predict_many(requests, backend=backend, workers=workers, executor=executor)
+    points = []
+    for partition, result in zip(valid, results):
+        jobs = available_cores // partition
+        runtime_s = us_to_seconds(result.total_time_us)
+        points.append(
+            PartitionTradeoffPoint(
+                available_cores=available_cores,
+                partition_cores=partition,
+                parallel_jobs=jobs,
+                runtime_s=runtime_s,
+                throughput_per_s=jobs / runtime_s,
+            )
+        )
+    return points
 
 
 def halving_partition_sizes(available_cores: int, min_partition_cores: int) -> list[int]:
@@ -194,6 +199,7 @@ def optimal_parallel_jobs(
     *,
     criterion: str = "r_over_x",
     min_partition_cores: int = 1024,
+    backend: BackendSpec = "analytic-fast",
     workers: Optional[int] = None,
     executor: str = "thread",
 ) -> PartitionTradeoffPoint:
@@ -209,6 +215,12 @@ def optimal_parallel_jobs(
         raise ValueError("criterion must be 'r_over_x' or 'r2_over_x'")
     sizes = halving_partition_sizes(available_cores, min_partition_cores)
     points = partition_tradeoff(
-        spec, platform, available_cores, sizes, workers=workers, executor=executor
+        spec,
+        platform,
+        available_cores,
+        sizes,
+        backend=backend,
+        workers=workers,
+        executor=executor,
     )
     return min(points, key=lambda p: getattr(p, criterion))

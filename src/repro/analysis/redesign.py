@@ -17,13 +17,15 @@ time steps.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.apps.base import WavefrontSpec
 from repro.apps.sweep3d import Sweep3DConfig, sweep3d
+from repro.backends.base import PredictionRequest
+from repro.backends.registry import BackendSpec
+from repro.backends.service import predict_many
 from repro.core.decomposition import ProblemSize, ProcessorGrid, decompose
 from repro.core.loggp import Platform
-from repro.core.predictor import predict
 
 __all__ = [
     "RedesignPoint",
@@ -39,10 +41,13 @@ class RedesignPoint:
     total_cores: int
     sequential_days: float
     pipelined_days: float
-    sequential_fill_days: float
+    #: None when the backend cannot separate the fill component (simulator).
+    sequential_fill_days: Optional[float]
 
     @property
-    def fill_fraction_sequential(self) -> float:
+    def fill_fraction_sequential(self) -> Optional[float]:
+        if self.sequential_fill_days is None:
+            return None
         if self.sequential_days == 0.0:
             return 0.0
         return self.sequential_fill_days / self.sequential_days
@@ -94,12 +99,19 @@ def energy_group_redesign_study(
     time_steps: int = 10_000,
     htile: float = 2.0,
     extra_iteration_factor: float = 1.0,
+    backend: BackendSpec = "analytic-fast",
+    workers: Optional[int] = None,
+    executor: str = "thread",
 ) -> list[RedesignPoint]:
-    """The Figure 12 study: sequential vs pipelined energy groups, weak scaling."""
+    """The Figure 12 study: sequential vs pipelined energy groups, weak scaling.
+
+    Both variants at every machine size are evaluated in a single
+    :func:`~repro.backends.service.predict_many` batch on ``backend``.
+    """
     if not processor_counts:
         raise ValueError("processor_counts must not be empty")
     config = Sweep3DConfig.for_htile(htile)
-    points: list[RedesignPoint] = []
+    requests: list[PredictionRequest] = []
     for count in processor_counts:
         grid = decompose(count)
         problem = _weak_scaled_problem(grid, cells_per_processor)
@@ -113,20 +125,24 @@ def energy_group_redesign_study(
         pipelined = pipelined_energy_groups_spec(
             sequential, extra_iteration_factor=extra_iteration_factor
         )
-        seq_prediction = predict(sequential, platform, grid=grid)
-        pipe_prediction = predict(pipelined, platform, grid=grid)
-        iteration_us = seq_prediction.time_per_iteration_us
-        fill_fraction = (
-            seq_prediction.pipeline_fill_per_iteration_us / iteration_us
-            if iteration_us > 0
-            else 0.0
-        )
+        requests.append(PredictionRequest(sequential, platform, grid=grid))
+        requests.append(PredictionRequest(pipelined, platform, grid=grid))
+    results = predict_many(requests, backend=backend, workers=workers, executor=executor)
+    points: list[RedesignPoint] = []
+    for index, count in enumerate(processor_counts):
+        seq_result = results[2 * index]
+        pipe_result = results[2 * index + 1]
+        fill_fraction = seq_result.pipeline_fill_fraction
         points.append(
             RedesignPoint(
                 total_cores=count,
-                sequential_days=seq_prediction.total_time_days,
-                pipelined_days=pipe_prediction.total_time_days,
-                sequential_fill_days=seq_prediction.total_time_days * fill_fraction,
+                sequential_days=seq_result.total_time_days,
+                pipelined_days=pipe_result.total_time_days,
+                sequential_fill_days=(
+                    seq_result.total_time_days * fill_fraction
+                    if fill_fraction is not None
+                    else None
+                ),
             )
         )
     return points

@@ -11,14 +11,15 @@ problem with the machine.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import partial
 from typing import Callable, Optional, Sequence
 
 from repro.apps.base import WavefrontSpec
+from repro.backends.base import BackendResult, PredictionRequest
+from repro.backends.registry import BackendSpec
+from repro.backends.service import predict_many
 from repro.core.decomposition import ProcessorGrid, decompose
 from repro.core.loggp import Platform
-from repro.core.predictor import Prediction, predict
-from repro.util.sweep import parallel_map
+from repro.core.predictor import Prediction
 
 __all__ = [
     "ScalingPoint",
@@ -31,14 +32,22 @@ __all__ = [
 
 @dataclass(frozen=True)
 class ScalingPoint:
-    """One (processor count, predicted time) point of a scaling curve."""
+    """One (processor count, predicted time) point of a scaling curve.
+
+    ``prediction`` carries the analytic detail object when the curve was
+    produced by an analytic backend (None for e.g. the simulator backend);
+    ``result`` is the backend-agnostic evaluation.
+    ``pipeline_fill_fraction`` is None when the backend cannot separate the
+    fill component (the simulator measures only total time).
+    """
 
     total_cores: int
     total_time_days: float
     time_per_time_step_s: float
     computation_fraction: float
-    pipeline_fill_fraction: float
-    prediction: Prediction
+    pipeline_fill_fraction: Optional[float]
+    prediction: Optional[Prediction]
+    result: Optional[BackendResult] = None
 
     @property
     def communication_fraction(self) -> float:
@@ -75,22 +84,16 @@ class ScalingCurve:
         ]
 
 
-def _point(prediction: Prediction) -> ScalingPoint:
-    iteration = prediction.time_per_iteration_us
+def _point(result: BackendResult) -> ScalingPoint:
     return ScalingPoint(
-        total_cores=prediction.grid.total_processors,
-        total_time_days=prediction.total_time_days,
-        time_per_time_step_s=prediction.time_per_time_step_s,
-        computation_fraction=prediction.computation_fraction,
-        pipeline_fill_fraction=(
-            prediction.pipeline_fill_per_iteration_us / iteration if iteration > 0 else 0.0
-        ),
-        prediction=prediction,
+        total_cores=result.grid.total_processors,
+        total_time_days=result.total_time_days,
+        time_per_time_step_s=result.time_per_time_step_s,
+        computation_fraction=result.computation_fraction,
+        pipeline_fill_fraction=result.pipeline_fill_fraction,
+        prediction=result.prediction,
+        result=result,
     )
-
-
-def _strong_scaling_point(spec: WavefrontSpec, platform: Platform, count: int) -> ScalingPoint:
-    return _point(predict(spec, platform, total_cores=count))
 
 
 def strong_scaling(
@@ -98,39 +101,32 @@ def strong_scaling(
     platform: Platform,
     processor_counts: Sequence[int],
     *,
+    backend: BackendSpec = "analytic-fast",
     workers: Optional[int] = None,
     executor: str = "thread",
 ) -> ScalingCurve:
     """Fixed problem, growing machine (the Figure 6 study).
 
+    ``backend`` selects the prediction engine (any registered backend, e.g.
+    ``"simulator"`` to measure the curve instead of modelling it).
     ``workers``/``executor`` optionally fan the processor counts out over a
     pool (``executor="process"`` uses multiple cores - see
-    :func:`repro.util.sweep.parallel_map`); the curve's point order always
-    follows ``processor_counts``.
+    :func:`repro.backends.service.predict_many`); the curve's point order
+    always follows ``processor_counts``.
     """
     if not processor_counts:
         raise ValueError("processor_counts must not be empty")
-    points = tuple(
-        parallel_map(
-            partial(_strong_scaling_point, spec, platform),
-            processor_counts,
-            workers,
-            executor,
-        )
-    )
+    requests = [
+        PredictionRequest(spec, platform, total_cores=count)
+        for count in processor_counts
+    ]
+    results = predict_many(requests, backend=backend, workers=workers, executor=executor)
     return ScalingCurve(
-        application=spec.name, platform=platform.name, points=points, mode="strong"
+        application=spec.name,
+        platform=platform.name,
+        points=tuple(_point(result) for result in results),
+        mode="strong",
     )
-
-
-def _weak_scaling_point(
-    spec_builder: Callable[[ProcessorGrid], WavefrontSpec],
-    platform: Platform,
-    count: int,
-) -> tuple[str, ScalingPoint]:
-    grid = decompose(count)
-    spec = spec_builder(grid)
-    return spec.name, _point(predict(spec, platform, grid=grid))
 
 
 def weak_scaling(
@@ -138,6 +134,7 @@ def weak_scaling(
     platform: Platform,
     processor_counts: Sequence[int],
     *,
+    backend: BackendSpec = "analytic-fast",
     workers: Optional[int] = None,
     executor: str = "thread",
 ) -> ScalingCurve:
@@ -145,22 +142,20 @@ def weak_scaling(
 
     ``spec_builder(grid)`` receives the decomposed processor grid and must
     return the spec whose global problem matches that grid (e.g. 4x4x1000
-    cells per processor).  With ``executor="process"`` the builder must be
-    picklable (a module-level function or partial, not a lambda).
+    cells per processor); it runs in the calling process, only the model
+    evaluations fan out over the optional pool.
     """
     if not processor_counts:
         raise ValueError("processor_counts must not be empty")
-    results = parallel_map(
-        partial(_weak_scaling_point, spec_builder, platform),
-        processor_counts,
-        workers,
-        executor,
-    )
-    application = results[-1][0]
+    requests = []
+    for count in processor_counts:
+        grid = decompose(count)
+        requests.append(PredictionRequest(spec_builder(grid), platform, grid=grid))
+    results = predict_many(requests, backend=backend, workers=workers, executor=executor)
     return ScalingCurve(
-        application=application,
+        application=requests[-1].spec.name,
         platform=platform.name,
-        points=tuple(point for _, point in results),
+        points=tuple(_point(result) for result in results),
         mode="weak",
     )
 

@@ -16,13 +16,13 @@ use-case the paper motivates.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from functools import partial
 from typing import Callable, Dict, Optional, Sequence
 
 from repro.apps.base import WavefrontSpec
+from repro.backends.base import PredictionRequest
+from repro.backends.registry import BackendSpec
+from repro.backends.service import predict_many
 from repro.core.loggp import OffNodeParams, OnChipParams, Platform
-from repro.core.predictor import predict
-from repro.util.sweep import parallel_map
 
 __all__ = [
     "SensitivityResult",
@@ -149,54 +149,49 @@ def sensitivity_study(
     factor: float = 1.10,
     platform_parameters: Sequence[str] = PLATFORM_PARAMETERS,
     application_parameters: Sequence[str] = APPLICATION_PARAMETERS,
+    backend: BackendSpec = "analytic-fast",
     workers: Optional[int] = None,
     executor: str = "thread",
 ) -> Dict[str, SensitivityResult]:
     """Perturb each parameter by ``factor`` and report the time elasticity.
 
-    ``workers``/``executor`` optionally evaluate the perturbations on a pool
-    (each perturbation is an independent model evaluation).
+    The baseline and every perturbation go through one
+    :func:`~repro.backends.service.predict_many` batch on ``backend``;
+    ``workers``/``executor`` optionally evaluate them on a pool.
     """
     if factor <= 0 or factor == 1.0:
         raise ValueError("factor must be positive and different from 1")
-    baseline = predict(spec, platform, total_cores=total_cores).time_per_iteration_us
-
     perturbations = [("platform", parameter) for parameter in platform_parameters] + [
         ("application", parameter) for parameter in application_parameters
     ]
-    evaluate = partial(
-        _sensitivity_point, spec, platform, total_cores, factor, baseline
-    )
+    requests = [PredictionRequest(spec, platform, total_cores=total_cores)]
+    for kind, parameter in perturbations:
+        if kind == "platform":
+            requests.append(
+                PredictionRequest(
+                    spec, perturb_platform(platform, parameter, factor),
+                    total_cores=total_cores,
+                )
+            )
+        else:
+            requests.append(
+                PredictionRequest(
+                    perturb_application(spec, parameter, factor), platform,
+                    total_cores=total_cores,
+                )
+            )
+    results = predict_many(requests, backend=backend, workers=workers, executor=executor)
+    baseline = results[0].time_per_iteration_us
     return {
-        result.parameter: result
-        for result in parallel_map(evaluate, perturbations, workers, executor)
+        parameter: SensitivityResult(
+            parameter=parameter,
+            kind=kind,
+            baseline_us=baseline,
+            perturbed_us=result.time_per_iteration_us,
+            factor=factor,
+        )
+        for (kind, parameter), result in zip(perturbations, results[1:])
     }
-
-
-def _sensitivity_point(
-    spec: WavefrontSpec,
-    platform: Platform,
-    total_cores: int,
-    factor: float,
-    baseline: float,
-    perturbation: tuple[str, str],
-) -> SensitivityResult:
-    kind, parameter = perturbation
-    if kind == "platform":
-        perturbed = predict(
-            spec, perturb_platform(platform, parameter, factor), total_cores=total_cores
-        ).time_per_iteration_us
-    else:
-        perturbed = predict(
-            perturb_application(spec, parameter, factor), platform, total_cores=total_cores
-        ).time_per_iteration_us
-    return SensitivityResult(
-        parameter=parameter,
-        kind=kind,
-        baseline_us=baseline,
-        perturbed_us=perturbed,
-        factor=factor,
-    )
 
 
 def dominant_parameter(

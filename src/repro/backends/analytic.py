@@ -1,0 +1,77 @@
+"""Analytic prediction backends: the Table 5 / Table 6 plug-and-play model.
+
+Two registered variants share one implementation:
+
+* ``analytic-fast`` - the closed-form / period-folded ``StartP`` engine
+  (``method="fast"``), ~100-1000x faster than the grid walk at scale;
+* ``analytic-exact`` - the reference full-grid recurrence
+  (``method="exact"``), kept for cross-checking the fast engine.
+
+Both go through :func:`repro.core.predictor.predict`, so they share its
+memoisation: re-evaluating a configuration anywhere in the process is free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.apps.base import WavefrontSpec
+from repro.backends.base import BackendResult
+from repro.core.decomposition import CoreMapping, ProcessorGrid
+from repro.core.loggp import Platform
+from repro.core.model import FILL_METHODS
+from repro.core.predictor import Prediction, predict
+
+__all__ = ["AnalyticBackend"]
+
+
+@dataclass(frozen=True)
+class AnalyticBackend:
+    """The plug-and-play model as a :class:`PredictionBackend`.
+
+    ``method`` selects the ``StartP`` evaluator (``"auto"``/``"fast"``/
+    ``"exact"``, see :func:`repro.core.model.fill_times`).
+    """
+
+    method: str = "fast"
+
+    def __post_init__(self) -> None:
+        if self.method not in FILL_METHODS:
+            raise ValueError(f"method must be one of {FILL_METHODS}, got {self.method!r}")
+
+    @property
+    def name(self) -> str:
+        return f"analytic-{'fast' if self.method == 'auto' else self.method}"
+
+    def evaluate(
+        self,
+        spec: WavefrontSpec,
+        platform: Platform,
+        grid: ProcessorGrid,
+        core_mapping: Optional[CoreMapping] = None,
+    ) -> BackendResult:
+        prediction = predict(
+            spec, platform, grid=grid, core_mapping=core_mapping, method=self.method
+        )
+        return self._wrap(prediction)
+
+    def _wrap(self, prediction: Prediction) -> BackendResult:
+        iteration = prediction.iteration
+        phases = (
+            ("pipeline_fill", iteration.pipeline_fill_time),
+            ("stack", iteration.nsweeps * iteration.stack.total),
+            ("nonwavefront", iteration.tnonwavefront),
+        )
+        return BackendResult(
+            backend=self.name,
+            spec=prediction.spec,
+            platform=prediction.platform,
+            grid=prediction.grid,
+            core_mapping=prediction.core_mapping,
+            time_per_iteration_us=iteration.time_per_iteration,
+            computation_per_iteration_us=iteration.computation_per_iteration,
+            pipeline_fill_per_iteration_us=iteration.pipeline_fill_time,
+            phases=phases,
+            prediction=prediction,
+        )

@@ -1,0 +1,103 @@
+"""Batch prediction service: one call, many configurations, any backend.
+
+:func:`predict_many` is the library's unified evaluation entry point.  It
+fuses three mechanisms that previously lived in separate layers:
+
+* **request deduplication** - repeated configurations in the request list
+  (common in partition/throughput sweeps) are evaluated once
+  (:func:`repro.util.sweep.unique_map`);
+* **result caching** - the analytic backends share :func:`repro.core
+  .predictor.predict`'s memo and the simulator backend memoises on the full
+  configuration, so repeats *across* calls are also free (within a
+  process);
+* **parallel fan-out** - distinct configurations are mapped over an optional
+  ``concurrent.futures`` pool (``executor="process"`` for the pure-Python
+  engines, which hold the GIL).
+
+>>> from repro.backends import PredictionRequest, predict_many
+>>> requests = [PredictionRequest(spec, platform, total_cores=c)
+...             for c in (1024, 2048, 4096)]
+>>> analytic = predict_many(requests, backend="analytic-fast")
+>>> measured = predict_many(requests, backend="simulator", workers=4,
+...                         executor="process")
+
+Because both calls return :class:`~repro.backends.base.BackendResult` lists
+in request order, validation is literally "run the same matrix on two
+backends and diff" - see :func:`repro.validation.compare.validate_matrix`.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.apps.base import WavefrontSpec
+from repro.backends.base import BackendResult, PredictionBackend, PredictionRequest
+from repro.backends.registry import BackendSpec, get_backend
+from repro.core.decomposition import CoreMapping, ProcessorGrid
+from repro.core.loggp import Platform
+from repro.util.sweep import unique_map
+
+__all__ = ["RequestLike", "as_request", "predict_many", "predict_one"]
+
+#: Accepted request forms: a :class:`PredictionRequest` or a
+#: ``(spec, platform, total_cores)`` triple (the validation matrix's shape).
+RequestLike = Union[PredictionRequest, Tuple[WavefrontSpec, Platform, int]]
+
+
+def as_request(request: RequestLike) -> PredictionRequest:
+    """Coerce a request-like value into a :class:`PredictionRequest`."""
+    if isinstance(request, PredictionRequest):
+        return request
+    spec, platform, total_cores = request
+    return PredictionRequest(spec, platform, total_cores=total_cores)
+
+
+def _evaluate_resolved(backend: PredictionBackend, resolved) -> BackendResult:
+    """Module-level worker so process pools can pickle the call."""
+    spec, platform, grid, mapping = resolved
+    return backend.evaluate(spec, platform, grid, mapping)
+
+
+def predict_many(
+    requests: Iterable[RequestLike],
+    *,
+    backend: BackendSpec = "analytic-fast",
+    workers: Optional[int] = None,
+    executor: str = "thread",
+) -> List[BackendResult]:
+    """Evaluate every request on ``backend``, returning results in order.
+
+    ``backend`` is a registered name (``"analytic-fast"``,
+    ``"analytic-exact"``, ``"simulator"``, or anything added with
+    :func:`repro.backends.register_backend`) or a backend instance.
+    ``workers``/``executor`` fan the distinct configurations out over a pool
+    (see :func:`repro.util.sweep.parallel_map`); with
+    ``executor="process"`` the per-process caches start cold, so prefer
+    threads when the request list is dominated by duplicates.
+    """
+    backend_obj = get_backend(backend)
+    resolved = [as_request(request).resolve() for request in requests]
+    return unique_map(
+        partial(_evaluate_resolved, backend_obj), resolved, workers, executor
+    )
+
+
+def predict_one(
+    spec: WavefrontSpec,
+    platform: Platform,
+    *,
+    total_cores: Optional[int] = None,
+    grid: Optional[ProcessorGrid] = None,
+    core_mapping: Optional[CoreMapping] = None,
+    backend: BackendSpec = "analytic-fast",
+) -> BackendResult:
+    """Evaluate a single configuration on any backend.
+
+    The single-request convenience form of :func:`predict_many` (and the
+    backend-agnostic counterpart of :func:`repro.core.predictor.predict`).
+    """
+    request = PredictionRequest(
+        spec, platform, total_cores=total_cores, grid=grid, core_mapping=core_mapping
+    )
+    return predict_many([request], backend=backend)[0]

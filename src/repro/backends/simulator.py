@@ -1,0 +1,156 @@
+"""The discrete-event simulator as a prediction backend.
+
+Registered as ``"simulator"``: it plays the role of the paper's wall-clock
+measurements, so running a study or a validation matrix against this backend
+is the reproduction's analogue of "measure it on the Cray".
+
+The backend returns the same :class:`~repro.backends.base.BackendResult` as
+the analytic engines.  Per-iteration computation is taken from the critical
+rank (the one that finishes last); like a real measurement the simulator
+cannot separate the pipeline-fill component, so
+``pipeline_fill_per_iteration_us`` is ``None``.
+
+Evaluations are memoised on the full configuration (spec, platform, grid,
+mapping, backend options) - the batch service layer's deduplication plus
+this cache make repeated matrix entries free, mirroring the analytic
+prediction cache.  Scale comes from the diagonal-aggregated engine
+(:mod:`repro.simulator.fastpath`), selected automatically for noise-free
+homogeneous configurations (``engine="auto"``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Optional
+
+from repro.apps.base import WavefrontSpec
+from repro.backends.base import BackendResult
+from repro.core.decomposition import CoreMapping, ProcessorGrid
+from repro.core.loggp import Platform
+from repro.simulator.wavefront import (
+    SIMULATOR_ENGINES,
+    WavefrontSimulationResult,
+    simulate_wavefront,
+)
+from repro.util.caching import call_with_unhashable_fallback
+
+__all__ = [
+    "SimulatorBackend",
+    "clear_simulation_cache",
+    "simulation_cache_info",
+]
+
+
+@dataclass(frozen=True)
+class SimulatorBackend:
+    """Wavefront simulation as a :class:`PredictionBackend`.
+
+    Parameters mirror :func:`repro.simulator.wavefront.simulate_wavefront`;
+    the defaults (one iteration, non-wavefront phase included, contention
+    on, no noise, automatic engine choice) reproduce the validation
+    harness's measurement configuration.
+    """
+
+    iterations: int = 1
+    simulate_nonwavefront: bool = True
+    enable_contention: bool = True
+    compute_noise: float = 0.0
+    noise_seed: int = 0
+    engine: str = "auto"
+    max_events: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        if self.engine not in SIMULATOR_ENGINES:
+            raise ValueError(
+                f"engine must be one of {SIMULATOR_ENGINES}, got {self.engine!r}"
+            )
+
+    @property
+    def name(self) -> str:
+        return "simulator"
+
+    def evaluate(
+        self,
+        spec: WavefrontSpec,
+        platform: Platform,
+        grid: ProcessorGrid,
+        core_mapping: Optional[CoreMapping] = None,
+    ) -> BackendResult:
+        simulation = call_with_unhashable_fallback(
+            _simulate_cached, _simulate_uncached, self, spec, platform, grid, core_mapping
+        )
+        return self._wrap(spec, platform, simulation)
+
+    def _wrap(
+        self,
+        spec: WavefrontSpec,
+        platform: Platform,
+        simulation: WavefrontSimulationResult,
+    ) -> BackendResult:
+        iterations = simulation.iterations
+        critical = max(simulation.stats.ranks, key=lambda r: r.finish_time)
+        compute = critical.compute_time / iterations
+        send = critical.send_time / iterations
+        recv = critical.recv_time / iterations
+        barrier = critical.barrier_time / iterations
+        time_per_iteration = simulation.time_per_iteration_us
+        phases = (
+            ("compute", compute),
+            ("send", send),
+            ("recv", recv),
+            ("barrier", barrier),
+            ("idle", time_per_iteration - compute - send - recv - barrier),
+        )
+        return BackendResult(
+            backend=self.name,
+            spec=spec,
+            platform=platform,
+            grid=simulation.grid,
+            core_mapping=simulation.core_mapping,
+            time_per_iteration_us=time_per_iteration,
+            computation_per_iteration_us=compute,
+            pipeline_fill_per_iteration_us=None,
+            phases=phases,
+            simulation=simulation,
+        )
+
+
+def _simulate_uncached(
+    backend: SimulatorBackend,
+    spec: WavefrontSpec,
+    platform: Platform,
+    grid: ProcessorGrid,
+    core_mapping: Optional[CoreMapping],
+) -> WavefrontSimulationResult:
+    return simulate_wavefront(
+        spec,
+        platform,
+        grid=grid,
+        core_mapping=core_mapping,
+        iterations=backend.iterations,
+        simulate_nonwavefront=backend.simulate_nonwavefront,
+        enable_contention=backend.enable_contention,
+        compute_noise=backend.compute_noise,
+        noise_seed=backend.noise_seed,
+        engine=backend.engine,
+        max_events=backend.max_events,
+    )
+
+
+# A simulation result holds O(ranks) per-rank statistics (megabytes at 4096+
+# cores), so the memo is kept small: it exists to make repeated matrix
+# entries free within a study, not to retain whole sweeps indefinitely.
+_simulate_cached = lru_cache(maxsize=32)(_simulate_uncached)
+
+
+def clear_simulation_cache() -> None:
+    """Drop all memoised simulator-backend results."""
+    _simulate_cached.cache_clear()
+
+
+def simulation_cache_info():
+    """Hit/miss statistics of the simulator-backend memo (``functools`` format)."""
+    return _simulate_cached.cache_info()

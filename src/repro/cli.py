@@ -18,6 +18,7 @@ available programmatically through :mod:`repro.analysis`,
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from functools import partial
 from typing import Callable, Sequence
@@ -26,6 +27,8 @@ from repro.analysis.htile import htile_study
 from repro.analysis.scaling import strong_scaling
 from repro.apps.sweep3d import Sweep3DConfig
 from repro.apps.workloads import standard_workloads
+from repro.backends.registry import available_backends
+from repro.backends.service import predict_one
 from repro.calibration.fitting import derive_platform_parameters
 from repro.calibration.workrate import (
     measure_ssor_wg,
@@ -33,7 +36,6 @@ from repro.calibration.workrate import (
     measure_transport_wg,
 )
 from repro.core.model import FILL_METHODS
-from repro.core.predictor import predict
 from repro.platforms import get_platform, platform_registry
 from repro.util.tables import Table
 from repro.validation.compare import validate_configuration
@@ -58,6 +60,15 @@ def _float_list(text: str) -> list[float]:
     return [float(item) for item in text.split(",") if item]
 
 
+def _resolve_backend(args: argparse.Namespace) -> str:
+    """The prediction backend to use: ``--backend``, or the ``--method`` alias."""
+    if getattr(args, "backend", None):
+        return args.backend
+    if getattr(args, "method", "auto") == "exact":
+        return "analytic-exact"
+    return "analytic-fast"
+
+
 def _cmd_predict(args: argparse.Namespace) -> int:
     spec = _workload(args.app)
     if args.htile is not None:
@@ -65,10 +76,16 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     if args.time_steps is not None:
         spec = spec.with_time_steps(args.time_steps)
     platform = get_platform(args.platform)
-    prediction = predict(spec, platform, total_cores=args.cores, method=args.method)
+    result = predict_one(
+        spec, platform, total_cores=args.cores, backend=_resolve_backend(args)
+    )
+    summary = result.summary()
+    if args.json:
+        print(json.dumps(summary, indent=2))
+        return 0
     table = Table(["quantity", "value"], title=f"{spec.name} on {platform.name}, P={args.cores}")
-    for key, value in prediction.summary().items():
-        table.add_row(key, value)
+    for key, value in summary.items():
+        table.add_row(key, value if value is not None else "-")
     print(table.render())
     return 0
 
@@ -76,7 +93,28 @@ def _cmd_predict(args: argparse.Namespace) -> int:
 def _cmd_validate(args: argparse.Namespace) -> int:
     spec = _workload(args.app)
     platform = get_platform(args.platform)
-    result = validate_configuration(spec, platform, total_cores=args.cores)
+    model_backend = _resolve_backend(args)
+    if model_backend == "simulator":
+        raise SystemExit(
+            "validate compares a candidate model backend against the simulator "
+            "baseline; --backend simulator would diff the simulator against "
+            "itself (always 0% error). Choose an analytic backend instead."
+        )
+    result = validate_configuration(
+        spec, platform, total_cores=args.cores, model_backend=model_backend
+    )
+    if args.json:
+        record = {
+            "application": result.application,
+            "platform": result.platform,
+            "total_cores": result.total_cores,
+            "cores_per_node": result.cores_per_node,
+            "model_us": result.model_us,
+            "simulated_us": result.simulated_us,
+            "relative_error": result.relative_error,
+        }
+        print(json.dumps(record, indent=2))
+        return 0
     table = Table(
         ["application", "P", "model (ms)", "simulated (ms)", "error (%)"],
         title="model vs discrete-event simulation (one iteration)",
@@ -108,6 +146,7 @@ def _cmd_htile(args: argparse.Namespace) -> int:
         platform,
         args.cores,
         args.values,
+        backend=_resolve_backend(args),
         workers=args.workers,
         executor=args.executor,
     )
@@ -119,7 +158,7 @@ def _cmd_htile(args: argparse.Namespace) -> int:
         table.add_row(
             point.htile,
             point.time_per_time_step_s,
-            point.pipeline_fill_fraction,
+            point.pipeline_fill_fraction if point.pipeline_fill_fraction is not None else "-",
             point.communication_fraction,
         )
     print(table.render())
@@ -131,7 +170,12 @@ def _cmd_scaling(args: argparse.Namespace) -> int:
     spec = _workload(args.app)
     platform = get_platform(args.platform)
     curve = strong_scaling(
-        spec, platform, args.cores, workers=args.workers, executor=args.executor
+        spec,
+        platform,
+        args.cores,
+        backend=_resolve_backend(args),
+        workers=args.workers,
+        executor=args.executor,
     )
     table = Table(
         ["P", "total time (days)", "time/time-step (s)", "comm fraction"],
@@ -204,6 +248,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     app_names = ", ".join(sorted(standard_workloads()))
     platform_names = ", ".join(sorted(platform_registry))
+    backend_names = ", ".join(available_backends())
 
     def add_common(p: argparse.ArgumentParser, *, cores_list: bool = False) -> None:
         p.add_argument("--app", required=True, help=f"application workload ({app_names})")
@@ -217,6 +262,21 @@ def build_parser() -> argparse.ArgumentParser:
         else:
             p.add_argument("--cores", type=int, required=True, help="total cores")
 
+    def add_backend_flag(p: argparse.ArgumentParser, help_text: str | None = None) -> None:
+        p.add_argument(
+            "--backend",
+            default=None,
+            help=help_text
+            or f"prediction backend ({backend_names}; default analytic-fast)",
+        )
+
+    def add_json_flag(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--json",
+            action="store_true",
+            help="emit a machine-readable JSON record instead of a table",
+        )
+
     p_predict = sub.add_parser("predict", help="predict execution time")
     add_common(p_predict)
     p_predict.add_argument("--htile", type=float, default=None)
@@ -225,16 +285,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--method",
         choices=FILL_METHODS,
         default="auto",
-        help="StartP evaluator: fast closed-form/period-folded path or the exact grid walk",
+        help="StartP evaluator: fast closed-form/period-folded path or the exact "
+        "grid walk (alias for --backend analytic-fast / analytic-exact)",
     )
+    add_backend_flag(p_predict)
+    add_json_flag(p_predict)
     p_predict.set_defaults(func=_cmd_predict)
 
     p_validate = sub.add_parser("validate", help="compare model against the simulator")
     add_common(p_validate)
+    add_backend_flag(
+        p_validate,
+        help_text="candidate model backend diffed against the simulator baseline "
+        "(analytic backends; default analytic-fast)",
+    )
+    add_json_flag(p_validate)
     p_validate.set_defaults(func=_cmd_validate)
 
     p_htile = sub.add_parser("htile", help="tile-height optimisation study (Figure 5)")
     add_common(p_htile)
+    add_backend_flag(p_htile)
     p_htile.add_argument("--values", type=_float_list, default=[1, 2, 3, 4, 5, 6, 8, 10])
     def add_pool_flags(p: argparse.ArgumentParser) -> None:
         p.add_argument(
@@ -257,6 +327,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_scaling = sub.add_parser("scaling", help="strong scaling study (Figure 6)")
     add_common(p_scaling, cores_list=True)
+    add_backend_flag(p_scaling)
     add_pool_flags(p_scaling)
     p_scaling.set_defaults(func=_cmd_scaling)
 

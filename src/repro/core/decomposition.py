@@ -175,6 +175,19 @@ class ProcessorGrid:
         (ib, jb) = self.corner_position(b)
         return abs(ia - ib) + abs(ja - jb)
 
+    def sweep_directions(self, origin: Corner) -> Tuple[int, int, int, int]:
+        """``(oi, oj, dx, dy)``: origin coordinates and per-axis sweep direction.
+
+        ``dx``/``dy`` are +1 when the sweep moves toward larger ``i``/``j``
+        and -1 otherwise.  This is the single definition of the sweep
+        convention shared by the event-driven rank programs and the
+        diagonal-aggregated fast path, which must agree bit-for-bit.
+        """
+        oi, oj = self.corner_position(origin)
+        dx = 1 if oi == 1 else -1
+        dy = 1 if oj == 1 else -1
+        return oi, oj, dx, dy
+
     def sweep_steps(self, i: int, j: int, origin: Corner) -> int:
         """Wavefront step at which processor ``(i, j)`` is first reached.
 

@@ -36,14 +36,18 @@ from repro.simulator.pingpong import (
     ping_pong,
     ping_pong_sweep,
 )
+from repro.simulator.fastpath import aggregation_unsupported_reason
 from repro.simulator.resources import FifoBus, NodeResources
 from repro.simulator.wavefront import (
+    SIMULATOR_ENGINES,
     WavefrontSimulationResult,
     WavefrontSimulator,
     simulate_wavefront,
 )
 
 __all__ = [
+    "SIMULATOR_ENGINES",
+    "aggregation_unsupported_reason",
     "SimulationError",
     "Simulator",
     "Compute",

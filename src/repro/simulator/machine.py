@@ -235,6 +235,7 @@ class SimulatedMachine:
             self._nodes[node] = NodeResources(cores_per_node=cores, buses_per_node=buses)
 
         self._programs: Dict[int, RankProgram] = {}
+        self._start_times: Dict[int, float] = {}
         self._done: Dict[int, bool] = {}
         self.stats = [RankStats() for _ in range(total_ranks)]
 
@@ -263,14 +264,24 @@ class SimulatedMachine:
 
     # -- program / barrier / mark API -------------------------------------------------
 
-    def add_rank_program(self, rank: int, program: RankProgram) -> None:
-        """Register the program generator that rank ``rank`` will execute."""
+    def add_rank_program(
+        self, rank: int, program: RankProgram, *, start_time: float = 0.0
+    ) -> None:
+        """Register the program generator that rank ``rank`` will execute.
+
+        ``start_time`` delays the rank's first operation to the given virtual
+        time; the aggregated wavefront fast path uses it to hand per-rank
+        sweep-completion times over to an event-driven non-wavefront phase.
+        """
         if not 0 <= rank < self.total_ranks:
             raise ValueError(f"rank {rank} out of range")
         if rank in self._programs:
             raise ValueError(f"rank {rank} already has a program")
+        if start_time < 0.0:
+            raise ValueError("start_time must be non-negative")
         self._programs[rank] = program
         self._done[rank] = False
+        self._start_times[rank] = start_time
 
     def define_barrier(self, key: Hashable) -> None:
         """Declare a barrier that ranks may wait on (initially closed)."""
@@ -303,7 +314,7 @@ class SimulatedMachine:
     def run(self, *, max_events: Optional[int] = None) -> MachineStats:
         """Execute every registered rank program to completion."""
         for rank in self._programs:
-            self._schedule_advance(rank, 0.0)
+            self._schedule_advance(rank, self._start_times.get(rank, 0.0))
         self.sim.run(max_events=max_events)
         unfinished = [rank for rank, done in self._done.items() if not done]
         if unfinished:

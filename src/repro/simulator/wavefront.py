@@ -30,8 +30,8 @@ the gating completion happens.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
+from random import Random
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.apps.base import (
@@ -45,6 +45,7 @@ from repro.core.decomposition import CoreMapping, Corner, ProcessorGrid, decompo
 from repro.core.loggp import Platform
 from repro.core.multicore import resolve_core_mapping
 from repro.simulator.collectives import allreduce_ops, allreduce_tag_span
+from repro.simulator.fastpath import aggregation_unsupported_reason, run_aggregated
 from repro.simulator.machine import (
     Compute,
     MachineStats,
@@ -56,7 +57,20 @@ from repro.simulator.machine import (
     WaitBarrier,
 )
 
-__all__ = ["WavefrontSimulationResult", "WavefrontSimulator", "simulate_wavefront"]
+__all__ = [
+    "SIMULATOR_ENGINES",
+    "WavefrontSimulationResult",
+    "WavefrontSimulator",
+    "simulate_wavefront",
+]
+
+#: Valid ``engine`` arguments of :class:`WavefrontSimulator` /
+#: :func:`simulate_wavefront`: ``"auto"`` uses the diagonal-aggregated fast
+#: path whenever it is exact for the configuration (see
+#: :mod:`repro.simulator.fastpath`) and the per-rank event engine otherwise;
+#: ``"event"`` forces the event engine; ``"aggregated"`` forces the fast path
+#: (raising ``ValueError`` when the configuration is unsupported).
+SIMULATOR_ENGINES: Tuple[str, ...] = ("auto", "event", "aggregated")
 
 #: Tag space reserved for boundary-exchange messages per (iteration, sweep).
 _SWEEP_TAG_STRIDE = 4
@@ -88,10 +102,7 @@ class WavefrontSimulationResult:
 
 def _corner_directions(grid: ProcessorGrid, origin: Corner) -> Tuple[int, int, int, int]:
     """Return ``(oi, oj, dx, dy)``: origin coordinates and sweep direction."""
-    oi, oj = grid.corner_position(origin)
-    dx = 1 if oi == 1 else -1
-    dy = 1 if oj == 1 else -1
-    return oi, oj, dx, dy
+    return grid.sweep_directions(origin)
 
 
 class WavefrontSimulator:
@@ -121,7 +132,15 @@ class WavefrontSimulator:
         be studied; zero (the default) reproduces the paper's noise-free
         setting.
     noise_seed:
-        Seed for the jitter stream.
+        Seed for the jitter stream.  All noise is drawn from per-rank
+        :class:`random.Random` instances derived from this seed (see
+        :meth:`rank_jitter_stream`); no module-level random state is
+        consulted, so two runs with the same seed are bit-identical.
+    engine:
+        Execution engine: ``"auto"`` (default) selects the
+        diagonal-aggregated fast path for noise-free homogeneous runs and
+        the per-rank event engine otherwise; ``"event"`` / ``"aggregated"``
+        force one engine (see :data:`SIMULATOR_ENGINES`).
     """
 
     def __init__(
@@ -137,6 +156,7 @@ class WavefrontSimulator:
         enable_contention: bool = True,
         compute_noise: float = 0.0,
         noise_seed: int = 0,
+        engine: str = "auto",
     ) -> None:
         if (grid is None) == (total_cores is None):
             raise ValueError("specify exactly one of grid or total_cores")
@@ -147,6 +167,9 @@ class WavefrontSimulator:
             raise ValueError("iterations must be >= 1")
         if compute_noise < 0:
             raise ValueError("compute_noise must be non-negative")
+        if engine not in SIMULATOR_ENGINES:
+            raise ValueError(f"engine must be one of {SIMULATOR_ENGINES}, got {engine!r}")
+        self.engine = engine
         self.spec = spec
         self.platform = platform
         self.grid = grid
@@ -176,6 +199,20 @@ class WavefrontSimulator:
             assignment.append(node_row * nodes_per_row + node_col)
         return assignment
 
+    # -- noise -------------------------------------------------------------------------
+
+    def rank_jitter_stream(self, rank: int) -> Optional[Random]:
+        """The injected jitter stream for ``rank`` (None when noise is off).
+
+        Each rank owns an independent :class:`random.Random` seeded from
+        ``(noise_seed, rank)``, so runs are reproducible bit-for-bit for a
+        given seed regardless of rank interleaving, other simulations in the
+        process, or the global :mod:`random` state.
+        """
+        if self.compute_noise <= 0.0:
+            return None
+        return Random(self.noise_seed * 1_000_003 + rank)
+
     # -- program construction ----------------------------------------------------------
 
     def _sweep_tag(self, iteration: int, sweep: int, direction: int) -> int:
@@ -186,11 +223,7 @@ class WavefrontSimulator:
         spec = self.spec
         i, j = grid.position_of(rank)
         phases = spec.schedule.phases
-        jitter = (
-            random.Random(self.noise_seed * 1_000_003 + rank)
-            if self.compute_noise > 0.0
-            else None
-        )
+        jitter = self.rank_jitter_stream(rank)
 
         def work(amount: float) -> float:
             if jitter is None:
@@ -286,8 +319,55 @@ class WavefrontSimulator:
 
     # -- execution ----------------------------------------------------------------------
 
+    def aggregation_unsupported_reason(self) -> Optional[str]:
+        """Why the aggregated engine cannot run this configuration (None = it can)."""
+        return aggregation_unsupported_reason(self)
+
     def run(self, *, max_events: Optional[int] = None) -> WavefrontSimulationResult:
-        """Build the machine and rank programs, run them, and collect results."""
+        """Run the configured engine and collect results.
+
+        With ``engine="auto"`` the diagonal-aggregated fast path (exact for
+        noise-free homogeneous configurations, and orders of magnitude faster
+        at scale) is used whenever it applies; otherwise the per-rank event
+        engine is built and executed.
+        """
+        engine = self.engine
+        if engine == "auto":
+            engine = "aggregated" if self.aggregation_unsupported_reason() is None else "event"
+        if engine == "aggregated":
+            makespan, sweep_completion, stats = run_aggregated(self, max_events=max_events)
+            return self._build_result(makespan, sweep_completion, stats)
+        return self._run_event_engine(max_events=max_events)
+
+    def _build_result(
+        self,
+        makespan: float,
+        sweep_completion: Dict[Tuple[int, int], float],
+        stats: MachineStats,
+    ) -> WavefrontSimulationResult:
+        """Assemble the result object shared by both engines."""
+        phases = self.spec.schedule.phases
+        ordered_completions = tuple(
+            sweep_completion[(it, s)]
+            for it in range(self.iterations)
+            for s in range(len(phases))
+            if (it, s) in sweep_completion
+        )
+        return WavefrontSimulationResult(
+            spec_name=self.spec.name,
+            platform_name=self.platform.name,
+            grid=self.grid,
+            core_mapping=self.core_mapping,
+            iterations=self.iterations,
+            makespan_us=makespan,
+            sweep_completion_us=ordered_completions,
+            stats=stats,
+        )
+
+    def _run_event_engine(
+        self, *, max_events: Optional[int] = None
+    ) -> WavefrontSimulationResult:
+        """Build the event machine and rank programs, run them, collect results."""
         total = self.grid.total_processors
         machine = SimulatedMachine(
             self.platform,
@@ -313,22 +393,7 @@ class WavefrontSimulator:
             machine.add_rank_program(rank, self._rank_program(rank))
 
         stats = machine.run(max_events=max_events)
-        ordered_completions = tuple(
-            sweep_completion[(it, s)]
-            for it in range(self.iterations)
-            for s in range(len(phases))
-            if (it, s) in sweep_completion
-        )
-        return WavefrontSimulationResult(
-            spec_name=self.spec.name,
-            platform_name=self.platform.name,
-            grid=self.grid,
-            core_mapping=self.core_mapping,
-            iterations=self.iterations,
-            makespan_us=stats.makespan,
-            sweep_completion_us=ordered_completions,
-            stats=stats,
-        )
+        return self._build_result(stats.makespan, sweep_completion, stats)
 
 
 def simulate_wavefront(
@@ -343,6 +408,7 @@ def simulate_wavefront(
     enable_contention: bool = True,
     compute_noise: float = 0.0,
     noise_seed: int = 0,
+    engine: str = "auto",
     max_events: Optional[int] = None,
 ) -> WavefrontSimulationResult:
     """Convenience wrapper: build a :class:`WavefrontSimulator` and run it."""
@@ -357,5 +423,6 @@ def simulate_wavefront(
         enable_contention=enable_contention,
         compute_noise=compute_noise,
         noise_seed=noise_seed,
+        engine=engine,
     )
     return simulator.run(max_events=max_events)

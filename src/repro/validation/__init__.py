@@ -4,6 +4,7 @@ from repro.validation.compare import (
     AllReduceValidation,
     ValidationResult,
     ValidationSummary,
+    diff_backends,
     validate_allreduce,
     validate_configuration,
     validate_matrix,
@@ -13,6 +14,7 @@ __all__ = [
     "AllReduceValidation",
     "ValidationResult",
     "ValidationSummary",
+    "diff_backends",
     "validate_allreduce",
     "validate_configuration",
     "validate_matrix",

@@ -35,6 +35,21 @@ class TestStrongScaling:
         days = [p.total_time_days for p in curve.points]
         assert days == sorted(days, reverse=True)
 
+    def test_simulator_backend_runs_same_study(self, xt4_single, chimaera_small):
+        """Any study can be cross-checked against the simulator backend."""
+        analytic = strong_scaling(chimaera_small, xt4_single, (4, 16))
+        measured = strong_scaling(
+            chimaera_small, xt4_single, (4, 16), backend="simulator"
+        )
+        assert [p.total_cores for p in measured.points] == [4, 16]
+        for model_point, sim_point in zip(analytic.points, measured.points):
+            assert sim_point.prediction is None
+            assert sim_point.pipeline_fill_fraction is None
+            rel = abs(
+                model_point.time_per_time_step_s - sim_point.time_per_time_step_s
+            ) / sim_point.time_per_time_step_s
+            assert rel < 0.05
+
     def test_diminishing_returns_beyond_16k(self, xt4):
         """Figure 6: speed-up per doubling shrinks as P grows."""
         curve = strong_scaling(sweep3d_production_1billion(), xt4, PROCESSOR_COUNTS)

@@ -1,5 +1,7 @@
 """Tests for the wavebench command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -84,3 +86,69 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "transport-sweep" in out
         assert "ssor-lower-sweep" in out
+
+
+class TestBackendFlag:
+    def test_predict_with_simulator_backend(self, capsys):
+        assert main(
+            ["predict", "--app", "lu-classA", "--platform", "cray-xt4-1core",
+             "--cores", "4", "--backend", "simulator"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "simulator" in out
+
+    def test_predict_method_exact_is_backend_alias(self, capsys):
+        assert main(
+            ["predict", "--app", "chimaera-240", "--cores", "64",
+             "--method", "exact", "--json"]
+        ) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["backend"] == "analytic-exact"
+
+    def test_unknown_backend_fails(self):
+        with pytest.raises(KeyError):
+            main(["predict", "--app", "chimaera-240", "--cores", "64",
+                  "--backend", "psychic"])
+
+    def test_validate_rejects_simulator_self_comparison(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["validate", "--app", "chimaera-240", "--cores", "64",
+                  "--backend", "simulator"])
+        assert "itself" in str(excinfo.value)
+
+    def test_scaling_accepts_backend(self, capsys):
+        assert main(
+            ["scaling", "--app", "sweep3d-1b", "--cores", "1024,4096",
+             "--backend", "analytic-exact"]
+        ) == 0
+        assert "4096" in capsys.readouterr().out
+
+    def test_htile_accepts_backend(self, capsys):
+        assert main(
+            ["htile", "--app", "chimaera-240", "--cores", "4096",
+             "--values", "1,2", "--backend", "analytic-fast"]
+        ) == 0
+        assert "optimal Htile" in capsys.readouterr().out
+
+
+class TestJsonOutput:
+    def test_predict_json_is_machine_readable(self, capsys):
+        assert main(
+            ["predict", "--app", "chimaera-240", "--cores", "1024", "--json"]
+        ) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["application"] == "chimaera"
+        assert record["processors"] == 1024
+        assert record["backend"] == "analytic-fast"
+        assert record["time_per_time_step_s"] > 0
+
+    def test_validate_json_is_machine_readable(self, capsys):
+        assert main(
+            ["validate", "--app", "lu-classA", "--platform", "cray-xt4-1core",
+             "--cores", "4", "--json"]
+        ) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["total_cores"] == 4
+        assert record["model_us"] > 0
+        assert record["simulated_us"] > 0
+        assert abs(record["relative_error"]) < 1.0

@@ -6,9 +6,11 @@ from repro.apps.chimaera import chimaera
 from repro.apps.lu import lu
 from repro.apps.sweep3d import Sweep3DConfig, sweep3d
 from repro.core.decomposition import ProblemSize
+from repro.backends import PredictionRequest
 from repro.validation.compare import (
     ValidationResult,
     ValidationSummary,
+    diff_backends,
     validate_allreduce,
     validate_configuration,
     validate_matrix,
@@ -101,6 +103,82 @@ class TestValidateMatrix:
         summary = validate_matrix(cases)
         assert summary.by_application("lu").max_error < 0.05
         assert summary.max_error < 0.10
+
+
+class TestDiffBackends:
+    def test_fast_vs_exact_engine_is_tight(self, problem, xt4):
+        """The generic diff: cross-check the fast analytic engine."""
+        cases = [
+            (lu(problem, iterations=1), xt4, 16),
+            (chimaera(problem, iterations=1), xt4, 16),
+        ]
+        summary = diff_backends(
+            cases, candidate="analytic-fast", baseline="analytic-exact"
+        )
+        assert summary.max_error <= 1e-9
+
+    def test_defaults_match_validate_matrix(self, problem, xt4_single):
+        cases = [(lu(problem, iterations=1), xt4_single, 16)]
+        diffed = diff_backends(cases)
+        classic = validate_matrix(cases)
+        assert diffed.results[0].model_us == classic.results[0].model_us
+        assert diffed.results[0].simulated_us == classic.results[0].simulated_us
+
+    def test_accepts_prediction_requests(self, problem, xt4_single):
+        requests = [
+            PredictionRequest(chimaera(problem, iterations=1), xt4_single, total_cores=16)
+        ]
+        summary = diff_backends(requests)
+        assert summary.results[0].total_cores == 16
+
+    def test_simulator_candidate_respects_nonwavefront_toggle(self, problem, xt4_single):
+        """A SimulatorBackend candidate is reconfigured to exclude the
+        non-wavefront phase along with the baseline, not half-applied."""
+        from repro.backends import SimulatorBackend
+
+        result = validate_configuration(
+            chimaera(problem, iterations=1),
+            xt4_single,
+            total_cores=16,
+            simulate_nonwavefront=False,
+            model_backend=SimulatorBackend(),
+        )
+        # Same engine, same configuration on both sides: exact agreement.
+        assert result.relative_error == 0.0
+
+    def test_unadjustable_candidate_with_nonwavefront_off_rejected(self, problem, xt4_single):
+        """A backend that can neither subtract Tnonwavefront nor be
+        reconfigured fails loudly instead of comparing mismatched phases."""
+        from repro.backends import get_backend
+
+        class OpaqueBackend:
+            name = "opaque"
+
+            def evaluate(self, spec, platform, grid, core_mapping=None):
+                inner = get_backend("simulator").evaluate(
+                    spec, platform, grid, core_mapping
+                )
+                return inner  # carries no .prediction detail
+
+        with pytest.raises(ValueError, match="simulate_nonwavefront"):
+            validate_configuration(
+                chimaera(problem, iterations=1),
+                xt4_single,
+                total_cores=16,
+                simulate_nonwavefront=False,
+                model_backend=OpaqueBackend(),
+            )
+
+    def test_matrix_with_workers_matches_serial(self, problem, xt4_single):
+        cases = [
+            (lu(problem, iterations=1), xt4_single, 16),
+            (chimaera(problem, iterations=1), xt4_single, 16),
+        ]
+        serial = validate_matrix(cases)
+        pooled = validate_matrix(cases, workers=2, executor="thread")
+        assert [r.model_us for r in serial.results] == [
+            r.model_us for r in pooled.results
+        ]
 
 
 class TestValidateAllreduce:
