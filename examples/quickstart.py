@@ -1,73 +1,70 @@
 #!/usr/bin/env python
 """Quickstart: predict a wavefront application's runtime in a few lines.
 
-This example covers the library's core loop:
+The first section below is the README's quickstart block, mirrored
+verbatim (a test asserts the two stay identical); the rest extends it:
 
-1. pick a platform (the Cray XT4 the paper validates on),
-2. pick an application workload (Chimaera on its 240^3 benchmark problem),
-3. call :func:`repro.predict` for a processor count of interest,
-4. read off execution time, scaling behaviour and the cost breakdown,
-5. cross-check the model against the discrete-event simulator at a size
-   small enough to simulate in a second or two.
+1. pick a platform (the Cray XT4 the paper validates on) and a workload
+   (Chimaera on its 240^3 benchmark problem),
+2. call :func:`repro.predict` for a processor count of interest,
+3. evaluate the same configuration on any *backend* (here the
+   discrete-event simulator, the reproduction's "measurement"),
+4. read off scaling behaviour and cross-check model against simulator.
 
 Run with::
 
-    python examples/quickstart.py
+    PYTHONPATH=src python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-from repro import cray_xt4, predict
+# --- README quickstart (mirrored in README.md; asserted by tests/test_docs.py) ---
+from repro import cray_xt4, predict, predict_one
 from repro.apps.workloads import chimaera_240cubed
-from repro.core.decomposition import ProblemSize
-from repro.apps.chimaera import chimaera
+
+# The paper's headline configuration: Chimaera 240^3 on the Cray XT4.
+spec = chimaera_240cubed(htile=2)
+prediction = predict(spec, cray_xt4(), total_cores=4096)
+print(prediction.time_per_time_step_s)      # seconds per time step
+print(prediction.summary())                 # headline numbers as a dict
+
+# Any prediction backend through one call: here the discrete-event
+# simulator plays the role of a measurement at a simulable size.
+measured = predict_one(spec, cray_xt4(), total_cores=256, backend="simulator")
+print(measured.time_per_iteration_us)       # the "measured" iteration time
+# --- end README quickstart ---
+
 from repro.util.tables import Table
 from repro.validation.compare import validate_configuration
 
 
-def headline_prediction() -> None:
-    """Predict the paper's headline configuration: Chimaera 240^3 on 4K cores."""
-    platform = cray_xt4()
-    spec = chimaera_240cubed(htile=2)
-    prediction = predict(spec, platform, total_cores=4096)
-
-    table = Table(["quantity", "value"], title="Chimaera 240^3 on the Cray XT4, P = 4096")
-    for key, value in prediction.summary().items():
-        table.add_row(key, value)
-    print(table.render())
-    print()
-
-
 def scaling_at_a_glance() -> None:
     """How does the time per time step change with the processor count?"""
-    platform = cray_xt4()
-    spec = chimaera_240cubed(htile=2)
     table = Table(
         ["P", "time/time-step (s)", "communication share"],
         title="Strong scaling (model only - instant to evaluate)",
     )
     for cores in (1024, 2048, 4096, 8192, 16384, 32768):
-        prediction = predict(spec, platform, total_cores=cores)
+        point = predict(spec, cray_xt4(), total_cores=cores)
         table.add_row(
             cores,
-            round(prediction.time_per_time_step_s, 2),
-            f"{prediction.communication_fraction:.0%}",
+            round(point.time_per_time_step_s, 2),
+            f"{point.communication_fraction:.0%}",
         )
-    print(table.render())
     print()
+    print(table.render())
 
 
 def sanity_check_against_simulator() -> None:
-    """Model vs discrete-event simulation on a small configuration."""
-    spec = chimaera(ProblemSize(64, 64, 32), iterations=1)
-    result = validate_configuration(spec, cray_xt4(), total_cores=64)
-    print("Model vs simulator (64x64x32 cells, 64 cores, one iteration):")
+    """Model vs discrete-event simulation on the quickstart's configuration."""
+    result = validate_configuration(spec, cray_xt4(), total_cores=256)
+    print()
+    print("Model vs simulator (Chimaera 240^3, 256 cores, one iteration):")
     print(f"  model:     {result.model_us / 1000:.3f} ms")
     print(f"  simulated: {result.simulated_us / 1000:.3f} ms")
     print(f"  error:     {result.relative_error:+.1%}")
 
 
 if __name__ == "__main__":
-    headline_prediction()
     scaling_at_a_glance()
     sanity_check_against_simulator()

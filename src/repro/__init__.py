@@ -18,7 +18,10 @@ application and platform parameters, and provides:
   correctness runs and work-rate calibration (:mod:`repro.kernels`);
 * the Section 5 analyses - Htile optimisation, platform sizing, partitioning
   metrics, cores-per-node studies, bottleneck breakdowns and the pipelined
-  energy-group redesign (:mod:`repro.analysis`).
+  energy-group redesign (:mod:`repro.analysis`);
+* declarative experiment campaigns over a persistent on-disk result store,
+  with Markdown/CSV reports reproducing the paper's tables and figures
+  (:mod:`repro.campaigns`).
 
 Quick start
 -----------
@@ -53,12 +56,25 @@ from repro.backends import (
     predict_one,
     register_backend,
 )
+from repro.campaigns import (
+    CampaignRunner,
+    CampaignSpec,
+    ResultStore,
+    builtin_campaigns,
+    campaign_report,
+    get_campaign,
+    load_campaign_file,
+    run_campaign,
+    write_report,
+)
 from repro.platforms import cray_xt3, cray_xt4, cray_xt4_single_core, custom_platform, ibm_sp2
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "BackendResult",
+    "CampaignRunner",
+    "CampaignSpec",
     "CoreMapping",
     "Corner",
     "Platform",
@@ -66,11 +82,14 @@ __all__ = [
     "PredictionRequest",
     "ProblemSize",
     "ProcessorGrid",
+    "ResultStore",
     "SweepPhase",
     "SweepSchedule",
     "WavefrontSpec",
     "allreduce_time",
     "available_backends",
+    "builtin_campaigns",
+    "campaign_report",
     "clear_prediction_cache",
     "cray_xt3",
     "cray_xt4",
@@ -78,11 +97,15 @@ __all__ = [
     "custom_platform",
     "decompose",
     "get_backend",
+    "get_campaign",
     "ibm_sp2",
+    "load_campaign_file",
     "predict",
     "predict_many",
     "predict_one",
     "prediction_cache_info",
     "register_backend",
+    "run_campaign",
+    "write_report",
     "__version__",
 ]

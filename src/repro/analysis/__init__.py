@@ -15,6 +15,17 @@ One module per study:
   (an extension using only the paper's model);
 * :mod:`repro.analysis.decomposition_study` - processor-array aspect-ratio
   ablation.
+
+Every study accepts ``backend=`` (any registered prediction backend) and
+``workers=``/``executor=`` for pool fan-out, because they all evaluate
+through :func:`repro.backends.service.predict_many`:
+
+>>> from repro.analysis import strong_scaling
+>>> from repro.apps.workloads import lu_class
+>>> from repro.platforms import cray_xt4
+>>> curve = strong_scaling(lu_class("A"), cray_xt4(), [4, 16])
+>>> curve.application, curve.mode
+('lu', 'strong')
 """
 
 from repro.analysis.bottleneck import BreakdownPoint, communication_crossover, cost_breakdown

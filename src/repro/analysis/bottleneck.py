@@ -54,6 +54,15 @@ def cost_breakdown(
 
     ``backend`` selects the prediction engine; ``pipeline_fill_days`` is
     None for backends that cannot separate the fill component.
+
+    >>> from repro.apps.workloads import lu_class
+    >>> from repro.platforms import cray_xt4
+    >>> points = cost_breakdown(lu_class("A"), cray_xt4(), [4, 16])
+    >>> [p.total_cores for p in points]
+    [4, 16]
+    >>> all(p.computation_days + p.communication_days <= p.total_time_days * (1 + 1e-12)
+    ...     for p in points)
+    True
     """
     requests = [
         PredictionRequest(spec, platform, total_cores=count)
@@ -87,6 +96,13 @@ def communication_crossover(points: Sequence[BreakdownPoint]) -> Optional[int]:
     Returns ``None`` when communication never dominates within the studied
     range.  The paper identifies this crossover as the practical scaling
     limit of the configuration.
+
+    >>> compute_bound = BreakdownPoint(64, 1.0, 0.7, 0.3, None, None)
+    >>> comm_bound = BreakdownPoint(256, 0.5, 0.2, 0.3, None, None)
+    >>> communication_crossover([compute_bound, comm_bound])
+    256
+    >>> communication_crossover([compute_bound]) is None
+    True
     """
     dominated = [p for p in points if p.communication_dominates]
     if not dominated:

@@ -43,7 +43,11 @@ class DecompositionPoint:
 
 
 def all_factorisations(total_processors: int) -> List[ProcessorGrid]:
-    """Every ``n x m`` factorisation of ``total_processors`` (n, m >= 1)."""
+    """Every ``n x m`` factorisation of ``total_processors`` (n, m >= 1).
+
+    >>> [(grid.n, grid.m) for grid in all_factorisations(6)]
+    [(6, 1), (3, 2), (2, 3), (1, 6)]
+    """
     if total_processors < 1:
         raise ValueError("total_processors must be positive")
     grids = []
@@ -69,6 +73,12 @@ def decomposition_study(
     ``max_aspect_ratio`` discards extremely elongated arrays (1 x P and
     friends) which are never competitive and only slow the study down; pass
     ``None`` to keep them all.  ``backend`` selects the prediction engine.
+
+    >>> from repro.apps.workloads import lu_class
+    >>> from repro.platforms import cray_xt4
+    >>> points = decomposition_study(lu_class("A"), cray_xt4(), 16)
+    >>> [(p.grid.n, p.grid.m) for p in points]
+    [(16, 1), (8, 2), (4, 4), (2, 8), (1, 16)]
     """
     if grids is None:
         grids = all_factorisations(total_processors)
@@ -104,6 +114,12 @@ def best_decomposition(
     total_processors: int,
     **kwargs,
 ) -> DecompositionPoint:
-    """The factorisation with the smallest predicted iteration time."""
+    """The factorisation with the smallest predicted iteration time.
+
+    >>> from repro.apps.workloads import lu_class
+    >>> from repro.platforms import cray_xt4
+    >>> best_decomposition(lu_class("A"), cray_xt4(), 16).grid.total_processors
+    16
+    """
     points = decomposition_study(spec, platform, total_processors, **kwargs)
     return min(points, key=lambda p: p.time_per_iteration_us)

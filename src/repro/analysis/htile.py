@@ -89,6 +89,15 @@ def htile_study(
     in the calling process.  ``backend`` selects the prediction engine and
     ``workers``/``executor`` optionally fan the evaluations out over a pool
     (see :func:`repro.backends.service.predict_many`).
+
+    >>> from repro.apps.workloads import chimaera_240cubed
+    >>> from repro.platforms import cray_xt4
+    >>> study = htile_study(chimaera_240cubed().with_htile, cray_xt4(),
+    ...                     256, [1, 2, 4])
+    >>> [point.htile for point in study.points]
+    [1.0, 2.0, 4.0]
+    >>> study.optimal.htile in (1.0, 2.0, 4.0)
+    True
     """
     if not htile_values:
         raise ValueError("htile_values must not be empty")
@@ -118,7 +127,15 @@ def optimal_htile(
     workers: Optional[int] = None,
     executor: str = "thread",
 ) -> float:
-    """The Htile value minimising execution time over the given candidates."""
+    """The Htile value minimising execution time over the given candidates.
+
+    >>> from repro.apps.workloads import chimaera_240cubed
+    >>> from repro.platforms import cray_xt4
+    >>> best = optimal_htile(chimaera_240cubed().with_htile, cray_xt4(),
+    ...                      256, [1, 2, 4])
+    >>> best in (1.0, 2.0, 4.0)
+    True
+    """
     study = htile_study(
         spec_builder,
         platform,

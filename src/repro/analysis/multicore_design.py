@@ -60,6 +60,13 @@ def cores_per_node_study(
     XT4); its node architecture is overridden per design point.
     ``backend`` selects the prediction engine; ``workers``/``executor``
     optionally fan the design points out over a pool.
+
+    >>> from repro.apps.workloads import lu_class
+    >>> from repro.platforms import cray_xt4
+    >>> points = cores_per_node_study(lu_class("A"), cray_xt4(), [16],
+    ...                               cores_per_node_options=(1, 2))
+    >>> [(p.nodes, p.cores_per_node, p.total_cores) for p in points]
+    [(16, 1, 16), (16, 2, 32)]
     """
     combos = []
     for cores in cores_per_node_options:
@@ -93,6 +100,12 @@ def equivalent_node_counts(
 
     Used to answer questions such as "which (nodes, cores/node) combinations
     match the performance of 64K single-core nodes?" (Section 5.3).
+
+    >>> point = MulticoreDesignPoint(nodes=4, cores_per_node=1,
+    ...                              buses_per_node=1, total_cores=4,
+    ...                              total_time_days=1.0, prediction=None)
+    >>> [p.nodes for p in equivalent_node_counts([point], target_days=1.05)]
+    [4]
     """
     if target_days <= 0:
         raise ValueError("target_days must be positive")

@@ -75,6 +75,13 @@ def throughput_study(
     ``workers``/``executor`` pool).  The monthly rate goes through
     :func:`repro.util.units.rate_per_month`, so a degenerate zero-time
     prediction raises instead of dividing by zero.
+
+    >>> from repro.apps.workloads import lu_class
+    >>> from repro.platforms import cray_xt4
+    >>> points = throughput_study(lu_class("A"), cray_xt4(), [64],
+    ...                           parallel_jobs_options=(1, 2))
+    >>> [(p.parallel_jobs, p.partition_cores) for p in points]
+    [(1, 64), (2, 32)]
     """
     combos = [
         (total_cores, jobs)
@@ -136,7 +143,14 @@ def partition_tradeoff(
     workers: Optional[int] = None,
     executor: str = "thread",
 ) -> list[PartitionTradeoffPoint]:
-    """Evaluate ``R/X`` and ``R^2/X`` for each candidate partition size."""
+    """Evaluate ``R/X`` and ``R^2/X`` for each candidate partition size.
+
+    >>> from repro.apps.workloads import lu_class
+    >>> from repro.platforms import cray_xt4
+    >>> points = partition_tradeoff(lu_class("A"), cray_xt4(), 64, [64, 32])
+    >>> [(p.partition_cores, p.parallel_jobs) for p in points]
+    [(64, 1), (32, 2)]
+    """
     valid = [
         partition
         for partition in partition_sizes
@@ -171,6 +185,11 @@ def halving_partition_sizes(available_cores: int, min_partition_cores: int) -> l
     machines - as soon as the partition size becomes odd, since an odd
     partition cannot be split into two equal integer halves.  Every returned
     size therefore divides ``available_cores`` exactly.
+
+    >>> halving_partition_sizes(4096, 1024)
+    [4096, 2048, 1024]
+    >>> halving_partition_sizes(24, 2)   # halving stops at the odd size 3
+    [24, 12, 6, 3]
     """
     if available_cores < 1:
         raise ValueError("available_cores must be positive")
@@ -210,6 +229,13 @@ def optimal_parallel_jobs(
     for the treatment of non-power-of-two machines).  ``criterion`` selects
     the metric to minimise: ``"r_over_x"`` or ``"r2_over_x"``.  Raises
     ``ValueError`` when ``available_cores`` is below ``min_partition_cores``.
+
+    >>> from repro.apps.workloads import lu_class
+    >>> from repro.platforms import cray_xt4
+    >>> best = optimal_parallel_jobs(lu_class("A"), cray_xt4(), 64,
+    ...                              min_partition_cores=16)
+    >>> best.available_cores, best.parallel_jobs in (1, 2, 4)
+    (64, True)
     """
     if criterion not in ("r_over_x", "r2_over_x"):
         raise ValueError("criterion must be 'r_over_x' or 'r2_over_x'")

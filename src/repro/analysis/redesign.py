@@ -69,6 +69,14 @@ def pipelined_energy_groups_spec(
     final repetition's precedence structure is exposed), the energy-group
     multiplier drops to one, and ``extra_iteration_factor`` scales the
     iteration count if the user expects pipelining to slow convergence.
+
+    >>> from repro.apps.workloads import sweep3d_production_1billion
+    >>> spec = sweep3d_production_1billion()
+    >>> pipelined = pipelined_energy_groups_spec(spec)
+    >>> (spec.nsweeps, spec.energy_groups, pipelined.nsweeps, pipelined.energy_groups)
+    (8, 30, 240, 1)
+    >>> (pipelined.nfull, pipelined.ndiag) == (spec.nfull, spec.ndiag)
+    True
     """
     if spec.energy_groups < 1:
         raise ValueError("spec must have at least one energy group")
@@ -107,6 +115,12 @@ def energy_group_redesign_study(
 
     Both variants at every machine size are evaluated in a single
     :func:`~repro.backends.service.predict_many` batch on ``backend``.
+
+    >>> from repro.platforms import cray_xt4
+    >>> points = energy_group_redesign_study(cray_xt4(), [16],
+    ...                                      energy_groups=4, time_steps=10)
+    >>> points[0].improvement > 0   # pipelining removes exposed fills
+    True
     """
     if not processor_counts:
         raise ValueError("processor_counts must not be empty")

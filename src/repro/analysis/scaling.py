@@ -113,6 +113,14 @@ def strong_scaling(
     pool (``executor="process"`` uses multiple cores - see
     :func:`repro.backends.service.predict_many`); the curve's point order
     always follows ``processor_counts``.
+
+    >>> from repro.apps.workloads import lu_class
+    >>> from repro.platforms import cray_xt4
+    >>> curve = strong_scaling(lu_class("A"), cray_xt4(), [4, 16])
+    >>> [point.total_cores for point in curve.points]
+    [4, 16]
+    >>> curve.point(16).time_per_time_step_s < curve.point(4).time_per_time_step_s
+    True
     """
     if not processor_counts:
         raise ValueError("processor_counts must not be empty")
@@ -144,6 +152,15 @@ def weak_scaling(
     return the spec whose global problem matches that grid (e.g. 4x4x1000
     cells per processor); it runs in the calling process, only the model
     evaluations fan out over the optional pool.
+
+    >>> from repro.apps.lu import lu
+    >>> from repro.core.decomposition import ProblemSize
+    >>> from repro.platforms import cray_xt4
+    >>> curve = weak_scaling(
+    ...     lambda grid: lu(ProblemSize(8 * grid.n, 8 * grid.m, 16)),
+    ...     cray_xt4(), [4, 16])
+    >>> curve.mode, len(curve.points)
+    ('weak', 2)
     """
     if not processor_counts:
         raise ValueError("processor_counts must not be empty")
@@ -161,7 +178,14 @@ def weak_scaling(
 
 
 def parallel_efficiency(curve: ScalingCurve) -> list[tuple[int, float]]:
-    """Classic strong-scaling efficiency: speed-up divided by core ratio."""
+    """Classic strong-scaling efficiency: speed-up divided by core ratio.
+
+    >>> from repro.apps.workloads import lu_class
+    >>> from repro.platforms import cray_xt4
+    >>> curve = strong_scaling(lu_class("A"), cray_xt4(), [4, 16])
+    >>> parallel_efficiency(curve)[0]   # the baseline point is 1.0 by definition
+    (4, 1.0)
+    """
     if curve.mode != "strong":
         raise ValueError("parallel efficiency is defined for strong-scaling curves")
     base = min(curve.points, key=lambda p: p.total_cores)

@@ -52,6 +52,12 @@ def perturb_platform(platform: Platform, parameter: str, factor: float) -> Platf
     (G), ``onchip_overhead`` (ocopy and odma together), ``onchip_gap``
     (Gcopy and Gdma together) and ``compute`` (the node's compute speed;
     a factor of 2 means cores twice as fast, i.e. half the work time).
+
+    >>> from repro.platforms import cray_xt4
+    >>> platform = cray_xt4()
+    >>> doubled = perturb_platform(platform, "latency", 2.0)
+    >>> doubled.off_node.latency == 2 * platform.off_node.latency
+    True
     """
     if factor <= 0:
         raise ValueError("factor must be positive")
@@ -90,6 +96,10 @@ def perturb_application(spec: WavefrontSpec, parameter: str, factor: float) -> W
 
     Supported parameters: ``wg`` (per-cell work), ``wg_pre``, ``htile``,
     ``message_bytes`` (boundary bytes per cell) and ``iterations``.
+
+    >>> from repro.apps.workloads import lu_class
+    >>> perturb_application(lu_class("A"), "htile", 2.0).htile
+    2.0
     """
     if factor <= 0:
         raise ValueError("factor must be positive")
@@ -158,6 +168,12 @@ def sensitivity_study(
     The baseline and every perturbation go through one
     :func:`~repro.backends.service.predict_many` batch on ``backend``;
     ``workers``/``executor`` optionally evaluate them on a pool.
+
+    >>> from repro.apps.workloads import lu_class
+    >>> from repro.platforms import cray_xt4
+    >>> results = sensitivity_study(lu_class("A"), cray_xt4(), 16)
+    >>> dominant_parameter(results, kind="application").parameter
+    'wg'
     """
     if factor <= 0 or factor == 1.0:
         raise ValueError("factor must be positive and different from 1")
@@ -197,7 +213,14 @@ def sensitivity_study(
 def dominant_parameter(
     results: Dict[str, SensitivityResult], *, kind: str | None = None
 ) -> SensitivityResult:
-    """The parameter with the largest absolute elasticity (optionally by kind)."""
+    """The parameter with the largest absolute elasticity (optionally by kind).
+
+    >>> wg = SensitivityResult("wg", "application", 100.0, 110.0, 1.10)
+    >>> round(wg.elasticity, 2)
+    1.0
+    >>> dominant_parameter({"wg": wg}).parameter
+    'wg'
+    """
     candidates = [
         result
         for result in results.values()

@@ -43,6 +43,13 @@ that comparison (and any future engine) interchangeable:
     harness (:mod:`repro.validation`) and the CLI's ``--backend`` flag all
     go through this layer, so validation is literally "run the same matrix
     on two backends and diff".
+
+End to end:
+
+>>> from repro.apps.workloads import lu_class
+>>> from repro.platforms import cray_xt4
+>>> predict_one(lu_class("A"), cray_xt4(), total_cores=16).backend
+'analytic-fast'
 """
 
 from repro.backends.analytic import AnalyticBackend

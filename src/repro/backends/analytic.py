@@ -32,6 +32,16 @@ class AnalyticBackend:
 
     ``method`` selects the ``StartP`` evaluator (``"auto"``/``"fast"``/
     ``"exact"``, see :func:`repro.core.model.fill_times`).
+
+    >>> AnalyticBackend(method="exact").name
+    'analytic-exact'
+    >>> from repro.apps.workloads import lu_class
+    >>> from repro.platforms import cray_xt4
+    >>> from repro.core.decomposition import decompose
+    >>> result = AnalyticBackend().evaluate(
+    ...     lu_class("A"), cray_xt4(), decompose(16))
+    >>> [name for name, _time in result.phases]
+    ['pipeline_fill', 'stack', 'nonwavefront']
     """
 
     method: str = "fast"

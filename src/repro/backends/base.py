@@ -36,6 +36,12 @@ class PredictionBackend(Protocol):
     Implementations must be cheap to construct, hashable and picklable
     (frozen dataclasses work well): the batch service layer deduplicates on
     them and ships them to process pools.
+
+    The protocol is ``runtime_checkable``, so conformance is testable:
+
+    >>> from repro.backends.analytic import AnalyticBackend
+    >>> isinstance(AnalyticBackend(), PredictionBackend)
+    True
     """
 
     @property
@@ -62,6 +68,13 @@ class PredictionRequest:
     decomposed into a near-square array, the paper's convention);
     ``core_mapping`` optionally overrides the platform's default ``Cx x Cy``
     core rectangle.
+
+    >>> from repro.apps.workloads import lu_class
+    >>> from repro.platforms import cray_xt4
+    >>> request = PredictionRequest(lu_class("A"), cray_xt4(), total_cores=16)
+    >>> _spec, _platform, grid, mapping = request.resolve()
+    >>> (grid.n, grid.m), mapping.cores_per_node
+    ((4, 4), 2)
     """
 
     spec: WavefrontSpec
@@ -102,6 +115,17 @@ class BackendResult:
 
     ``prediction`` / ``simulation`` carry the engine-specific detail object
     when available.
+
+    >>> from repro.backends.service import predict_one
+    >>> from repro.apps.workloads import lu_class
+    >>> from repro.platforms import cray_xt4
+    >>> result = predict_one(lu_class("A"), cray_xt4(), total_cores=16)
+    >>> comm = result.communication_per_iteration_us
+    >>> abs(result.time_per_iteration_us
+    ...     - result.computation_per_iteration_us - comm) < 1e-9
+    True
+    >>> sorted(result.summary())[:3]
+    ['application', 'backend', 'communication_fraction']
     """
 
     backend: str

@@ -5,8 +5,11 @@ registered lazily on first use; libraries and applications can add their own
 with :func:`register_backend`:
 
 >>> from repro.backends import register_backend, get_backend
->>> register_backend("analytic-auto", lambda: AnalyticBackend(method="auto"))
->>> backend = get_backend("analytic-auto")
+>>> from repro.backends.analytic import AnalyticBackend
+>>> register_backend("analytic-auto", lambda: AnalyticBackend(method="auto"),
+...                  replace=True)
+>>> get_backend("analytic-auto").method
+'auto'
 
 Everywhere the library accepts a ``backend=`` argument it resolves it with
 :func:`get_backend`, so both registered names and ad-hoc backend instances
@@ -52,6 +55,13 @@ def register_backend(
     ``factory`` is called each time the backend is resolved (backends are
     cheap frozen dataclasses; their caches live at module level).  Re-using
     a name raises unless ``replace=True``.
+
+    >>> from repro.backends.simulator import SimulatorBackend
+    >>> register_backend("noisy-sim",
+    ...                  lambda: SimulatorBackend(compute_noise=0.05),
+    ...                  replace=True)
+    >>> get_backend("noisy-sim").compute_noise
+    0.05
     """
     _ensure_builtins()
     if not name:
@@ -64,7 +74,11 @@ def register_backend(
 
 
 def available_backends() -> tuple[str, ...]:
-    """Sorted names of all registered backends."""
+    """Sorted names of all registered backends.
+
+    >>> {"analytic-fast", "analytic-exact", "simulator"} <= set(available_backends())
+    True
+    """
     _ensure_builtins()
     return tuple(sorted(_FACTORIES))
 
@@ -74,6 +88,13 @@ def get_backend(spec: BackendSpec) -> PredictionBackend:
 
     Strings are looked up in the registry; objects implementing the
     :class:`PredictionBackend` protocol pass through unchanged.
+
+    >>> get_backend("analytic-exact").name
+    'analytic-exact'
+    >>> from repro.backends.simulator import SimulatorBackend
+    >>> instance = SimulatorBackend(iterations=2)
+    >>> get_backend(instance) is instance
+    True
     """
     _ensure_builtins()
     if isinstance(spec, str):

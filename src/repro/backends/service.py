@@ -14,12 +14,17 @@ fuses three mechanisms that previously lived in separate layers:
   ``concurrent.futures`` pool (``executor="process"`` for the pure-Python
   engines, which hold the GIL).
 
+>>> from repro.apps.workloads import lu_class
+>>> from repro.platforms import cray_xt4
 >>> from repro.backends import PredictionRequest, predict_many
->>> requests = [PredictionRequest(spec, platform, total_cores=c)
-...             for c in (1024, 2048, 4096)]
+>>> requests = [PredictionRequest(lu_class("A"), cray_xt4(), total_cores=c)
+...             for c in (4, 16, 64)]
 >>> analytic = predict_many(requests, backend="analytic-fast")
->>> measured = predict_many(requests, backend="simulator", workers=4,
-...                         executor="process")
+>>> [result.total_cores for result in analytic]
+[4, 16, 64]
+>>> measured = predict_many(requests, backend="simulator")  # the "measurement"
+>>> all(m.time_per_iteration_us > 0 for m in measured)
+True
 
 Because both calls return :class:`~repro.backends.base.BackendResult` lists
 in request order, validation is literally "run the same matrix on two
@@ -46,7 +51,13 @@ RequestLike = Union[PredictionRequest, Tuple[WavefrontSpec, Platform, int]]
 
 
 def as_request(request: RequestLike) -> PredictionRequest:
-    """Coerce a request-like value into a :class:`PredictionRequest`."""
+    """Coerce a request-like value into a :class:`PredictionRequest`.
+
+    >>> from repro.apps.workloads import lu_class
+    >>> from repro.platforms import cray_xt4
+    >>> as_request((lu_class("A"), cray_xt4(), 16)).total_cores
+    16
+    """
     if isinstance(request, PredictionRequest):
         return request
     spec, platform, total_cores = request
@@ -75,6 +86,13 @@ def predict_many(
     (see :func:`repro.util.sweep.parallel_map`); with
     ``executor="process"`` the per-process caches start cold, so prefer
     threads when the request list is dominated by duplicates.
+
+    >>> from repro.apps.workloads import lu_class
+    >>> from repro.platforms import cray_xt4
+    >>> requests = [(lu_class("A"), cray_xt4(), c) for c in (4, 16, 4)]
+    >>> results = predict_many(requests)          # the duplicate is free
+    >>> results[0].time_per_iteration_us == results[2].time_per_iteration_us
+    True
     """
     backend_obj = get_backend(backend)
     resolved = [as_request(request).resolve() for request in requests]
@@ -96,6 +114,12 @@ def predict_one(
 
     The single-request convenience form of :func:`predict_many` (and the
     backend-agnostic counterpart of :func:`repro.core.predictor.predict`).
+
+    >>> from repro.apps.workloads import lu_class
+    >>> from repro.platforms import cray_xt4
+    >>> result = predict_one(lu_class("A"), cray_xt4(), total_cores=16)
+    >>> result.backend, result.total_cores
+    ('analytic-fast', 16)
     """
     request = PredictionRequest(
         spec, platform, total_cores=total_cores, grid=grid, core_mapping=core_mapping

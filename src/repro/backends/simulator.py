@@ -50,6 +50,16 @@ class SimulatorBackend:
     the defaults (one iteration, non-wavefront phase included, contention
     on, no noise, automatic engine choice) reproduce the validation
     harness's measurement configuration.
+
+    >>> SimulatorBackend().name
+    'simulator'
+    >>> from repro.apps.workloads import lu_class
+    >>> from repro.platforms import cray_xt4
+    >>> from repro.core.decomposition import decompose
+    >>> result = SimulatorBackend().evaluate(
+    ...     lu_class("A"), cray_xt4(), decompose(16))
+    >>> result.pipeline_fill_per_iteration_us is None   # a "measurement"
+    True
     """
 
     iterations: int = 1
@@ -147,10 +157,20 @@ _simulate_cached = lru_cache(maxsize=32)(_simulate_uncached)
 
 
 def clear_simulation_cache() -> None:
-    """Drop all memoised simulator-backend results."""
+    """Drop all memoised simulator-backend results.
+
+    >>> clear_simulation_cache()
+    >>> simulation_cache_info().currsize
+    0
+    """
     _simulate_cached.cache_clear()
 
 
 def simulation_cache_info():
-    """Hit/miss statistics of the simulator-backend memo (``functools`` format)."""
+    """Hit/miss statistics of the simulator-backend memo (``functools`` format).
+
+    >>> info = simulation_cache_info()
+    >>> info.hits >= 0 and info.maxsize == 32
+    True
+    """
     return _simulate_cached.cache_info()

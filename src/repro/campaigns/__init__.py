@@ -1,0 +1,78 @@
+"""Declarative experiment campaigns with a persistent result store.
+
+The paper's contribution is a *matrix* of predictions - Tables 4-7 and
+Figures 5-8 sweep applications x platforms x core counts x tile heights and
+cross-check model against measurement.  This package turns such a matrix
+into a single declarative artifact and makes running it cheap, resumable and
+reportable:
+
+**Spec** (:mod:`repro.campaigns.spec`)
+    :class:`CampaignSpec` names the axes; :meth:`CampaignSpec.points`
+    expands them into content-hash-keyed :class:`CampaignPoint` requests.
+    Specs load from dicts or JSON files, and four built-ins ship as package
+    data (:mod:`repro.campaigns.builtin`).
+
+**Store** (:mod:`repro.campaigns.store`)
+    :class:`ResultStore` persists every evaluated point as one JSON line
+    under ``.repro-cache/`` (or any ``--store`` path).  Keys are content
+    hashes, so re-runs and interrupted campaigns compute only the delta.
+
+**Runner** (:mod:`repro.campaigns.runner`)
+    :class:`CampaignRunner` diffs the spec against the store and batches the
+    missing points through :func:`repro.backends.service.predict_many` (one
+    call per backend group, preserving dedup/caching/pool fan-out).
+
+**Report** (:mod:`repro.campaigns.report`)
+    :func:`campaign_report` renders Markdown tables - including the
+    model-vs-measurement error columns of Tables 4-7 - and
+    :func:`write_report` emits the Figure 5/6 CSV data files.
+
+End to end:
+
+>>> import tempfile, os
+>>> from repro.campaigns import CampaignSpec, run_campaign, campaign_report
+>>> spec = CampaignSpec(
+...     name="mini", apps=("lu-classA",), total_cores=(4, 16),
+...     backends=("analytic-fast", "analytic-exact"), baseline="analytic-exact",
+... )
+>>> store = os.path.join(tempfile.mkdtemp(), "mini.jsonl")
+>>> run_campaign(spec, store=store).computed
+4
+>>> run_campaign(spec, store=store).computed   # second run: all cached
+0
+>>> "# Campaign report: mini" in campaign_report(store)
+True
+
+The CLI front end is ``wavebench campaign run|report|list|clean``.
+"""
+
+from repro.campaigns.builtin import builtin_campaigns, get_campaign
+from repro.campaigns.report import campaign_report, write_report
+from repro.campaigns.runner import (
+    CampaignRunner,
+    CampaignRunSummary,
+    run_campaign,
+)
+from repro.campaigns.spec import (
+    CampaignPoint,
+    CampaignSpec,
+    apply_htile,
+    load_campaign_file,
+)
+from repro.campaigns.store import ResultStore, default_store_path
+
+__all__ = [
+    "CampaignPoint",
+    "CampaignRunSummary",
+    "CampaignRunner",
+    "CampaignSpec",
+    "ResultStore",
+    "apply_htile",
+    "builtin_campaigns",
+    "campaign_report",
+    "default_store_path",
+    "get_campaign",
+    "load_campaign_file",
+    "run_campaign",
+    "write_report",
+]

@@ -1,0 +1,349 @@
+"""Declarative campaign specifications: axes in, request list out.
+
+A :class:`CampaignSpec` names the *matrix* of configurations a study wants
+evaluated - applications x platforms x core counts x tile heights x
+prediction backends x noise seeds - the way the paper's Tables 4-7 and
+Figures 5-8 each sweep a handful of axes and cross-check model against
+measurement.  The spec is a plain frozen dataclass, loadable from a dict or
+a JSON file, so campaigns can be versioned alongside the code (the built-in
+definitions under ``repro/campaigns/data/`` are exactly such files).
+
+:meth:`CampaignSpec.points` expands the axes into an ordered list of
+:class:`CampaignPoint` objects; each point knows its content-hash
+:meth:`~CampaignPoint.key` (the persistent result store's identity), how to
+build its :class:`~repro.backends.base.PredictionRequest` and which backend
+evaluates it.
+
+>>> spec = CampaignSpec(name="demo", apps=("lu-classA",), total_cores=(4, 16))
+>>> [point.total_cores for point in spec.points()]
+[4, 16]
+>>> spec.points()[0].key() == spec.points()[0].key()
+True
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Any, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.apps.base import WavefrontSpec
+from repro.apps.sweep3d import Sweep3DConfig
+from repro.apps.workloads import standard_workloads
+from repro.backends.base import PredictionRequest
+from repro.backends.registry import BackendSpec
+from repro.backends.simulator import SimulatorBackend
+from repro.platforms import get_platform
+
+__all__ = [
+    "CampaignPoint",
+    "CampaignSpec",
+    "apply_htile",
+    "load_campaign_file",
+]
+
+
+def apply_htile(spec: WavefrontSpec, htile: float) -> WavefrontSpec:
+    """Return ``spec`` re-tiled to ``htile``, respecting Sweep3D's blocking.
+
+    Sweep3D exposes its tile height through the ``mk``/``mmi`` blocking
+    parameters, so the requested value must be realisable as an integral
+    ``mk`` (:meth:`repro.apps.sweep3d.Sweep3DConfig.for_htile` raises
+    ``ValueError`` otherwise - the multiples of ``mmi/mmo = 0.5`` for the
+    default blocking); other applications take the height directly.  The
+    campaign runner builds every request up front, so an unrealisable value
+    fails the run before any computation starts.
+
+    >>> from repro.apps.workloads import chimaera_240cubed
+    >>> apply_htile(chimaera_240cubed(), 4.0).htile
+    4.0
+    >>> from repro.apps.workloads import sweep3d_20m
+    >>> apply_htile(sweep3d_20m(), 2.2)
+    Traceback (most recent call last):
+        ...
+    ValueError: Htile=2.2 is not representable with mmi=3, mmo=6
+    """
+    if spec.name == "sweep3d":
+        return spec.with_htile(Sweep3DConfig.for_htile(htile).htile)
+    return spec.with_htile(htile)
+
+
+@dataclass(frozen=True)
+class CampaignPoint:
+    """One fully-determined configuration of a campaign matrix.
+
+    The point is the unit of work *and* the unit of persistence: its
+    :meth:`key` is a content hash over every field that influences the
+    result, so a result store can recognise work it has already done across
+    interrupted runs, re-runs and overlapping campaigns.
+
+    >>> point = CampaignPoint(app="lu-classA", platform="cray-xt4",
+    ...                       total_cores=16, htile=None,
+    ...                       backend="analytic-fast")
+    >>> len(point.key())
+    16
+    >>> point.request().total_cores
+    16
+    """
+
+    app: str
+    platform: str
+    total_cores: int
+    htile: Optional[float]
+    backend: str
+    noise_seed: Optional[int] = None
+    compute_noise: float = 0.0
+
+    def key(self) -> str:
+        """Stable content hash identifying this configuration in a store."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable form (the inverse of :meth:`from_dict`)."""
+        return {
+            "app": self.app,
+            "platform": self.platform,
+            "total_cores": self.total_cores,
+            "htile": self.htile,
+            "backend": self.backend,
+            "noise_seed": self.noise_seed,
+            "compute_noise": self.compute_noise,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CampaignPoint":
+        return cls(
+            app=str(data["app"]),
+            platform=str(data["platform"]),
+            total_cores=int(data["total_cores"]),
+            htile=None if data.get("htile") is None else float(data["htile"]),
+            backend=str(data["backend"]),
+            noise_seed=None if data.get("noise_seed") is None else int(data["noise_seed"]),
+            compute_noise=float(data.get("compute_noise", 0.0)),
+        )
+
+    def build_spec(self) -> WavefrontSpec:
+        """The workload spec, with the point's tile height applied."""
+        registry = standard_workloads()
+        try:
+            spec = registry[self.app]()
+        except KeyError:
+            known = ", ".join(sorted(registry))
+            raise KeyError(
+                f"unknown application {self.app!r}; choose from: {known}"
+            ) from None
+        if self.htile is not None:
+            spec = apply_htile(spec, self.htile)
+        return spec
+
+    def request(self) -> PredictionRequest:
+        """The :class:`PredictionRequest` this point evaluates."""
+        return PredictionRequest(
+            self.build_spec(), get_platform(self.platform), total_cores=self.total_cores
+        )
+
+    def backend_spec(self) -> BackendSpec:
+        """What to pass as ``backend=`` to the prediction service.
+
+        Plain registered names pass through; a noisy simulator point builds
+        the configured :class:`~repro.backends.simulator.SimulatorBackend`
+        so each seed gets its own deterministic jitter stream.
+        """
+        if self.backend == "simulator" and self.noise_seed is not None:
+            return SimulatorBackend(
+                compute_noise=self.compute_noise, noise_seed=self.noise_seed
+            )
+        return self.backend
+
+    def backend_group(self) -> tuple[str, Optional[int]]:
+        """Grouping key for batching points through one ``predict_many`` call."""
+        return (self.backend, self.noise_seed)
+
+
+def _as_tuple(values: Any, coerce) -> tuple:
+    if isinstance(values, (str, bytes)):
+        raise TypeError(f"expected a sequence of values, got {values!r}")
+    return tuple(coerce(value) for value in values)
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A declarative experiment campaign: named axes over the model's inputs.
+
+    Every axis is a tuple of values; :meth:`points` takes their cartesian
+    product in deterministic order (apps, then platforms, core counts, tile
+    heights, backends, seeds).  ``htiles`` entries of ``None`` mean "the
+    workload's default tile height"; ``noise_seeds`` only differentiate
+    simulator points when ``compute_noise`` is non-zero (the analytic model
+    is deterministic, so seeds would only duplicate work - they are
+    normalised away).  ``baseline`` optionally names the backend that plays
+    the paper's "measurement" role in reports, enabling the
+    model-vs-measurement error columns of Tables 4-7.
+
+    >>> spec = CampaignSpec(
+    ...     name="mini-validation",
+    ...     apps=("lu-classA",),
+    ...     total_cores=(16, 64),
+    ...     backends=("analytic-fast", "simulator"),
+    ...     baseline="simulator",
+    ... )
+    >>> len(spec.points())
+    4
+    >>> spec.with_max_cores(16).total_cores
+    (16,)
+    """
+
+    name: str
+    apps: Tuple[str, ...] = ()
+    total_cores: Tuple[int, ...] = ()
+    description: str = ""
+    platforms: Tuple[str, ...] = ("cray-xt4",)
+    htiles: Tuple[Optional[float], ...] = (None,)
+    backends: Tuple[str, ...] = ("analytic-fast",)
+    noise_seeds: Tuple[Optional[int], ...] = (None,)
+    compute_noise: float = 0.0
+    baseline: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "apps", _as_tuple(self.apps, str))
+        object.__setattr__(self, "platforms", _as_tuple(self.platforms, str))
+        object.__setattr__(self, "total_cores", _as_tuple(self.total_cores, int))
+        object.__setattr__(
+            self,
+            "htiles",
+            _as_tuple(self.htiles, lambda h: None if h is None else float(h)),
+        )
+        object.__setattr__(self, "backends", _as_tuple(self.backends, str))
+        object.__setattr__(
+            self,
+            "noise_seeds",
+            _as_tuple(self.noise_seeds, lambda s: None if s is None else int(s)),
+        )
+        if not self.name:
+            raise ValueError("a campaign needs a non-empty name")
+        for axis in ("apps", "platforms", "total_cores", "htiles", "backends", "noise_seeds"):
+            if not getattr(self, axis):
+                raise ValueError(f"campaign axis {axis!r} has no values")
+        if any(count < 1 for count in self.total_cores):
+            raise ValueError("total_cores values must be positive")
+        if self.compute_noise < 0:
+            raise ValueError("compute_noise must be non-negative")
+        if self.baseline is not None and self.baseline not in self.backends:
+            raise ValueError(
+                f"baseline {self.baseline!r} is not one of the campaign's "
+                f"backends {self.backends}"
+            )
+
+    # -- expansion -------------------------------------------------------------------
+
+    def points(self) -> list[CampaignPoint]:
+        """Expand the axes into the ordered, de-duplicated request list."""
+        seen: set[str] = set()
+        expanded: list[CampaignPoint] = []
+        for app, platform, cores, htile, backend, seed in itertools.product(
+            self.apps,
+            self.platforms,
+            self.total_cores,
+            self.htiles,
+            self.backends,
+            self.noise_seeds,
+        ):
+            noisy_simulator = backend == "simulator" and self.compute_noise > 0.0
+            point = CampaignPoint(
+                app=app,
+                platform=platform,
+                total_cores=cores,
+                htile=htile,
+                backend=backend,
+                noise_seed=seed if noisy_simulator else None,
+                compute_noise=self.compute_noise if noisy_simulator else 0.0,
+            )
+            key = point.key()
+            if key not in seen:
+                seen.add(key)
+                expanded.append(point)
+        return expanded
+
+    def __len__(self) -> int:
+        return len(self.points())
+
+    # -- serialisation ---------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable form (the inverse of :meth:`from_dict`)."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "apps": list(self.apps),
+            "platforms": list(self.platforms),
+            "total_cores": list(self.total_cores),
+            "htiles": list(self.htiles),
+            "backends": list(self.backends),
+            "noise_seeds": list(self.noise_seeds),
+            "compute_noise": self.compute_noise,
+            "baseline": self.baseline,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CampaignSpec":
+        """Build a spec from a plain dict (e.g. parsed campaign JSON).
+
+        Only ``name``, ``apps`` and ``total_cores`` are required; every other
+        field falls back to the dataclass default.  Unknown keys raise, so
+        typos in campaign files fail loudly.
+        """
+        known = {
+            "name",
+            "description",
+            "apps",
+            "platforms",
+            "total_cores",
+            "htiles",
+            "backends",
+            "noise_seeds",
+            "compute_noise",
+            "baseline",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown campaign field(s) {sorted(unknown)}; known fields: "
+                f"{sorted(known)}"
+            )
+        kwargs = {key: data[key] for key in known & set(data)}
+        return cls(**kwargs)
+
+    # -- derived campaigns -----------------------------------------------------------
+
+    def with_max_cores(self, max_cores: int) -> "CampaignSpec":
+        """A reduced-scale copy keeping only core counts ``<= max_cores``.
+
+        Used by CI smoke runs and quick local iterations; if every axis value
+        exceeds the cap the smallest one is kept so the campaign never
+        becomes empty.
+        """
+        kept = tuple(count for count in self.total_cores if count <= max_cores)
+        if not kept:
+            kept = (min(self.total_cores),)
+        return replace(self, total_cores=kept)
+
+
+def load_campaign_file(path: Union[str, Path]) -> CampaignSpec:
+    """Load a :class:`CampaignSpec` from a JSON file.
+
+    The file holds one JSON object with the :meth:`CampaignSpec.from_dict`
+    fields - see ``docs/campaigns.md`` for the schema and
+    ``src/repro/campaigns/data/`` for the built-in examples.
+    """
+    text = Path(path).read_text(encoding="utf-8")
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"campaign file {path} is not valid JSON: {exc}") from exc
+    if not isinstance(data, dict):
+        raise ValueError(f"campaign file {path} must hold a JSON object")
+    return CampaignSpec.from_dict(data)

@@ -1,0 +1,170 @@
+"""Persistent on-disk result store: append-only JSON lines, content-hash keys.
+
+The store is the campaign subsystem's durability layer: every evaluated
+point is appended as one JSON line keyed by the point's content hash, so
+
+* an interrupted campaign resumes by re-running and computing only the
+  missing keys;
+* a re-run of an already-complete campaign performs **zero** backend
+  computations;
+* overlapping campaigns (e.g. a scaling sweep and a validation matrix that
+  share configurations) reuse each other's results when pointed at the same
+  store file.
+
+The file format is deliberately trivial - one JSON object per line - so
+stores can be inspected with ``grep``/``jq`` and survive partial writes: a
+truncated final line (a crash mid-append) is ignored on load.  The campaign
+spec itself is stored as a header line, which is what lets
+``wavebench campaign report --store PATH`` reconstruct the report without
+being told the campaign name.
+
+>>> import tempfile, os
+>>> path = os.path.join(tempfile.mkdtemp(), "demo.jsonl")
+>>> store = ResultStore(path)
+>>> store.put("abc123", {"point": {}, "result": {"time_per_iteration_us": 1.0}})
+>>> "abc123" in store
+True
+>>> ResultStore(path).get("abc123")["result"]["time_per_iteration_us"]
+1.0
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Iterator, Mapping, Optional, Union
+
+__all__ = ["ResultStore", "as_store", "default_store_path"]
+
+#: Directory used when no explicit ``--store`` path is given.
+DEFAULT_STORE_DIR = Path(".repro-cache")
+
+#: Store file format version, recorded in the header line.
+STORE_VERSION = 1
+
+
+def default_store_path(campaign_name: str) -> Path:
+    """The conventional store location for a named campaign.
+
+    >>> str(default_store_path("paper-validation"))
+    '.repro-cache/paper-validation.jsonl'
+    """
+    return DEFAULT_STORE_DIR / f"{campaign_name}.jsonl"
+
+
+class ResultStore:
+    """Append-only JSON-lines store of campaign results, keyed by content hash.
+
+    The store keeps an in-memory index (``key -> record``) mirroring the
+    file; :meth:`put` appends to the file *and* updates the index, so a
+    single instance can be used through a whole run while staying crash-safe
+    (each record is flushed as soon as it is computed).
+
+    Record lines have ``{"kind": "result", "key": ..., "point": ...,
+    "result": ...}``; a ``{"kind": "campaign", "spec": ...}`` header carries
+    the campaign definition (the most recent header wins).
+    """
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self._records: dict[str, dict[str, Any]] = {}
+        self._spec: Optional[dict[str, Any]] = None
+        self._load()
+
+    # -- loading ---------------------------------------------------------------------
+
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        lines = self.path.read_text(encoding="utf-8").splitlines()
+        for index, line in enumerate(lines):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                if index == len(lines) - 1:
+                    # A truncated final line is the signature of a crash
+                    # mid-append; everything before it is intact.
+                    continue
+                raise ValueError(
+                    f"store file {self.path} is corrupt at line {index + 1}"
+                ) from None
+            kind = entry.get("kind")
+            if kind == "campaign":
+                self._spec = entry.get("spec")
+            elif kind == "result" and "key" in entry:
+                self._records[entry["key"]] = entry
+
+    # -- querying --------------------------------------------------------------------
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def keys(self) -> list[str]:
+        return list(self._records)
+
+    def get(self, key: str) -> Optional[dict[str, Any]]:
+        """The stored record for ``key``, or ``None``."""
+        return self._records.get(key)
+
+    def records(self) -> Iterator[dict[str, Any]]:
+        """All stored result records, in insertion order."""
+        return iter(self._records.values())
+
+    @property
+    def spec_dict(self) -> Optional[dict[str, Any]]:
+        """The campaign definition recorded in the store header, if any."""
+        return self._spec
+
+    # -- writing ---------------------------------------------------------------------
+
+    def _append(self, entry: Mapping[str, Any]) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(entry, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def set_spec(self, spec_dict: Mapping[str, Any]) -> None:
+        """Record the campaign definition (header line; latest wins).
+
+        A no-op when the stored spec already matches, so repeated runs of the
+        same campaign do not grow the file.
+        """
+        spec_dict = dict(spec_dict)
+        if self._spec == spec_dict:
+            return
+        self._append({"kind": "campaign", "version": STORE_VERSION, "spec": spec_dict})
+        self._spec = spec_dict
+
+    def put(self, key: str, record: Mapping[str, Any]) -> None:
+        """Persist one result record under ``key`` (idempotent per key)."""
+        if key in self._records:
+            return
+        entry = {"kind": "result", "key": key, **record}
+        self._append(entry)
+        self._records[key] = entry
+
+    # -- maintenance -----------------------------------------------------------------
+
+    def clean(self) -> bool:
+        """Delete the backing file; returns True when a file was removed."""
+        self._records.clear()
+        self._spec = None
+        if self.path.exists():
+            self.path.unlink()
+            return True
+        return False
+
+
+def as_store(store: Union[str, Path, ResultStore]) -> ResultStore:
+    """Coerce a path-or-store argument into an open :class:`ResultStore`."""
+    if isinstance(store, ResultStore):
+        return store
+    return ResultStore(store)

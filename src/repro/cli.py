@@ -6,13 +6,18 @@ A thin front end over the library for quick interactive use::
     wavebench validate --app sweep3d-20m  --platform cray-xt4 --cores 64
     wavebench htile    --app chimaera-240 --platform cray-xt4 --cores 4096 --values 1,2,4,8
     wavebench scaling  --app sweep3d-1b-production --cores 1024,4096,16384
+    wavebench campaign list
+    wavebench campaign run    --name paper-validation --store /tmp/s
+    wavebench campaign report --store /tmp/s
+    wavebench campaign clean  --store /tmp/s
     wavebench pingpong --platform cray-xt4
     wavebench table3
     wavebench workrate
 
-Every subcommand prints a plain-text table; the same functionality is
-available programmatically through :mod:`repro.analysis`,
-:mod:`repro.validation` and :mod:`repro.calibration`.
+Every subcommand prints a plain-text table (``campaign report`` prints
+Markdown); the same functionality is available programmatically through
+:mod:`repro.analysis`, :mod:`repro.validation`, :mod:`repro.campaigns` and
+:mod:`repro.calibration`.  See ``docs/cli.md`` for the full reference.
 """
 
 from __future__ import annotations
@@ -29,6 +34,11 @@ from repro.apps.sweep3d import Sweep3DConfig
 from repro.apps.workloads import standard_workloads
 from repro.backends.registry import available_backends
 from repro.backends.service import predict_one
+from repro.campaigns.builtin import builtin_campaigns, get_campaign
+from repro.campaigns.report import campaign_report, write_report
+from repro.campaigns.runner import CampaignRunner
+from repro.campaigns.spec import load_campaign_file
+from repro.campaigns.store import ResultStore, default_store_path
 from repro.calibration.fitting import derive_platform_parameters
 from repro.calibration.workrate import (
     measure_ssor_wg,
@@ -192,6 +202,85 @@ def _cmd_scaling(args: argparse.Namespace) -> int:
     return 0
 
 
+def _campaign_spec(args: argparse.Namespace):
+    """Resolve ``--name``/``--spec`` (and ``--max-cores``) into a CampaignSpec."""
+    if getattr(args, "spec", None):
+        spec = load_campaign_file(args.spec)
+    elif getattr(args, "name", None):
+        try:
+            spec = get_campaign(args.name)
+        except KeyError as exc:
+            raise SystemExit(str(exc.args[0])) from exc
+    else:
+        raise SystemExit("specify a campaign with --name NAME or --spec FILE")
+    if getattr(args, "max_cores", None):
+        spec = spec.with_max_cores(args.max_cores)
+    return spec
+
+
+def _campaign_store_path(args: argparse.Namespace, spec=None):
+    if getattr(args, "store", None):
+        return args.store
+    if spec is None and (getattr(args, "name", None) or getattr(args, "spec", None)):
+        spec = _campaign_spec(args)
+    if spec is not None:
+        return default_store_path(spec.name)
+    raise SystemExit(
+        "specify a result store with --store PATH (or --name/--spec for the default)"
+    )
+
+
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    spec = _campaign_spec(args)
+    store = ResultStore(_campaign_store_path(args, spec))
+    runner = CampaignRunner(spec, store, workers=args.workers, executor=args.executor)
+    summary = runner.run()
+    if args.json:
+        print(json.dumps(summary.to_dict(), indent=2))
+        return 0
+    print(f"campaign: {summary.campaign}")
+    print(
+        f"points:   {summary.total_points} "
+        f"(computed {summary.computed}, cached {summary.cached})"
+    )
+    print(f"store:    {summary.store_path}")
+    return 0
+
+
+def _cmd_campaign_report(args: argparse.Namespace) -> int:
+    store = ResultStore(_campaign_store_path(args))
+    if args.output:
+        written = write_report(store, args.output)
+        for path in written:
+            print(path)
+        return 0
+    print(campaign_report(store), end="")
+    return 0
+
+
+def _cmd_campaign_list(args: argparse.Namespace) -> int:
+    campaigns = builtin_campaigns()
+    if args.json:
+        record = {
+            name: {"points": len(spec.points()), "description": spec.description}
+            for name, spec in sorted(campaigns.items())
+        }
+        print(json.dumps(record, indent=2))
+        return 0
+    table = Table(["campaign", "points", "description"], title="built-in campaigns")
+    for name, spec in sorted(campaigns.items()):
+        table.add_row(name, len(spec.points()), spec.description)
+    print(table.render())
+    return 0
+
+
+def _cmd_campaign_clean(args: argparse.Namespace) -> int:
+    path = _campaign_store_path(args)
+    removed = ResultStore(path).clean()
+    print(f"{'removed' if removed else 'no store at'} {path}")
+    return 0
+
+
 def _cmd_pingpong(args: argparse.Namespace) -> int:
     platform = get_platform(args.platform)
     fitted = derive_platform_parameters(platform, repetitions=args.repetitions)
@@ -330,6 +419,65 @@ def build_parser() -> argparse.ArgumentParser:
     add_backend_flag(p_scaling)
     add_pool_flags(p_scaling)
     p_scaling.set_defaults(func=_cmd_scaling)
+
+    p_campaign = sub.add_parser(
+        "campaign",
+        help="declarative experiment campaigns with a persistent result store",
+    )
+    campaign_sub = p_campaign.add_subparsers(dest="campaign_command", required=True)
+    campaign_names = ", ".join(sorted(builtin_campaigns()))
+
+    def add_campaign_selection(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--name", default=None, help=f"built-in campaign ({campaign_names})"
+        )
+        p.add_argument(
+            "--spec", default=None, help="path to a campaign JSON file (see docs/campaigns.md)"
+        )
+
+    def add_store_flag(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--store",
+            default=None,
+            help="result store path (default: .repro-cache/<campaign>.jsonl)",
+        )
+
+    p_crun = campaign_sub.add_parser(
+        "run", help="expand the campaign and compute the points missing from the store"
+    )
+    add_campaign_selection(p_crun)
+    add_store_flag(p_crun)
+    p_crun.add_argument(
+        "--max-cores",
+        type=int,
+        default=None,
+        help="drop core counts above this cap (reduced-scale smoke runs)",
+    )
+    add_pool_flags(p_crun)
+    add_json_flag(p_crun)
+    p_crun.set_defaults(func=_cmd_campaign_run)
+
+    p_creport = campaign_sub.add_parser(
+        "report", help="render the Markdown report (and CSV data files) from a store"
+    )
+    add_campaign_selection(p_creport)
+    add_store_flag(p_creport)
+    p_creport.add_argument(
+        "--output",
+        default=None,
+        help="write report.md plus CSV data files into this directory "
+        "instead of printing Markdown to stdout",
+    )
+    p_creport.set_defaults(func=_cmd_campaign_report)
+
+    p_clist = campaign_sub.add_parser("list", help="list the built-in campaigns")
+    add_json_flag(p_clist)
+    p_clist.set_defaults(func=_cmd_campaign_list)
+
+    p_cclean = campaign_sub.add_parser("clean", help="delete a campaign's result store")
+    add_campaign_selection(p_cclean)
+    add_store_flag(p_cclean)
+    p_cclean.set_defaults(func=_cmd_campaign_clean)
 
     p_pingpong = sub.add_parser(
         "pingpong", help="derive Table 2 LogGP parameters from simulated ping-pong"

@@ -25,6 +25,58 @@ def _format_cell(value: Any, precision: int) -> str:
     return str(value)
 
 
+def format_markdown(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    *,
+    precision: int = 4,
+) -> str:
+    """Render ``rows`` under ``headers`` as a GitHub-flavoured Markdown table.
+
+    Cells are formatted with the same rules as :func:`format_table`, so the
+    plain-text and Markdown views of a table agree digit for digit - the
+    campaign report layer relies on this determinism for byte-identical
+    re-renders.
+
+    >>> print(format_markdown(["P", "time"], [[16, 2.5], [64, 1.25]]))
+    | P | time |
+    | --- | --- |
+    | 16 | 2.5000 |
+    | 64 | 1.2500 |
+    """
+    str_rows = [[_format_cell(cell, precision) for cell in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+    lines = ["| " + " | ".join(str(h) for h in headers) + " |"]
+    lines.append("| " + " | ".join("---" for _ in headers) + " |")
+    for row in str_rows:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
+def format_csv(headers: Sequence[str], rows: Iterable[Sequence[Any]]) -> str:
+    """Render ``rows`` as CSV text (trailing newline included).
+
+    Floats keep full precision (``repr``) so figure data files round-trip;
+    everything else uses ``str``.
+
+    >>> format_csv(["P", "days"], [[1024, 0.5]])
+    'P,days\\n1024,0.5\\n'
+    """
+    import csv
+    import io
+
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(list(headers))
+    for row in rows:
+        writer.writerow([repr(c) if isinstance(c, float) else str(c) for c in row])
+    return buffer.getvalue()
+
+
 def format_table(
     headers: Sequence[str],
     rows: Iterable[Sequence[Any]],
@@ -88,6 +140,20 @@ class Table:
         return format_table(
             self.headers, self.rows, precision=self.precision, title=self.title
         )
+
+    def render_markdown(self) -> str:
+        """The table as GitHub-flavoured Markdown (title omitted).
+
+        >>> t = Table(["P", "time"], title="scaling")
+        >>> t.add_row(16, 1.0)
+        >>> t.render_markdown().splitlines()[0]
+        '| P | time |'
+        """
+        return format_markdown(self.headers, self.rows, precision=self.precision)
+
+    def render_csv(self) -> str:
+        """The table as CSV text (full-precision floats)."""
+        return format_csv(self.headers, self.rows)
 
     def __len__(self) -> int:
         return len(self.rows)

@@ -124,6 +124,14 @@ def diff_backends(
     either side: ``diff_backends(requests, candidate="analytic-fast",
     baseline="analytic-exact")`` checks the fast engine, the defaults check
     the model against the simulated measurement.
+
+    >>> from repro.apps.workloads import lu_class
+    >>> from repro.platforms import cray_xt4
+    >>> summary = diff_backends([(lu_class("A"), cray_xt4(), 16)],
+    ...                         candidate="analytic-fast",
+    ...                         baseline="analytic-exact")
+    >>> round(summary.max_error, 9)   # fast engine == exact recurrence
+    0.0
     """
     request_list = [as_request(request) for request in requests]
     candidate_results = predict_many(

@@ -1,0 +1,524 @@
+"""Tests for the declarative campaign subsystem (spec, store, runner, report, CLI)."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+
+import pytest
+
+from repro.backends.analytic import AnalyticBackend
+from repro.backends.registry import _FACTORIES, register_backend
+from repro.campaigns import (
+    CampaignRunner,
+    CampaignSpec,
+    ResultStore,
+    builtin_campaigns,
+    campaign_report,
+    get_campaign,
+    load_campaign_file,
+    run_campaign,
+    write_report,
+)
+from repro.campaigns.spec import CampaignPoint
+from repro.cli import main
+
+# -- a counting backend: the instrument for the resumability contract ------------------
+
+_CALLS: list[tuple[str, int]] = []
+
+
+@dataclass(frozen=True)
+class _CountingBackend:
+    """Delegates to the analytic engine, recording every evaluate() call."""
+
+    @property
+    def name(self) -> str:
+        return "counting-analytic"
+
+    def evaluate(self, spec, platform, grid, core_mapping=None):
+        _CALLS.append((spec.name, grid.total_processors))
+        result = AnalyticBackend().evaluate(spec, platform, grid, core_mapping)
+        return replace(result, backend=self.name)
+
+
+@pytest.fixture
+def counting_backend():
+    register_backend("counting-analytic", _CountingBackend, replace=True)
+    _CALLS.clear()
+    yield "counting-analytic"
+    _FACTORIES.pop("counting-analytic", None)
+    _CALLS.clear()
+
+
+@pytest.fixture
+def small_spec():
+    return CampaignSpec(
+        name="small",
+        apps=("lu-classA",),
+        total_cores=(4, 16, 64),
+        htiles=(1.0, 2.0),
+        backends=("counting-analytic",),
+    )
+
+
+# -- spec ------------------------------------------------------------------------------
+
+
+class TestCampaignSpec:
+    def test_expansion_order_and_count(self):
+        spec = CampaignSpec(
+            name="demo",
+            apps=("lu-classA", "sweep3d-20m"),
+            total_cores=(4, 16),
+            backends=("analytic-fast", "analytic-exact"),
+        )
+        points = spec.points()
+        assert len(points) == len(spec) == 8
+        assert [p.app for p in points[:4]] == ["lu-classA"] * 4
+        assert [(p.total_cores, p.backend) for p in points[:4]] == [
+            (4, "analytic-fast"),
+            (4, "analytic-exact"),
+            (16, "analytic-fast"),
+            (16, "analytic-exact"),
+        ]
+
+    def test_seeds_normalised_for_deterministic_backends(self):
+        spec = CampaignSpec(
+            name="seeds",
+            apps=("lu-classA",),
+            total_cores=(4,),
+            backends=("analytic-fast", "simulator"),
+            noise_seeds=(0, 1, 2),
+            compute_noise=0.05,
+        )
+        points = spec.points()
+        analytic = [p for p in points if p.backend == "analytic-fast"]
+        simulator = [p for p in points if p.backend == "simulator"]
+        # Seeds only differentiate noisy simulator points.
+        assert len(analytic) == 1 and analytic[0].noise_seed is None
+        assert sorted(p.noise_seed for p in simulator) == [0, 1, 2]
+        assert all(p.compute_noise == 0.05 for p in simulator)
+
+    def test_seeds_collapse_without_noise(self):
+        spec = CampaignSpec(
+            name="noiseless",
+            apps=("lu-classA",),
+            total_cores=(4,),
+            backends=("simulator",),
+            noise_seeds=(0, 1, 2),
+        )
+        assert len(spec.points()) == 1
+
+    def test_round_trip_through_dict(self):
+        spec = get_campaign("paper-validation")
+        assert CampaignSpec.from_dict(spec.to_dict()) == spec
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown campaign field"):
+            CampaignSpec.from_dict(
+                {"name": "x", "apps": ["lu-classA"], "total_cores": [4], "typo": 1}
+            )
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError, match="apps"):
+            CampaignSpec(name="x", apps=(), total_cores=(4,))
+
+    def test_baseline_must_be_a_backend(self):
+        with pytest.raises(ValueError, match="baseline"):
+            CampaignSpec(
+                name="x", apps=("lu-classA",), total_cores=(4,), baseline="simulator"
+            )
+
+    def test_with_max_cores(self):
+        spec = get_campaign("paper-validation")
+        assert spec.with_max_cores(64).total_cores == (16, 64)
+        # Never empty: the smallest size survives an aggressive cap.
+        assert spec.with_max_cores(1).total_cores == (16,)
+
+    def test_point_key_is_content_hash(self):
+        point = CampaignPoint(
+            app="lu-classA", platform="cray-xt4", total_cores=16,
+            htile=None, backend="analytic-fast",
+        )
+        same = CampaignPoint.from_dict(point.to_dict())
+        assert point.key() == same.key()
+        other = replace(point, total_cores=64)
+        assert point.key() != other.key()
+
+    def test_unknown_app_fails_with_known_names(self):
+        point = CampaignPoint(
+            app="not-an-app", platform="cray-xt4", total_cores=4,
+            htile=None, backend="analytic-fast",
+        )
+        with pytest.raises(KeyError, match="chimaera-240"):
+            point.build_spec()
+
+    def test_load_campaign_file(self, tmp_path):
+        path = tmp_path / "c.json"
+        path.write_text(json.dumps({"name": "f", "apps": ["lu-classA"], "total_cores": [4]}))
+        assert load_campaign_file(path).name == "f"
+        path.write_text("not json")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            load_campaign_file(path)
+
+
+# -- store -----------------------------------------------------------------------------
+
+
+class TestResultStore:
+    def test_put_get_persists_across_instances(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        store = ResultStore(path)
+        store.put("k1", {"point": {}, "result": {"x": 1}})
+        assert "k1" in store and len(store) == 1
+        reopened = ResultStore(path)
+        assert reopened.get("k1")["result"]["x"] == 1
+
+    def test_put_is_idempotent_per_key(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        store = ResultStore(path)
+        store.put("k", {"result": {"x": 1}})
+        store.put("k", {"result": {"x": 2}})
+        assert store.get("k")["result"]["x"] == 1
+        assert len(path.read_text().splitlines()) == 1
+
+    def test_truncated_final_line_ignored(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        store = ResultStore(path)
+        store.put("k1", {"result": {}})
+        store.put("k2", {"result": {}})
+        # Simulate a crash mid-append.
+        path.write_text(path.read_text() + '{"kind": "result", "key": "k3", "res')
+        reopened = ResultStore(path)
+        assert sorted(reopened.keys()) == ["k1", "k2"]
+
+    def test_corrupt_middle_line_raises(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        path.write_text('garbage\n{"kind": "result", "key": "k"}\n')
+        with pytest.raises(ValueError, match="corrupt at line 1"):
+            ResultStore(path)
+
+    def test_spec_header_round_trip(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        store = ResultStore(path)
+        store.set_spec({"name": "x"})
+        store.set_spec({"name": "x"})  # unchanged: no extra header line
+        assert len(path.read_text().splitlines()) == 1
+        assert ResultStore(path).spec_dict == {"name": "x"}
+
+    def test_clean_removes_file(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        store = ResultStore(path)
+        store.put("k", {"result": {}})
+        assert store.clean() is True
+        assert not path.exists()
+        assert ResultStore(path).clean() is False
+
+
+# -- runner: the resumability contract -------------------------------------------------
+
+
+class TestCampaignRunner:
+    def test_full_run_then_rerun_computes_zero(self, tmp_path, counting_backend, small_spec):
+        store_path = tmp_path / "small.jsonl"
+        summary = run_campaign(small_spec, store=store_path)
+        assert (summary.total_points, summary.computed, summary.cached) == (6, 6, 0)
+        assert len(_CALLS) == 6
+
+        summary = run_campaign(small_spec, store=store_path)
+        assert (summary.computed, summary.cached) == (0, 6)
+        assert len(_CALLS) == 6  # zero new backend invocations
+
+    def test_interrupted_run_computes_only_the_delta(
+        self, tmp_path, counting_backend, small_spec
+    ):
+        # Reference: an uninterrupted run in store A.
+        store_a = tmp_path / "a.jsonl"
+        run_campaign(small_spec, store=store_a)
+        reference_report = campaign_report(store_a)
+
+        # Store B: run fully, then "kill" it after 2 results.
+        store_b = tmp_path / "b.jsonl"
+        run_campaign(small_spec, store=store_b)
+        lines = store_b.read_text().splitlines()
+        assert lines[0].startswith('{"kind": "campaign"')
+        kept = 2
+        store_b.write_text("\n".join(lines[: 1 + kept]) + "\n")
+
+        _CALLS.clear()
+        summary = run_campaign(small_spec, store=store_b)
+        # Only the missing points execute...
+        assert (summary.computed, summary.cached) == (6 - kept, kept)
+        assert len(_CALLS) == 6 - kept
+        # ...and the final report is byte-identical to the uninterrupted run.
+        assert campaign_report(store_b) == reference_report
+
+    def test_pending_lists_missing_points(self, tmp_path, counting_backend, small_spec):
+        store = ResultStore(tmp_path / "p.jsonl")
+        runner = CampaignRunner(small_spec, store)
+        assert len(runner.pending()) == 6
+        runner.run()
+        assert runner.pending() == []
+
+    def test_invalid_point_fails_before_any_computation(
+        self, tmp_path, counting_backend
+    ):
+        """An unrealisable Sweep3D Htile aborts the run with zero results."""
+        spec = CampaignSpec(
+            name="bad-htile",
+            apps=("lu-classA", "sweep3d-20m"),
+            total_cores=(4,),
+            htiles=(2.2,),   # fine for LU, unrealisable for Sweep3D
+            backends=("counting-analytic",),
+        )
+        store_path = tmp_path / "bad.jsonl"
+        with pytest.raises(ValueError, match="not representable"):
+            run_campaign(spec, store=store_path)
+        assert len(_CALLS) == 0                      # nothing was computed
+        assert len(ResultStore(store_path)) == 0     # nothing was persisted
+
+    def test_overlapping_campaigns_share_results(self, tmp_path, counting_backend):
+        store_path = tmp_path / "shared.jsonl"
+        first = CampaignSpec(
+            name="first", apps=("lu-classA",), total_cores=(4, 16),
+            backends=("counting-analytic",),
+        )
+        wider = CampaignSpec(
+            name="wider", apps=("lu-classA",), total_cores=(4, 16, 64),
+            backends=("counting-analytic",),
+        )
+        run_campaign(first, store=store_path)
+        assert len(_CALLS) == 2
+        summary = run_campaign(wider, store=store_path)
+        assert (summary.computed, summary.cached) == (1, 2)
+        assert len(_CALLS) == 3
+
+
+# -- report ----------------------------------------------------------------------------
+
+
+class TestReport:
+    def test_report_sections(self, tmp_path, counting_backend):
+        spec = CampaignSpec(
+            name="sections",
+            apps=("chimaera-240",),
+            total_cores=(16, 64),
+            htiles=(1.0, 2.0),
+            backends=("counting-analytic", "analytic-fast"),
+            baseline="analytic-fast",
+        )
+        store_path = tmp_path / "sections.jsonl"
+        run_campaign(spec, store=store_path)
+        report = campaign_report(store_path)
+        assert report.splitlines()[0] == "# Campaign report: sections"
+        assert "## Results" in report
+        assert "## Model vs measurement (baseline: analytic-fast)" in report
+        assert "## Strong scaling (Figure 6 view)" in report
+        assert "## Htile sweeps (Figure 5 view)" in report
+        assert "Optimal Htile:" in report
+        # counting-analytic delegates to the analytic engine: zero error.
+        assert "max |error| 0.00%" in report
+
+    def test_incomplete_store_is_flagged(self, tmp_path, counting_backend, small_spec):
+        store_path = tmp_path / "partial.jsonl"
+        run_campaign(small_spec, store=store_path)
+        lines = store_path.read_text().splitlines()
+        store_path.write_text("\n".join(lines[:3]) + "\n")
+        assert "**Incomplete:** 4 of 6" in campaign_report(store_path)
+
+    def test_write_report_emits_figure_files(self, tmp_path, counting_backend):
+        spec = CampaignSpec(
+            name="files",
+            apps=("chimaera-240",),
+            total_cores=(16, 64),
+            htiles=(1.0, 2.0),
+            backends=("counting-analytic",),
+        )
+        store_path = tmp_path / "files.jsonl"
+        run_campaign(spec, store=store_path)
+        written = {p.name for p in write_report(store_path, tmp_path / "out")}
+        assert written == {
+            "report.md",
+            "results.csv",
+            "figure6_scaling.csv",
+            "figure5_htile.csv",
+        }
+        scaling = (tmp_path / "out" / "figure6_scaling.csv").read_text().splitlines()
+        assert scaling[0].startswith("application,platform,backend,htile,total_cores")
+        assert len(scaling) == 1 + 4  # 2 htile curves x 2 core counts
+
+    def test_empty_store_reports_gracefully(self, tmp_path):
+        report = campaign_report(tmp_path / "empty.jsonl")
+        assert "no results yet" in report
+
+    def test_noisy_baseline_pairs_every_seed(self, tmp_path):
+        """A deterministic candidate is diffed against each noisy replica."""
+        spec = CampaignSpec(
+            name="noisy",
+            apps=("lu-classA",),
+            total_cores=(4,),
+            backends=("analytic-fast", "simulator"),
+            baseline="simulator",
+            noise_seeds=(0, 1),
+            compute_noise=0.05,
+        )
+        store_path = tmp_path / "noisy.jsonl"
+        run_campaign(spec, store=store_path)
+        report = campaign_report(store_path)
+        assert "## Model vs measurement (baseline: simulator)" in report
+        # One analytic candidate x two simulator seeds = two error rows.
+        assert "Across 2 configuration(s)" in report
+        assert "| seed |" in report
+        validation = (
+            write_report(store_path, tmp_path / "out") and
+            (tmp_path / "out" / "validation.csv").read_text().splitlines()
+        )
+        assert validation[0].split(",")[5] == "noise_seed"
+        assert len(validation) == 1 + 2
+
+    def test_write_report_removes_stale_files(self, tmp_path, counting_backend):
+        out = tmp_path / "out"
+        with_baseline = CampaignSpec(
+            name="stale", apps=("lu-classA",), total_cores=(4,),
+            backends=("counting-analytic", "analytic-fast"),
+            baseline="analytic-fast",
+        )
+        store_a = tmp_path / "a.jsonl"
+        run_campaign(with_baseline, store=store_a)
+        write_report(store_a, out)
+        assert (out / "validation.csv").exists()
+
+        without_baseline = CampaignSpec(
+            name="stale2", apps=("lu-classA",), total_cores=(4,),
+            backends=("counting-analytic",),
+        )
+        store_b = tmp_path / "b.jsonl"
+        run_campaign(without_baseline, store=store_b)
+        write_report(store_b, out)
+        assert not (out / "validation.csv").exists()  # stale file dropped
+        assert (out / "report.md").exists()
+
+
+# -- built-ins -------------------------------------------------------------------------
+
+
+class TestBuiltins:
+    def test_expected_campaigns_ship(self):
+        assert set(builtin_campaigns()) == {
+            "paper-validation",
+            "strong-scaling-sweep",
+            "htile-sweep",
+            "multicore-design",
+        }
+
+    def test_unknown_name_lists_alternatives(self):
+        with pytest.raises(KeyError, match="paper-validation"):
+            get_campaign("no-such-campaign")
+
+    def test_every_builtin_point_is_buildable(self):
+        # Expansion + request construction must work for every point (no
+        # evaluation: this is a schema check, not a run).
+        for spec in builtin_campaigns().values():
+            points = spec.points()
+            assert points, spec.name
+            for point in points:
+                request = point.request()
+                assert request.total_cores == point.total_cores
+
+    def test_paper_validation_has_error_baseline(self):
+        spec = get_campaign("paper-validation")
+        assert spec.baseline == "simulator"
+        assert "simulator" in spec.backends and "analytic-fast" in spec.backends
+
+
+# -- CLI (the ISSUE acceptance flow) ---------------------------------------------------
+
+
+class TestCampaignCLI:
+    def test_acceptance_run_rerun_report(self, tmp_path, capsys):
+        """`campaign run --name paper-validation --store S` twice, then report.
+
+        The second run must perform zero new backend computations and the
+        report must emit the Markdown validation tables.
+        """
+        store = str(tmp_path / "s.jsonl")
+        args = ["campaign", "run", "--name", "paper-validation", "--store", store,
+                "--max-cores", "16", "--json"]
+        assert main(args) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert first["campaign"] == "paper-validation"
+        assert first["computed"] == first["total_points"] > 0
+
+        assert main(args) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert second["computed"] == 0
+        assert second["cached"] == first["total_points"]
+
+        assert main(["campaign", "report", "--store", store]) == 0
+        report = capsys.readouterr().out
+        assert report.splitlines()[0] == "# Campaign report: paper-validation"
+        assert "## Model vs measurement (baseline: simulator)" in report
+        assert "| application | platform | P |" in report
+
+    def test_run_with_spec_file_and_default_store(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        spec_file = tmp_path / "c.json"
+        spec_file.write_text(
+            json.dumps({"name": "from-file", "apps": ["lu-classA"], "total_cores": [4]})
+        )
+        assert main(["campaign", "run", "--spec", str(spec_file), "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["computed"] == 1
+        assert (tmp_path / ".repro-cache" / "from-file.jsonl").exists()
+
+    def test_report_output_directory(self, tmp_path, capsys):
+        store = str(tmp_path / "s.jsonl")
+        main(["campaign", "run", "--name", "htile-sweep", "--store", store,
+              "--max-cores", "4096"])
+        capsys.readouterr()
+        out_dir = tmp_path / "report"
+        assert main(["campaign", "report", "--store", store, "--output", str(out_dir)]) == 0
+        printed = capsys.readouterr().out.splitlines()
+        assert (out_dir / "report.md").exists()
+        assert (out_dir / "figure5_htile.csv").exists()
+        assert any("report.md" in line for line in printed)
+
+    def test_list_names_builtins(self, capsys):
+        assert main(["campaign", "list", "--json"]) == 0
+        listed = json.loads(capsys.readouterr().out)
+        assert "paper-validation" in listed
+        assert listed["paper-validation"]["points"] == 36
+
+    def test_clean_removes_store(self, tmp_path, capsys):
+        store = str(tmp_path / "s.jsonl")
+        main(["campaign", "run", "--name", "htile-sweep", "--store", store,
+              "--max-cores", "1"])
+        capsys.readouterr()
+        assert main(["campaign", "clean", "--store", store]) == 0
+        assert "removed" in capsys.readouterr().out
+        assert not (tmp_path / "s.jsonl").exists()
+
+    def test_report_and_clean_resolve_default_store_from_spec_file(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        spec_file = tmp_path / "c.json"
+        spec_file.write_text(
+            json.dumps({"name": "spec-store", "apps": ["lu-classA"], "total_cores": [4]})
+        )
+        main(["campaign", "run", "--spec", str(spec_file)])
+        capsys.readouterr()
+        assert main(["campaign", "report", "--spec", str(spec_file)]) == 0
+        assert capsys.readouterr().out.startswith("# Campaign report: spec-store")
+        assert main(["campaign", "clean", "--spec", str(spec_file)]) == 0
+        assert "removed" in capsys.readouterr().out
+        assert not (tmp_path / ".repro-cache" / "spec-store.jsonl").exists()
+
+    def test_unknown_campaign_name_fails_helpfully(self):
+        with pytest.raises(SystemExit, match="paper-validation"):
+            main(["campaign", "run", "--name", "nope", "--store", "/tmp/x"])
+
+    def test_run_requires_name_or_spec(self):
+        with pytest.raises(SystemExit, match="--name NAME or --spec FILE"):
+            main(["campaign", "run", "--store", "/tmp/x"])
