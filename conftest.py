@@ -1,0 +1,26 @@
+"""Repo-root pytest configuration.
+
+Lives at the repository root (not under ``tests/``) because
+``pytest_addoption`` only takes effect in *initial* conftests - this way
+``pytest --update-golden`` works from the root invocation the CI and the
+docs use.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="regenerate tests/data/golden_predictions.json from the current "
+        "model instead of asserting against it (see docs/platforms.md)",
+    )
+
+
+@pytest.fixture
+def update_golden(request: pytest.FixtureRequest) -> bool:
+    return bool(request.config.getoption("--update-golden"))

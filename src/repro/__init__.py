@@ -21,7 +21,11 @@ application and platform parameters, and provides:
   energy-group redesign (:mod:`repro.analysis`);
 * declarative experiment campaigns over a persistent on-disk result store,
   with Markdown/CSV reports reproducing the paper's tables and figures
-  (:mod:`repro.campaigns`).
+  (:mod:`repro.campaigns`);
+* heterogeneous and noisy machine scenarios - hierarchical interconnects,
+  per-node speed profiles (stragglers), background-noise models - honoured
+  consistently by the analytic model and the simulator
+  (:mod:`repro.core.hetero`, :mod:`repro.platforms.spec`).
 
 Quick start
 -----------
@@ -67,9 +71,28 @@ from repro.campaigns import (
     run_campaign,
     write_report,
 )
-from repro.platforms import cray_xt3, cray_xt4, cray_xt4_single_core, custom_platform, ibm_sp2
+from repro.core.hetero import (
+    FixedQuantumNoise,
+    NoiseModel,
+    NoNoise,
+    SampledNoise,
+    SpeedProfile,
+)
+from repro.platforms import (
+    PlatformSpec,
+    cray_xt3,
+    cray_xt4,
+    cray_xt4_quad_chip,
+    cray_xt4_single_core,
+    custom_platform,
+    describe_platform,
+    ibm_sp2,
+    parse_noise_model,
+    parse_placement,
+    parse_speed_profile,
+)
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "BackendResult",
@@ -77,12 +100,18 @@ __all__ = [
     "CampaignSpec",
     "CoreMapping",
     "Corner",
+    "FixedQuantumNoise",
+    "NoNoise",
+    "NoiseModel",
     "Platform",
+    "PlatformSpec",
     "Prediction",
     "PredictionRequest",
     "ProblemSize",
     "ProcessorGrid",
     "ResultStore",
+    "SampledNoise",
+    "SpeedProfile",
     "SweepPhase",
     "SweepSchedule",
     "WavefrontSpec",
@@ -93,13 +122,18 @@ __all__ = [
     "clear_prediction_cache",
     "cray_xt3",
     "cray_xt4",
+    "cray_xt4_quad_chip",
     "cray_xt4_single_core",
     "custom_platform",
+    "describe_platform",
     "decompose",
     "get_backend",
     "get_campaign",
     "ibm_sp2",
     "load_campaign_file",
+    "parse_noise_model",
+    "parse_placement",
+    "parse_speed_profile",
     "predict",
     "predict_many",
     "predict_one",

@@ -9,6 +9,14 @@ Two registered variants share one implementation:
 
 Both go through :func:`repro.core.predictor.predict`, so they share its
 memoisation: re-evaluating a configuration anywhere in the process is free.
+
+Heterogeneous platform descriptions (:mod:`repro.core.hetero`) are handled
+inside the model itself: per-node speed profiles enter the ``StartP``
+recurrence through the bounded slowest-rank-per-diagonal correction,
+hierarchical interconnects through the three-level hop classification of
+the communication-cost tables, and noise models through the mean compute
+inflation - so every analytic variant prices the same degraded machines the
+simulator executes.
 """
 
 from __future__ import annotations

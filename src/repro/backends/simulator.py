@@ -27,13 +27,14 @@ from typing import Optional
 from repro.apps.base import WavefrontSpec
 from repro.backends.base import BackendResult
 from repro.core.decomposition import CoreMapping, ProcessorGrid
+from repro.core.hetero import NoiseModel
 from repro.core.loggp import Platform
 from repro.simulator.wavefront import (
     SIMULATOR_ENGINES,
     WavefrontSimulationResult,
     simulate_wavefront,
 )
-from repro.util.caching import call_with_unhashable_fallback
+from repro.util.caching import call_with_unhashable_fallback, register_cache_clearer
 
 __all__ = [
     "SimulatorBackend",
@@ -49,7 +50,10 @@ class SimulatorBackend:
     Parameters mirror :func:`repro.simulator.wavefront.simulate_wavefront`;
     the defaults (one iteration, non-wavefront phase included, contention
     on, no noise, automatic engine choice) reproduce the validation
-    harness's measurement configuration.
+    harness's measurement configuration.  Heterogeneous platform features -
+    per-node speed profiles, hierarchical interconnects and platform-level
+    noise models - are honoured automatically from the platform description;
+    ``noise_model`` overrides the platform's own noise field for ablations.
 
     >>> SimulatorBackend().name
     'simulator'
@@ -66,6 +70,7 @@ class SimulatorBackend:
     simulate_nonwavefront: bool = True
     enable_contention: bool = True
     compute_noise: float = 0.0
+    noise_model: Optional[NoiseModel] = None
     noise_seed: int = 0
     engine: str = "auto"
     max_events: Optional[int] = None
@@ -144,6 +149,7 @@ def _simulate_uncached(
         simulate_nonwavefront=backend.simulate_nonwavefront,
         enable_contention=backend.enable_contention,
         compute_noise=backend.compute_noise,
+        noise_model=backend.noise_model,
         noise_seed=backend.noise_seed,
         engine=backend.engine,
         max_events=backend.max_events,
@@ -156,8 +162,13 @@ def _simulate_uncached(
 _simulate_cached = lru_cache(maxsize=32)(_simulate_uncached)
 
 
+@register_cache_clearer
 def clear_simulation_cache() -> None:
     """Drop all memoised simulator-backend results.
+
+    Also registered with :mod:`repro.util.caching`, so the library-wide
+    :func:`repro.core.predictor.clear_prediction_cache` clears this memo
+    too.
 
     >>> clear_simulation_cache()
     >>> simulation_cache_info().currsize

@@ -1,6 +1,7 @@
 """Built-in campaign definitions, shipped as package data.
 
-Four campaigns cover the paper's experimental matrix; each is a JSON file
+Five campaigns cover the paper's experimental matrix plus the heterogeneity
+axis; each is a JSON file
 under ``repro/campaigns/data/`` in the :func:`CampaignSpec.from_dict
 <repro.campaigns.spec.CampaignSpec.from_dict>` schema (see
 ``docs/campaigns.md``), so they double as worked examples for writing your
@@ -12,10 +13,13 @@ own:
 * ``strong-scaling-sweep`` - the Figure 6 execution-time-vs-system-size
   curves out to 131,072 cores;
 * ``htile-sweep`` - the Figure 5 tile-height optimisation;
-* ``multicore-design`` - the Figure 10 single- vs dual-core node comparison.
+* ``multicore-design`` - the Figure 10 single- vs dual-core node comparison;
+* ``heterogeneity-study`` - straggler count x slowdown x background noise
+  on the transport benchmarks (scenarios beyond the paper's homogeneous
+  machine; see ``docs/platforms.md``).
 
 >>> sorted(builtin_campaigns())
-['htile-sweep', 'multicore-design', 'paper-validation', 'strong-scaling-sweep']
+['heterogeneity-study', 'htile-sweep', 'multicore-design', 'paper-validation', 'strong-scaling-sweep']
 >>> get_campaign("paper-validation").baseline
 'simulator'
 """

@@ -33,6 +33,28 @@ from repro.validation.compare import ValidationResult, ValidationSummary
 __all__ = ["campaign_report", "write_report"]
 
 
+#: The scenario fields a point may carry (heterogeneity campaigns).
+_SCENARIO_FIELDS = ("placement", "speed_profile", "noise_model")
+
+
+def _scenario_cell(point: dict[str, Any]) -> str:
+    """Compact ``field=value`` rendering of a point's scenario ("-" if none)."""
+    parts = [
+        f"{name}={point[name]}"
+        for name in _SCENARIO_FIELDS
+        if point.get(name) is not None
+    ]
+    return " ".join(parts) if parts else "-"
+
+
+def _has_scenarios(records: list[dict[str, Any]]) -> bool:
+    return any(
+        record["point"].get(name) is not None
+        for record in records
+        for name in _SCENARIO_FIELDS
+    )
+
+
 def _sort_key(record: dict[str, Any]) -> tuple:
     point = record["point"]
     return (
@@ -40,6 +62,7 @@ def _sort_key(record: dict[str, Any]) -> tuple:
         point["platform"],
         point["total_cores"],
         -1.0 if point.get("htile") is None else float(point["htile"]),
+        _scenario_cell(point),
         point["backend"],
         -1 if point.get("noise_seed") is None else int(point["noise_seed"]),
     )
@@ -64,14 +87,15 @@ def _config_key(point: dict[str, Any]) -> tuple:
 
     Deliberately seed-agnostic: a deterministic candidate (no seed) must
     still pair with every noisy-simulator baseline replica of the same
-    configuration.
+    configuration.  Scenario fields *are* part of the configuration - a
+    straggler prediction is only comparable to the straggler measurement.
     """
     return (
         point["app"],
         point["platform"],
         point["total_cores"],
         point.get("htile"),
-    )
+    ) + tuple(point.get(name) for name in _SCENARIO_FIELDS)
 
 
 def _resolve_baseline(
@@ -150,19 +174,28 @@ def _curve_groups(
 
 def _scaling_groups(records):
     return _curve_groups(
-        records, "total_cores", ("app", "platform", "backend", "htile", "noise_seed")
+        records,
+        "total_cores",
+        ("app", "platform", "backend", "htile", "noise_seed") + _SCENARIO_FIELDS,
     )
 
 
 def _htile_groups(records):
     usable = [r for r in records if r["point"].get("htile") is not None]
     return _curve_groups(
-        usable, "htile", ("app", "platform", "backend", "total_cores", "noise_seed")
+        usable,
+        "htile",
+        ("app", "platform", "backend", "total_cores", "noise_seed") + _SCENARIO_FIELDS,
     )
 
 
-def _results_table(records: list[dict[str, Any]], with_seeds: bool) -> Table:
-    headers = ["application", "platform", "P", "grid", "Htile", "backend"]
+def _results_table(
+    records: list[dict[str, Any]], with_seeds: bool, with_scenarios: bool
+) -> Table:
+    headers = ["application", "platform", "P", "grid", "Htile"]
+    if with_scenarios:
+        headers.append("scenario")
+    headers.append("backend")
     if with_seeds:
         headers.append("seed")
     headers += ["time/iter (ms)", "time/time-step (s)", "comm fraction"]
@@ -175,8 +208,10 @@ def _results_table(records: list[dict[str, Any]], with_seeds: bool) -> Table:
             result["processors"],
             result["grid"],
             _htile_cell(point.get("htile")),
-            point["backend"],
         ]
+        if with_scenarios:
+            row.append(_scenario_cell(point))
+        row.append(point["backend"])
         if with_seeds:
             row.append("-" if point.get("noise_seed") is None else point["noise_seed"])
         row += [
@@ -236,15 +271,24 @@ def campaign_report(store: Union[str, Path, ResultStore]) -> str:
         return "\n".join(lines) + "\n"
 
     with_seeds = any(r["point"].get("noise_seed") is not None for r in records)
+    with_scenarios = _has_scenarios(records)
 
-    lines += ["## Results", "", _results_table(records, with_seeds).render_markdown(), ""]
+    lines += [
+        "## Results",
+        "",
+        _results_table(records, with_seeds, with_scenarios).render_markdown(),
+        "",
+    ]
 
     baseline = _resolve_baseline(spec, records)
     if baseline is not None:
         rows, summary = _validation_rows(records, baseline)
         if rows:
             lines += [f"## Model vs measurement (baseline: {baseline})", ""]
-            headers = ["application", "platform", "P", "Htile", "backend"]
+            headers = ["application", "platform", "P", "Htile"]
+            if with_scenarios:
+                headers.append("scenario")
+            headers.append("backend")
             if with_seeds:
                 headers.append("seed")
             headers += ["model (ms)", "measured (ms)", "error (%)"]
@@ -256,8 +300,10 @@ def campaign_report(store: Union[str, Path, ResultStore]) -> str:
                     diff.platform,
                     diff.total_cores,
                     _htile_cell(point.get("htile")),
-                    point["backend"],
                 ]
+                if with_scenarios:
+                    row.append(_scenario_cell(point))
+                row.append(point["backend"])
                 if with_seeds:
                     row.append(_pair_seed(record, measured))
                 row += [
@@ -284,12 +330,16 @@ def campaign_report(store: Union[str, Path, ResultStore]) -> str:
     scaling = _scaling_groups(records)
     if scaling:
         lines += ["## Strong scaling (Figure 6 view)", ""]
-        for (app, platform, backend, htile, seed), members in scaling:
+        for key, members in scaling:
+            app, platform, backend, htile, seed = key[:5]
             title = f"### {app} on {platform} - {backend}"
             if htile is not None:
                 title += f", Htile={htile:g}"
             if seed is not None:
                 title += f", seed={seed}"
+            scenario = _scenario_cell(members[0]["point"])
+            if scenario != "-":
+                title += f" [{scenario}]"
             table = Table(["P", "time/time-step (s)", "total time (days)", "comm fraction"])
             for member in members:
                 result = member["result"]
@@ -304,10 +354,14 @@ def campaign_report(store: Union[str, Path, ResultStore]) -> str:
     htile_sweeps = _htile_groups(records)
     if htile_sweeps:
         lines += ["## Htile sweeps (Figure 5 view)", ""]
-        for (app, platform, backend, cores, seed), members in htile_sweeps:
+        for key, members in htile_sweeps:
+            app, platform, backend, cores, seed = key[:5]
             title = f"### {app} on {platform}, P={cores} - {backend}"
             if seed is not None:
                 title += f", seed={seed}"
+            scenario = _scenario_cell(members[0]["point"])
+            if scenario != "-":
+                title += f" [{scenario}]"
             table = Table(["Htile", "time/time-step (s)", "fill fraction", "comm fraction"])
             best = min(members, key=lambda r: r["result"]["time_per_time_step_s"])
             for member in members:
@@ -381,6 +435,7 @@ def write_report(
                 "grid",
                 "cores_per_node",
                 "htile",
+                "scenario",
                 "backend",
                 "noise_seed",
                 "time_per_iteration_us",
@@ -402,6 +457,7 @@ def write_report(
                 result["grid"],
                 result["cores_per_node"],
                 "" if point.get("htile") is None else point["htile"],
+                "" if _scenario_cell(point) == "-" else _scenario_cell(point),
                 point["backend"],
                 "" if point.get("noise_seed") is None else point["noise_seed"],
                 result["time_per_iteration_us"],
@@ -425,6 +481,7 @@ def write_report(
                     "platform",
                     "total_cores",
                     "htile",
+                    "scenario",
                     "backend",
                     "noise_seed",
                     "model_us",
@@ -440,6 +497,7 @@ def write_report(
                     diff.platform,
                     diff.total_cores,
                     "" if point.get("htile") is None else point["htile"],
+                    "" if _scenario_cell(point) == "-" else _scenario_cell(point),
                     point["backend"],
                     "" if seed == "-" else seed,
                     diff.model_us,
@@ -456,13 +514,16 @@ def write_report(
                 "platform",
                 "backend",
                 "htile",
+                "scenario",
                 "total_cores",
                 "time_per_time_step_s",
                 "total_time_days",
                 "communication_fraction",
             ]
         )
-        for (app, platform, backend, htile, _seed), members in scaling:
+        for key, members in scaling:
+            app, platform, backend, htile, _seed = key[:5]
+            scenario = _scenario_cell(members[0]["point"])
             for member in members:
                 result = member["result"]
                 table.add_row(
@@ -470,6 +531,7 @@ def write_report(
                     platform,
                     backend,
                     "" if htile is None else htile,
+                    "" if scenario == "-" else scenario,
                     result["processors"],
                     result["time_per_time_step_s"],
                     result["total_time_days"],
@@ -485,13 +547,16 @@ def write_report(
                 "platform",
                 "backend",
                 "total_cores",
+                "scenario",
                 "htile",
                 "time_per_time_step_s",
                 "pipeline_fill_fraction",
                 "communication_fraction",
             ]
         )
-        for (app, platform, backend, cores, _seed), members in htile_sweeps:
+        for key, members in htile_sweeps:
+            app, platform, backend, cores, _seed = key[:5]
+            scenario = _scenario_cell(members[0]["point"])
             for member in members:
                 result = member["result"]
                 fill = result.get("pipeline_fill_fraction")
@@ -500,6 +565,7 @@ def write_report(
                     platform,
                     backend,
                     cores,
+                    "" if scenario == "-" else scenario,
                     member["point"]["htile"],
                     result["time_per_time_step_s"],
                     "" if fill is None else fill,

@@ -36,7 +36,12 @@ from repro.apps.workloads import standard_workloads
 from repro.backends.base import PredictionRequest
 from repro.backends.registry import BackendSpec
 from repro.backends.simulator import SimulatorBackend
-from repro.platforms import get_platform
+from repro.platforms import (
+    get_platform,
+    parse_noise_model,
+    parse_placement,
+    parse_speed_profile,
+)
 
 __all__ = [
     "CampaignPoint",
@@ -96,6 +101,9 @@ class CampaignPoint:
     backend: str
     noise_seed: Optional[int] = None
     compute_noise: float = 0.0
+    placement: Optional[str] = None
+    speed_profile: Optional[str] = None
+    noise_model: Optional[str] = None
 
     def key(self) -> str:
         """Stable content hash identifying this configuration in a store."""
@@ -103,8 +111,13 @@ class CampaignPoint:
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
 
     def to_dict(self) -> dict[str, Any]:
-        """JSON-serialisable form (the inverse of :meth:`from_dict`)."""
-        return {
+        """JSON-serialisable form (the inverse of :meth:`from_dict`).
+
+        The scenario fields (placement / speed profile / noise model) are
+        omitted when unset, so homogeneous points hash exactly as they did
+        before those axes existed and existing result stores stay valid.
+        """
+        record = {
             "app": self.app,
             "platform": self.platform,
             "total_cores": self.total_cores,
@@ -113,6 +126,13 @@ class CampaignPoint:
             "noise_seed": self.noise_seed,
             "compute_noise": self.compute_noise,
         }
+        if self.placement is not None:
+            record["placement"] = self.placement
+        if self.speed_profile is not None:
+            record["speed_profile"] = self.speed_profile
+        if self.noise_model is not None:
+            record["noise_model"] = self.noise_model
+        return record
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "CampaignPoint":
@@ -124,6 +144,13 @@ class CampaignPoint:
             backend=str(data["backend"]),
             noise_seed=None if data.get("noise_seed") is None else int(data["noise_seed"]),
             compute_noise=float(data.get("compute_noise", 0.0)),
+            placement=None if data.get("placement") is None else str(data["placement"]),
+            speed_profile=(
+                None if data.get("speed_profile") is None else str(data["speed_profile"])
+            ),
+            noise_model=(
+                None if data.get("noise_model") is None else str(data["noise_model"])
+            ),
         )
 
     def build_spec(self) -> WavefrontSpec:
@@ -140,10 +167,30 @@ class CampaignPoint:
             spec = apply_htile(spec, self.htile)
         return spec
 
+    def build_platform(self):
+        """The platform, with the point's scenario fields applied.
+
+        The speed profile and noise model become part of the platform
+        description (see :mod:`repro.platforms.spec`), so every backend sees
+        the same degraded machine.
+        """
+        platform = get_platform(self.platform)
+        profile = parse_speed_profile(self.speed_profile)
+        if profile is not None:
+            platform = platform.with_speed_profile(profile)
+        noise = parse_noise_model(self.noise_model)
+        if noise is not None:
+            platform = platform.with_noise(noise)
+        return platform
+
     def request(self) -> PredictionRequest:
         """The :class:`PredictionRequest` this point evaluates."""
+        platform = self.build_platform()
         return PredictionRequest(
-            self.build_spec(), get_platform(self.platform), total_cores=self.total_cores
+            self.build_spec(),
+            platform,
+            total_cores=self.total_cores,
+            core_mapping=parse_placement(self.placement, platform),
         )
 
     def backend_spec(self) -> BackendSpec:
@@ -168,6 +215,14 @@ def _as_tuple(values: Any, coerce) -> tuple:
     if isinstance(values, (str, bytes)):
         raise TypeError(f"expected a sequence of values, got {values!r}")
     return tuple(coerce(value) for value in values)
+
+
+def _normalise_scenario(value: Any) -> Optional[str]:
+    """Scenario-axis values: ``None``/``"none"`` mean the plain machine."""
+    if value is None:
+        return None
+    text = str(value).strip()
+    return None if text.lower() in ("", "none", "default") else text
 
 
 @dataclass(frozen=True)
@@ -207,6 +262,9 @@ class CampaignSpec:
     noise_seeds: Tuple[Optional[int], ...] = (None,)
     compute_noise: float = 0.0
     baseline: Optional[str] = None
+    placements: Tuple[Optional[str], ...] = (None,)
+    speed_profiles: Tuple[Optional[str], ...] = (None,)
+    noise_models: Tuple[Optional[str], ...] = (None,)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "apps", _as_tuple(self.apps, str))
@@ -223,15 +281,42 @@ class CampaignSpec:
             "noise_seeds",
             _as_tuple(self.noise_seeds, lambda s: None if s is None else int(s)),
         )
+        for axis in ("placements", "speed_profiles", "noise_models"):
+            object.__setattr__(
+                self,
+                axis,
+                _as_tuple(
+                    getattr(self, axis), lambda v: _normalise_scenario(v)
+                ),
+            )
         if not self.name:
             raise ValueError("a campaign needs a non-empty name")
-        for axis in ("apps", "platforms", "total_cores", "htiles", "backends", "noise_seeds"):
+        for axis in (
+            "apps",
+            "platforms",
+            "total_cores",
+            "htiles",
+            "backends",
+            "noise_seeds",
+            "placements",
+            "speed_profiles",
+            "noise_models",
+        ):
             if not getattr(self, axis):
                 raise ValueError(f"campaign axis {axis!r} has no values")
         if any(count < 1 for count in self.total_cores):
             raise ValueError("total_cores values must be positive")
         if self.compute_noise < 0:
             raise ValueError("compute_noise must be non-negative")
+        if self.compute_noise > 0 and self.noise_models != (None,):
+            # The legacy amplitude would shadow every noise_models value on
+            # simulator points (WavefrontSimulator's precedence), producing
+            # distinctly-labelled but numerically identical rows.
+            raise ValueError(
+                "compute_noise > 0 cannot be combined with a noise_models "
+                "axis; express the legacy amplitude as "
+                "noise_models=[\"sampled:<amplitude>\"] instead"
+            )
         if self.baseline is not None and self.baseline not in self.backends:
             raise ValueError(
                 f"baseline {self.baseline!r} is not one of the campaign's "
@@ -241,26 +326,48 @@ class CampaignSpec:
     # -- expansion -------------------------------------------------------------------
 
     def points(self) -> list[CampaignPoint]:
-        """Expand the axes into the ordered, de-duplicated request list."""
+        """Expand the axes into the ordered, de-duplicated request list.
+
+        Noise seeds differentiate only *stochastic* simulator points - the
+        legacy ``compute_noise`` amplitude or a stochastic ``noise_models``
+        entry (``sampled:...``); the analytic model and deterministic noise
+        models are seed-independent, so their seeds are normalised away
+        rather than duplicating work.
+        """
+        stochastic_noise = {
+            noise: (parsed := parse_noise_model(noise)) is not None
+            and parsed.is_stochastic
+            for noise in self.noise_models
+        }
         seen: set[str] = set()
         expanded: list[CampaignPoint] = []
-        for app, platform, cores, htile, backend, seed in itertools.product(
-            self.apps,
-            self.platforms,
-            self.total_cores,
-            self.htiles,
-            self.backends,
-            self.noise_seeds,
+        for app, platform, cores, htile, backend, seed, placement, profile, noise in (
+            itertools.product(
+                self.apps,
+                self.platforms,
+                self.total_cores,
+                self.htiles,
+                self.backends,
+                self.noise_seeds,
+                self.placements,
+                self.speed_profiles,
+                self.noise_models,
+            )
         ):
-            noisy_simulator = backend == "simulator" and self.compute_noise > 0.0
+            stochastic = backend == "simulator" and (
+                self.compute_noise > 0.0 or stochastic_noise[noise]
+            )
             point = CampaignPoint(
                 app=app,
                 platform=platform,
                 total_cores=cores,
                 htile=htile,
                 backend=backend,
-                noise_seed=seed if noisy_simulator else None,
-                compute_noise=self.compute_noise if noisy_simulator else 0.0,
+                noise_seed=seed if stochastic else None,
+                compute_noise=self.compute_noise if stochastic else 0.0,
+                placement=placement,
+                speed_profile=profile,
+                noise_model=noise,
             )
             key = point.key()
             if key not in seen:
@@ -274,8 +381,12 @@ class CampaignSpec:
     # -- serialisation ---------------------------------------------------------------
 
     def to_dict(self) -> dict[str, Any]:
-        """JSON-serialisable form (the inverse of :meth:`from_dict`)."""
-        return {
+        """JSON-serialisable form (the inverse of :meth:`from_dict`).
+
+        The scenario axes are included only when non-trivial, keeping the
+        stored spec header byte-compatible for homogeneous campaigns.
+        """
+        record = {
             "name": self.name,
             "description": self.description,
             "apps": list(self.apps),
@@ -287,6 +398,13 @@ class CampaignSpec:
             "compute_noise": self.compute_noise,
             "baseline": self.baseline,
         }
+        if self.placements != (None,):
+            record["placements"] = list(self.placements)
+        if self.speed_profiles != (None,):
+            record["speed_profiles"] = list(self.speed_profiles)
+        if self.noise_models != (None,):
+            record["noise_models"] = list(self.noise_models)
+        return record
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "CampaignSpec":
@@ -307,6 +425,9 @@ class CampaignSpec:
             "noise_seeds",
             "compute_noise",
             "baseline",
+            "placements",
+            "speed_profiles",
+            "noise_models",
         }
         unknown = set(data) - known
         if unknown:

@@ -3,7 +3,10 @@
 A thin front end over the library for quick interactive use::
 
     wavebench predict  --app chimaera-240 --platform cray-xt4 --cores 4096
+    wavebench predict  --app sweep3d-20m --cores 64 --speed-profile stragglers:1x2.0 --noise quantum:50/1000
     wavebench validate --app sweep3d-20m  --platform cray-xt4 --cores 64
+    wavebench platform list
+    wavebench platform describe --platform cray-xt4-quad-chip
     wavebench htile    --app chimaera-240 --platform cray-xt4 --cores 4096 --values 1,2,4,8
     wavebench scaling  --app sweep3d-1b-production --cores 1024,4096,16384
     wavebench campaign list
@@ -46,7 +49,14 @@ from repro.calibration.workrate import (
     measure_transport_wg,
 )
 from repro.core.model import FILL_METHODS
-from repro.platforms import get_platform, platform_registry
+from repro.platforms import (
+    describe_platform,
+    get_platform,
+    parse_noise_model,
+    parse_placement,
+    parse_speed_profile,
+    platform_registry,
+)
 from repro.util.tables import Table
 from repro.validation.compare import validate_configuration
 
@@ -79,15 +89,38 @@ def _resolve_backend(args: argparse.Namespace) -> str:
     return "analytic-fast"
 
 
+def _scenario_platform(args: argparse.Namespace):
+    """The platform with any --speed-profile / --noise scenario applied."""
+    platform = get_platform(args.platform)
+    try:
+        profile = parse_speed_profile(getattr(args, "speed_profile", None))
+        if profile is not None:
+            platform = platform.with_speed_profile(profile)
+        noise = parse_noise_model(getattr(args, "noise", None))
+        if noise is not None:
+            platform = platform.with_noise(noise)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
+    return platform
+
+
 def _cmd_predict(args: argparse.Namespace) -> int:
     spec = _workload(args.app)
     if args.htile is not None:
         spec = spec.with_htile(args.htile)
     if args.time_steps is not None:
         spec = spec.with_time_steps(args.time_steps)
-    platform = get_platform(args.platform)
+    platform = _scenario_platform(args)
+    try:
+        mapping = parse_placement(args.placement, platform)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
     result = predict_one(
-        spec, platform, total_cores=args.cores, backend=_resolve_backend(args)
+        spec,
+        platform,
+        total_cores=args.cores,
+        core_mapping=mapping,
+        backend=_resolve_backend(args),
     )
     summary = result.summary()
     if args.json:
@@ -281,6 +314,56 @@ def _cmd_campaign_clean(args: argparse.Namespace) -> int:
     return 0
 
 
+def _flatten(record: dict, prefix: str = "") -> list[tuple[str, object]]:
+    rows: list[tuple[str, object]] = []
+    for key, value in record.items():
+        name = f"{prefix}{key}"
+        if isinstance(value, dict):
+            rows.extend(_flatten(value, prefix=f"{name}."))
+        else:
+            rows.append((name, value))
+    return rows
+
+
+def _cmd_platform_list(args: argparse.Namespace) -> int:
+    records = {
+        name: describe_platform(factory())
+        for name, factory in sorted(platform_registry.items())
+    }
+    if args.json:
+        print(json.dumps(records, indent=2))
+        return 0
+    table = Table(
+        ["platform", "cores/node", "chips/node", "L (us)", "o (us)", "G (us/B)", "hierarchical"],
+        title="registered platforms",
+    )
+    for name, record in records.items():
+        table.add_row(
+            name,
+            record["cores_per_node"],
+            record["chips_per_node"],
+            record["off_node"]["latency_us"],
+            record["off_node"]["overhead_us"],
+            record["off_node"]["gap_per_byte_us"],
+            "yes" if record["is_hierarchical"] else "no",
+        )
+    print(table.render())
+    return 0
+
+
+def _cmd_platform_describe(args: argparse.Namespace) -> int:
+    platform = _scenario_platform(args)
+    record = describe_platform(platform)
+    if args.json:
+        print(json.dumps(record, indent=2))
+        return 0
+    table = Table(["parameter", "value"], title=f"platform {platform.name}")
+    for name, value in _flatten(record):
+        table.add_row(name, value if value is not None else "-")
+    print(table.render())
+    return 0
+
+
 def _cmd_pingpong(args: argparse.Namespace) -> int:
     platform = get_platform(args.platform)
     fitted = derive_platform_parameters(platform, repetitions=args.repetitions)
@@ -366,10 +449,34 @@ def build_parser() -> argparse.ArgumentParser:
             help="emit a machine-readable JSON record instead of a table",
         )
 
+    def add_scenario_flags(
+        p: argparse.ArgumentParser, *, placement: bool = True
+    ) -> None:
+        if placement:
+            p.add_argument(
+                "--placement",
+                default=None,
+                help="rank placement: default, rowwise, colwise or <cx>x<cy> "
+                "(the node's core rectangle in the processor array)",
+            )
+        p.add_argument(
+            "--speed-profile",
+            default=None,
+            help="per-node speed profile, e.g. stragglers:1x2.0 "
+            "(first node twice as slow), nodes:3,7x1.5 or baseline:<factor>",
+        )
+        p.add_argument(
+            "--noise",
+            default=None,
+            help="background-noise model: none, quantum:<quantum_us>/<period_us> "
+            "or sampled:<amplitude>",
+        )
+
     p_predict = sub.add_parser("predict", help="predict execution time")
     add_common(p_predict)
     p_predict.add_argument("--htile", type=float, default=None)
     p_predict.add_argument("--time-steps", type=int, default=None)
+    add_scenario_flags(p_predict)
     p_predict.add_argument(
         "--method",
         choices=FILL_METHODS,
@@ -478,6 +585,29 @@ def build_parser() -> argparse.ArgumentParser:
     add_campaign_selection(p_cclean)
     add_store_flag(p_cclean)
     p_cclean.set_defaults(func=_cmd_campaign_clean)
+
+    p_platform = sub.add_parser(
+        "platform", help="inspect registered platforms and scenario machines"
+    )
+    platform_sub = p_platform.add_subparsers(dest="platform_command", required=True)
+
+    p_plist = platform_sub.add_parser("list", help="list the registered platforms")
+    add_json_flag(p_plist)
+    p_plist.set_defaults(func=_cmd_platform_list)
+
+    p_pdesc = platform_sub.add_parser(
+        "describe",
+        help="dump every model-relevant parameter of a platform "
+        "(optionally with a scenario applied)",
+    )
+    p_pdesc.add_argument(
+        "--platform", default="cray-xt4", help=f"platform name ({platform_names})"
+    )
+    # No --placement here: placement shapes a prediction's core mapping,
+    # not the platform description itself.
+    add_scenario_flags(p_pdesc, placement=False)
+    add_json_flag(p_pdesc)
+    p_pdesc.set_defaults(func=_cmd_platform_describe)
 
     p_pingpong = sub.add_parser(
         "pingpong", help="derive Table 2 LogGP parameters from simulated ping-pong"

@@ -24,10 +24,11 @@ from dataclasses import dataclass
 from functools import lru_cache
 
 from repro.core.loggp import OffNodeParams, OnChipParams, Platform
-from repro.util.caching import call_with_unhashable_fallback
+from repro.util.caching import call_with_unhashable_fallback, register_cache_clearer
 
 __all__ = [
     "CommunicationCosts",
+    "HOP_LEVELS",
     "total_comm_off_node",
     "send_off_node",
     "receive_off_node",
@@ -41,6 +42,12 @@ __all__ = [
     "clear_comm_cost_cache",
     "ALLREDUCE_PAYLOAD_BYTES",
 ]
+
+#: Hop levels of the (optionally hierarchical) interconnect, innermost
+#: first: intra-chip, intra-node (chip-to-chip) and inter-node.  Platforms
+#: without an ``intra_node`` parameterisation collapse ``"node"`` onto the
+#: on-chip sub-model (the paper's two-level classification).
+HOP_LEVELS: tuple[str, ...] = ("chip", "node", "machine")
 
 #: Default payload of the convergence-test all-reduce performed at the end of
 #: each iteration of Sweep3D / Chimaera: a single double-precision scalar.
@@ -146,25 +153,79 @@ def _on_chip_params(platform: Platform) -> OnChipParams:
     return platform.on_chip
 
 
-def total_comm(platform: Platform, message_bytes: float, *, on_chip: bool = False) -> float:
-    """End-to-end message time, dispatching on the on-chip/off-node flag."""
-    if on_chip:
-        return total_comm_on_chip(_on_chip_params(platform), message_bytes)
-    return total_comm_off_node(platform.off_node, message_bytes)
+def _resolve_level(on_chip: bool, level: str | None) -> str:
+    """Normalise the legacy ``on_chip`` flag and the ``level`` name."""
+    if level is None:
+        return "chip" if on_chip else "machine"
+    if level not in HOP_LEVELS:
+        raise ValueError(f"level must be one of {HOP_LEVELS}, got {level!r}")
+    return level
 
 
-def send_cost(platform: Platform, message_bytes: float, *, on_chip: bool = False) -> float:
-    """``MPI_Send`` cost, dispatching on the on-chip/off-node flag."""
-    if on_chip:
-        return send_on_chip(_on_chip_params(platform), message_bytes)
-    return send_off_node(platform.off_node, message_bytes)
+def _level_params(
+    platform: Platform, on_chip: bool, level: str | None
+) -> tuple[OffNodeParams, None] | tuple[None, OnChipParams]:
+    """Resolve a hop level to its parameter bundle and sub-model.
+
+    Returns ``(off_node_style_params, None)`` for hops priced with the
+    Table 1(a) protocol equations (the machine interconnect, or the
+    intra-node link on hierarchical platforms) and ``(None, on_chip_params)``
+    for hops priced with the Table 1(b) memory-copy/DMA equations.  On
+    non-hierarchical platforms a ``"node"`` hop *is* an on-chip hop, so the
+    level degrades gracefully instead of raising.
+    """
+    resolved = _resolve_level(on_chip, level)
+    if resolved == "machine":
+        return platform.off_node, None
+    if resolved == "node" and platform.intra_node is not None:
+        return platform.intra_node, None
+    return None, _on_chip_params(platform)
 
 
-def receive_cost(platform: Platform, message_bytes: float, *, on_chip: bool = False) -> float:
-    """``MPI_Recv`` cost, dispatching on the on-chip/off-node flag."""
-    if on_chip:
-        return receive_on_chip(_on_chip_params(platform), message_bytes)
-    return receive_off_node(platform.off_node, message_bytes)
+def total_comm(
+    platform: Platform,
+    message_bytes: float,
+    *,
+    on_chip: bool = False,
+    level: str | None = None,
+) -> float:
+    """End-to-end message time, dispatching on the hop level.
+
+    ``level`` (``"chip"``/``"node"``/``"machine"``) generalises the legacy
+    ``on_chip`` flag; when both are given ``level`` wins.
+    """
+    off_params, chip_params = _level_params(platform, on_chip, level)
+    if off_params is not None:
+        return total_comm_off_node(off_params, message_bytes)
+    return total_comm_on_chip(chip_params, message_bytes)
+
+
+def send_cost(
+    platform: Platform,
+    message_bytes: float,
+    *,
+    on_chip: bool = False,
+    level: str | None = None,
+) -> float:
+    """``MPI_Send`` cost, dispatching on the hop level."""
+    off_params, chip_params = _level_params(platform, on_chip, level)
+    if off_params is not None:
+        return send_off_node(off_params, message_bytes)
+    return send_on_chip(chip_params, message_bytes)
+
+
+def receive_cost(
+    platform: Platform,
+    message_bytes: float,
+    *,
+    on_chip: bool = False,
+    level: str | None = None,
+) -> float:
+    """``MPI_Recv`` cost, dispatching on the hop level."""
+    off_params, chip_params = _level_params(platform, on_chip, level)
+    if off_params is not None:
+        return receive_off_node(off_params, message_bytes)
+    return receive_on_chip(chip_params, message_bytes)
 
 
 @dataclass(frozen=True)
@@ -185,15 +246,23 @@ class CommunicationCosts:
 
     @classmethod
     def for_message(
-        cls, platform: Platform, message_bytes: float, *, on_chip: bool = False
+        cls,
+        platform: Platform,
+        message_bytes: float,
+        *,
+        on_chip: bool = False,
+        level: str | None = None,
     ) -> "CommunicationCosts":
-        """Costs for one message, memoised on ``(cls, platform, size, on_chip)``.
+        """Costs for one message, memoised on ``(cls, platform, size, level)``.
 
-        Parameter sweeps re-evaluate the same handful of message sizes for
-        thousands of grid positions and sweep points; the keyed memo makes
-        every repeat a dictionary hit.  Platforms are frozen dataclasses, so
-        value-equal platforms share cache entries; subclasses get their own
-        entries (and instances of their own type).
+        ``level`` names the hop level (``"chip"``/``"node"``/``"machine"``)
+        on hierarchical platforms; the legacy ``on_chip`` flag maps to
+        ``"chip"``/``"machine"``.  Parameter sweeps re-evaluate the same
+        handful of message sizes for thousands of grid positions and sweep
+        points; the keyed memo makes every repeat a dictionary hit.
+        Platforms are frozen dataclasses, so value-equal platforms share
+        cache entries; subclasses get their own entries (and instances of
+        their own type).
         """
         # An unhashable (e.g. subclassed) platform falls back to an uncached
         # computation.
@@ -203,19 +272,19 @@ class CommunicationCosts:
             cls,
             platform,
             float(message_bytes),
-            bool(on_chip),
+            _resolve_level(bool(on_chip), level),
         )
 
     @classmethod
     def _compute(
-        cls, platform: Platform, message_bytes: float, on_chip: bool
+        cls, platform: Platform, message_bytes: float, level: str
     ) -> "CommunicationCosts":
         return cls(
             message_bytes=message_bytes,
-            send=send_cost(platform, message_bytes, on_chip=on_chip),
-            receive=receive_cost(platform, message_bytes, on_chip=on_chip),
-            total=total_comm(platform, message_bytes, on_chip=on_chip),
-            on_chip=on_chip,
+            send=send_cost(platform, message_bytes, level=level),
+            receive=receive_cost(platform, message_bytes, level=level),
+            total=total_comm(platform, message_bytes, level=level),
+            on_chip=level == "chip",
         )
 
     def with_added(self, send_extra: float = 0.0, receive_extra: float = 0.0) -> "CommunicationCosts":
@@ -235,14 +304,15 @@ class CommunicationCosts:
 
 
 def _for_message_uncached(
-    cls: type, platform: Platform, message_bytes: float, on_chip: bool
+    cls: type, platform: Platform, message_bytes: float, level: str
 ) -> CommunicationCosts:
-    return cls._compute(platform, message_bytes, on_chip)
+    return cls._compute(platform, message_bytes, level)
 
 
 _for_message_cached = lru_cache(maxsize=16384)(_for_message_uncached)
 
 
+@register_cache_clearer
 def clear_comm_cost_cache() -> None:
     """Drop all memoised :meth:`CommunicationCosts.for_message` entries."""
     _for_message_cached.cache_clear()

@@ -25,7 +25,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from enum import Enum
-from typing import Iterator, Tuple
+from typing import Iterator, Optional, Tuple
 
 __all__ = [
     "ProblemSize",
@@ -207,18 +207,63 @@ class CoreMapping:
     ``j`` (north-south) direction.  Table 6 of the paper classifies each of a
     core's four communications as on-chip or off-node from its position
     inside this rectangle.
+
+    Hierarchical platforms additionally subdivide the node rectangle into
+    chip rectangles ``chip_cx x chip_cy`` (each dimension dividing the node
+    dimension, so the combined cost field stays periodic with the node
+    rectangle).  Each communication then resolves to one of three hop
+    *levels* - ``"chip"`` (same chip), ``"node"`` (same node, different
+    chip) or ``"machine"`` (different nodes) - via the ``*_level`` methods;
+    when no chip subdivision is given the chip rectangle equals the node
+    rectangle and the classification collapses to the paper's two-level
+    on-chip / off-node rule.
     """
 
     cx: int
     cy: int
+    chip_cx: Optional[int] = None
+    chip_cy: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.cx < 1 or self.cy < 1:
             raise ValueError("core mapping dimensions must be positive")
+        if (self.chip_cx is None) != (self.chip_cy is None):
+            raise ValueError("chip_cx and chip_cy must be given together")
+        if self.chip_cx is not None:
+            assert self.chip_cy is not None
+            if self.chip_cx < 1 or self.chip_cy < 1:
+                raise ValueError("chip mapping dimensions must be positive")
+            if self.cx % self.chip_cx != 0 or self.cy % self.chip_cy != 0:
+                raise ValueError(
+                    "the chip rectangle must divide the node rectangle "
+                    f"({self.chip_cx}x{self.chip_cy} vs {self.cx}x{self.cy})"
+                )
 
     @property
     def cores_per_node(self) -> int:
         return self.cx * self.cy
+
+    @property
+    def effective_chip_cx(self) -> int:
+        """Chip extent in ``i``; the node extent when no chips are defined."""
+        return self.chip_cx if self.chip_cx is not None else self.cx
+
+    @property
+    def effective_chip_cy(self) -> int:
+        """Chip extent in ``j``; the node extent when no chips are defined."""
+        return self.chip_cy if self.chip_cy is not None else self.cy
+
+    @property
+    def cores_per_chip(self) -> int:
+        return self.effective_chip_cx * self.effective_chip_cy
+
+    @property
+    def has_chip_subdivision(self) -> bool:
+        return self.cores_per_chip < self.cores_per_node
+
+    def with_chip(self, chip_cx: int, chip_cy: int) -> "CoreMapping":
+        """A copy with the given chip sub-rectangle."""
+        return CoreMapping(cx=self.cx, cy=self.cy, chip_cx=chip_cx, chip_cy=chip_cy)
 
     def send_east_on_chip(self, i: int, j: int) -> bool:
         """Table 6: SendE is on-chip iff ``i mod Cx != 0`` and ``Cx != 1``."""
@@ -241,6 +286,51 @@ class CoreMapping:
     def node_of(self, i: int, j: int) -> Tuple[int, int]:
         """The (node-column, node-row) containing processor ``(i, j)``."""
         return ((i - 1) // self.cx, (j - 1) // self.cy)
+
+    def chip_of(self, i: int, j: int) -> Tuple[int, int]:
+        """The (chip-column, chip-row) containing processor ``(i, j)``."""
+        return ((i - 1) // self.effective_chip_cx, (j - 1) // self.effective_chip_cy)
+
+    # -- three-level hop classification (hierarchical platforms) ---------------------
+    #
+    # The chip rectangle divides the node rectangle, so "same chip" implies
+    # "same node" and each rule below refines the Table 6 on-chip rule: a
+    # hop is "chip" when it stays inside the chip rectangle, "node" when it
+    # stays inside the node rectangle but crosses a chip boundary, and
+    # "machine" otherwise.  With no chip subdivision the "node" level is
+    # unreachable and the classification equals the legacy booleans.
+
+    def send_east_level(self, i: int, j: int) -> str:
+        ccx = self.effective_chip_cx
+        if ccx != 1 and i % ccx != 0:
+            return "chip"
+        if self.cx != 1 and i % self.cx != 0:
+            return "node"
+        return "machine"
+
+    def comm_from_west_level(self, i: int, j: int) -> str:
+        ccx = self.effective_chip_cx
+        if ccx != 1 and i % ccx != 1:
+            return "chip"
+        if self.cx != 1 and i % self.cx != 1:
+            return "node"
+        return "machine"
+
+    def receive_north_level(self, i: int, j: int) -> str:
+        ccy = self.effective_chip_cy
+        if ccy != 1 and j % ccy != 1:
+            return "chip"
+        if self.cy != 1 and j % self.cy != 1:
+            return "node"
+        return "machine"
+
+    def send_south_level(self, i: int, j: int) -> str:
+        ccy = self.effective_chip_cy
+        if ccy != 1 and j % ccy != 0:
+            return "chip"
+        if self.cy != 1 and j % self.cy != 0:
+            return "node"
+        return "machine"
 
 
 def decompose(total_processors: int) -> ProcessorGrid:

@@ -28,6 +28,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
+from repro.core.hetero import NoiseModel, SpeedProfile
+
 #: Message size (bytes) above which the MPI implementation switches from the
 #: eager protocol to a rendezvous handshake on the Cray XT4 (Section 3.1).
 DEFAULT_EAGER_LIMIT_BYTES: int = 1024
@@ -136,10 +138,16 @@ class NodeArchitecture:
         The paper's XT4 has one; Section 5.3 considers a 16-core node with a
         separate bus per group of four cores, which is expressed here as
         ``cores_per_node=16, buses_per_node=4``.
+    cores_per_chip:
+        Number of cores per chip (socket/die) when the node's cores are
+        split over several chips with a distinct intra-node interconnect
+        between them (hierarchical platforms).  ``None`` - the default -
+        means all of a node's cores share one chip, the paper's XT4 layout.
     """
 
     cores_per_node: int = 1
     buses_per_node: int = 1
+    cores_per_chip: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.cores_per_node < 1:
@@ -148,11 +156,23 @@ class NodeArchitecture:
             raise ValueError("buses_per_node must be >= 1")
         if self.cores_per_node % self.buses_per_node != 0:
             raise ValueError("cores_per_node must be a multiple of buses_per_node")
+        if self.cores_per_chip is not None:
+            if self.cores_per_chip < 1:
+                raise ValueError("cores_per_chip must be >= 1")
+            if self.cores_per_node % self.cores_per_chip != 0:
+                raise ValueError("cores_per_node must be a multiple of cores_per_chip")
 
     @property
     def cores_per_bus(self) -> int:
         """Number of cores sharing each memory bus / NIC."""
         return self.cores_per_node // self.buses_per_node
+
+    @property
+    def chips_per_node(self) -> int:
+        """Number of chips per node (1 unless ``cores_per_chip`` subdivides)."""
+        if self.cores_per_chip is None:
+            return 1
+        return self.cores_per_node // self.cores_per_chip
 
 
 @dataclass(frozen=True)
@@ -162,6 +182,21 @@ class Platform:
     Combines the off-node LogGP parameters, the on-chip parameters (optional:
     single-core-per-node platforms such as the IBM SP/2 have none), and the
     node architecture.
+
+    Three optional fields extend the description to heterogeneous and noisy
+    machines (see :mod:`repro.core.hetero` and ``docs/platforms.md``):
+
+    * ``intra_node`` - LogGP parameters of the *intra-node* interconnect
+      (e.g. a socket-to-socket link) used for messages between two chips of
+      one node when ``node.cores_per_chip`` subdivides the node.  Messages
+      then resolve to one of three hop levels by rank placement: intra-chip
+      (``on_chip``), intra-node (``intra_node``), inter-node (``off_node``);
+    * ``speed_profile`` - per-node compute-speed multipliers (stragglers);
+    * ``noise`` - a background-interference model stretching compute times.
+
+    All three default to ``None`` (the paper's homogeneous, quiet machine),
+    and the trivial settings (all multipliers 1.0, null noise, one chip per
+    node) reproduce the homogeneous predictions bit-identically.
     """
 
     name: str
@@ -172,6 +207,12 @@ class Platform:
     #: (Wg).  1.0 means "as calibrated"; a hypothetical platform with cores
     #: twice as fast would use 0.5.
     compute_scale: float = 1.0
+    #: LogGP parameters of the intra-node (chip-to-chip) interconnect level.
+    intra_node: Optional[OffNodeParams] = None
+    #: Per-node compute-speed multipliers (straggler scenarios).
+    speed_profile: Optional["SpeedProfile"] = None
+    #: Background-interference model applied to compute operations.
+    noise: Optional["NoiseModel"] = None
 
     def __post_init__(self) -> None:
         if self.compute_scale <= 0:
@@ -180,10 +221,35 @@ class Platform:
             raise ValueError(
                 "multi-core platforms must define on-chip communication parameters"
             )
+        if self.intra_node is not None and self.node.chips_per_node == 1:
+            raise ValueError(
+                "intra_node parameters require node.cores_per_chip to subdivide "
+                "the node into more than one chip"
+            )
 
     @property
     def is_multicore(self) -> bool:
         return self.node.cores_per_node > 1
+
+    @property
+    def is_hierarchical(self) -> bool:
+        """True when messages resolve to three hop levels (chip/node/machine)."""
+        return self.node.chips_per_node > 1 and self.intra_node is not None
+
+    @property
+    def is_homogeneous(self) -> bool:
+        """True when the platform is (effectively) the paper's quiet machine.
+
+        A platform whose heterogeneity fields are absent *or trivial* - all
+        speed multipliers 1.0, null noise, one chip per node - must produce
+        bit-identical predictions to the plain homogeneous description; this
+        property is the single test every engine uses to decide.
+        """
+        if self.speed_profile is not None and not self.speed_profile.is_trivial:
+            return False
+        if self.noise is not None and not self.noise.is_null:
+            return False
+        return not self.is_hierarchical
 
     def with_cores_per_node(
         self, cores_per_node: int, buses_per_node: int = 1
@@ -192,19 +258,58 @@ class Platform:
 
         Used by the Section 5.3 design study (Figure 10), which varies the
         number of cores per node while keeping the communication constants.
+        A chip subdivision is carried over when it still divides the new
+        node size; otherwise the hierarchy (chip split and intra-node link)
+        is dropped, since the old chip shape no longer describes the node.
         """
+        cores_per_chip = self.node.cores_per_chip
+        intra_node = self.intra_node
+        if cores_per_chip is not None and cores_per_node % cores_per_chip != 0:
+            cores_per_chip = None
+            intra_node = None
+        if cores_per_chip is not None and cores_per_node // cores_per_chip == 1:
+            intra_node = None
         node = NodeArchitecture(
-            cores_per_node=cores_per_node, buses_per_node=buses_per_node
+            cores_per_node=cores_per_node,
+            buses_per_node=buses_per_node,
+            cores_per_chip=cores_per_chip,
         )
         name = f"{self.name}-{cores_per_node}core"
         if buses_per_node > 1:
             name += f"-{buses_per_node}bus"
-        return replace(self, name=name, node=node)
+        return replace(self, name=name, node=node, intra_node=intra_node)
 
     def with_compute_scale(self, compute_scale: float) -> "Platform":
         """Return a copy with a different relative compute speed."""
         return replace(self, compute_scale=compute_scale)
 
+    def with_speed_profile(self, speed_profile: Optional[SpeedProfile]) -> "Platform":
+        """Return a copy with a different per-node speed profile."""
+        return replace(self, speed_profile=speed_profile)
+
+    def with_noise(self, noise: Optional[NoiseModel]) -> "Platform":
+        """Return a copy with a different background-noise model."""
+        return replace(self, noise=noise)
+
+    def with_hierarchy(
+        self, cores_per_chip: int, intra_node: OffNodeParams
+    ) -> "Platform":
+        """Return a copy with the node split into chips over an intra-node link."""
+        node = replace(self.node, cores_per_chip=cores_per_chip)
+        return replace(self, node=node, intra_node=intra_node)
+
     def scaled_work(self, work_us: float) -> float:
         """Apply the platform's compute-speed scale to a work time (µs)."""
         return work_us * self.compute_scale
+
+    def node_speed_multiplier(self, node_index: int) -> float:
+        """The work-time multiplier of node ``node_index`` (1.0 when no profile)."""
+        if self.speed_profile is None:
+            return 1.0
+        return self.speed_profile.multiplier_for_node(node_index)
+
+    def noise_inflation(self) -> float:
+        """Mean multiplicative compute stretch of the platform's noise model."""
+        if self.noise is None:
+            return 1.0
+        return self.noise.mean_inflation()

@@ -55,6 +55,20 @@ identical results possible:
 ``method="exact"`` forces the reference recurrence, which the tests use to
 cross-check the fast path across a randomised matrix of applications,
 platforms, grids and core mappings.
+
+Heterogeneous platforms
+-----------------------
+
+Platforms carrying a :class:`~repro.core.hetero.SpeedProfile` or a
+:class:`~repro.core.hetero.NoiseModel` (see ``docs/platforms.md``) are
+priced on top of the homogeneous evaluators: noise scales ``W``/``Wpre`` by
+the model's mean inflation before either recurrence runs, and per-node
+speed multipliers enter as a *bounded-heterogeneity correction* - every
+monotone path performs one tile per wavefront diagonal, so the fill times
+gain ``W * (slowest multiplier on the diagonal - 1)`` per diagonal and the
+steady-state stack runs at the machine's slowest rank.  Trivial profiles
+and null noise leave every result bit-identical to the homogeneous
+evaluation (the conformance suite's homogeneous-limit contract).
 """
 
 from __future__ import annotations
@@ -63,6 +77,7 @@ from dataclasses import dataclass
 
 from repro.apps.base import WavefrontSpec
 from repro.core.decomposition import CoreMapping, ProcessorGrid
+from repro.core.hetero import column_multipliers, diagonal_multipliers, max_multiplier
 from repro.core.loggp import Platform
 from repro.core.multicore import (
     StackCommCosts,
@@ -360,6 +375,39 @@ def _startp_periodic(
     return _startp_diag(n, m, w, wpre, table, cx, cy), tfull
 
 
+def _fill_heterogeneity_extras(
+    platform: Platform,
+    grid: ProcessorGrid,
+    mapping: CoreMapping,
+    w: float,
+    wpre: float,
+) -> tuple[float, float]:
+    """Bounded-heterogeneity corrections ``(extra_diag, extra_full)``.
+
+    With per-node speed multipliers the wavefront's progress across each
+    diagonal is governed by that diagonal's *slowest* rank: every monotone
+    path from ``(1, 1)`` to ``(n, m)`` performs exactly one tile per
+    wavefront diagonal, so the critical path pays at least
+    ``W * max_mult(d)`` on diagonal ``d``.  The correction therefore adds
+    ``W * (max_mult(d) - 1)`` per diagonal to the full-fill time - and, for
+    the diagonal-fill time, the multipliers actually on the column-1 path -
+    on top of the homogeneous evaluation (which already charged ``W`` per
+    step).  A trivial profile contributes exactly 0.0, preserving the
+    homogeneous results bit for bit.
+    """
+    profile = platform.speed_profile
+    assert profile is not None
+    diag_mults = diagonal_multipliers(profile, grid, mapping)
+    col_mults = column_multipliers(profile, grid, mapping)
+    extra_diag = wpre * (col_mults[0] - 1.0) + w * sum(
+        mult - 1.0 for mult in col_mults[1:]
+    )
+    extra_full = wpre * (diag_mults[0] - 1.0) + w * sum(
+        mult - 1.0 for mult in diag_mults[1:]
+    )
+    return extra_diag, extra_full
+
+
 def fill_times(
     spec: WavefrontSpec,
     platform: Platform,
@@ -388,6 +436,12 @@ def fill_times(
     n, m = grid.n, grid.m
     w = spec.work_per_tile(grid, platform)
     wpre = spec.pre_work_per_tile(grid, platform)
+    inflation = platform.noise_inflation()
+    if inflation != 1.0:
+        # Background noise stretches every compute operation; the analytic
+        # model charges the mean factor (see repro.core.hetero).
+        w *= inflation
+        wpre *= inflation
     table, multicore = _fill_cost_table(spec, platform, grid, mapping)
     cx, cy = len(table), len(table[0])
 
@@ -404,11 +458,27 @@ def fill_times(
 
     # The computation portion is path-independent: every monotone path to a
     # corner takes the same number of steps, each contributing one W.
+    tdiag_work = wpre + (m - 1) * w
+    tfull_work = wpre + (n + m - 2) * w
+
+    profile = platform.speed_profile
+    if profile is not None and not profile.is_trivial:
+        # Bounded-heterogeneity correction: the slowest rank on each
+        # wavefront diagonal governs the recurrence (pure extra work, so it
+        # raises the fill times and their work portions by the same amount).
+        extra_diag, extra_full = _fill_heterogeneity_extras(
+            platform, grid, mapping, w, wpre
+        )
+        tdiag += extra_diag
+        tfull += extra_full
+        tdiag_work += extra_diag
+        tfull_work += extra_full
+
     return FillTimes(
         tdiagfill=tdiag,
         tfullfill=tfull,
-        tdiagfill_work=wpre + (m - 1) * w,
-        tfullfill_work=wpre + (n + m - 2) * w,
+        tdiagfill_work=tdiag_work,
+        tfullfill_work=tfull_work,
     )
 
 
@@ -423,9 +493,25 @@ def stack_time(
     All four boundary communications use off-node costs (the stack is
     processed at the rate of the slowest communication in each direction);
     on multi-core nodes the Table 6 contention penalty is added.
+
+    On heterogeneous platforms the steady-state stack advances at the rate
+    of the machine's slowest rank (every rank is coupled to its neighbours
+    each tile), so the per-tile work is scaled by the profile's maximum
+    multiplier; background noise scales it by the mean inflation factor.
     """
     w = spec.work_per_tile(grid, platform)
     wpre = spec.pre_work_per_tile(grid, platform)
+    inflation = platform.noise_inflation()
+    if inflation != 1.0:
+        w *= inflation
+        wpre *= inflation
+    profile = platform.speed_profile
+    if profile is not None and not profile.is_trivial:
+        mapping = resolve_core_mapping(platform, core_mapping)
+        slowest = max_multiplier(profile, grid, mapping)
+        if slowest != 1.0:
+            w *= slowest
+            wpre *= slowest
     tiles = spec.tiles_per_stack()
     comm = stack_comm_costs(platform, spec, grid, core_mapping)
     per_tile = comm.per_tile_comm + w + wpre
@@ -456,6 +542,19 @@ def iteration_prediction(
     fill = fill_times(spec, platform, grid, mapping, method=method)
     stack = stack_time(spec, platform, grid, mapping)
     nonwf_work, nonwf_comm = spec.nonwavefront.evaluate_components(platform, spec, grid)
+    # The non-wavefront phase (stencil / custom compute) is executed by
+    # every rank before the inter-iteration synchronisation, so its
+    # critical path runs at the machine's slowest rank - the same bounded
+    # treatment as the stack - and is stretched by background noise like
+    # any compute.  Both factors are exactly 1.0 on homogeneous platforms.
+    inflation = platform.noise_inflation()
+    if inflation != 1.0:
+        nonwf_work *= inflation
+    profile = platform.speed_profile
+    if profile is not None and not profile.is_trivial:
+        slowest = max_multiplier(profile, grid, mapping)
+        if slowest != 1.0:
+            nonwf_work *= slowest
     return IterationPrediction(
         spec_name=spec.name,
         platform_name=platform.name,

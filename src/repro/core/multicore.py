@@ -55,17 +55,59 @@ __all__ = [
 ]
 
 
+def _chip_rectangle(mapping: CoreMapping, cores_per_chip: int) -> CoreMapping:
+    """Attach a ``cores_per_chip`` sub-rectangle dividing ``mapping``.
+
+    Prefers the paper's default shape for the chip size; when that shape
+    does not divide the node rectangle the most square dividing
+    factorisation is used instead.  Raises when none exists.
+    """
+    preferred = default_core_mapping(cores_per_chip)
+    if mapping.cx % preferred.cx == 0 and mapping.cy % preferred.cy == 0:
+        return mapping.with_chip(preferred.cx, preferred.cy)
+    candidates = [
+        (a, cores_per_chip // a)
+        for a in range(1, cores_per_chip + 1)
+        if cores_per_chip % a == 0
+        and mapping.cx % a == 0
+        and mapping.cy % (cores_per_chip // a) == 0
+    ]
+    if not candidates:
+        raise ValueError(
+            f"no {cores_per_chip}-core chip rectangle divides the "
+            f"{mapping.cx}x{mapping.cy} node rectangle"
+        )
+    best = min(candidates, key=lambda shape: abs(shape[0] - shape[1]))
+    return mapping.with_chip(best[0], best[1])
+
+
 def resolve_core_mapping(platform: Platform, core_mapping: CoreMapping | None) -> CoreMapping:
     """The core rectangle to use: the caller's, or the paper's default for
-    the platform's ``cores_per_node``."""
+    the platform's ``cores_per_node``.
+
+    On hierarchical platforms (``node.cores_per_chip`` subdividing the
+    node) the resolved mapping carries the chip sub-rectangle, so every
+    consumer - analytic cost tables, the simulator's rank placement -
+    classifies hops identically.  An explicit mapping that already pins a
+    chip rectangle is passed through untouched.
+    """
     if core_mapping is not None:
         if core_mapping.cores_per_node != platform.node.cores_per_node:
             raise ValueError(
                 f"core mapping {core_mapping.cx}x{core_mapping.cy} does not match "
                 f"platform with {platform.node.cores_per_node} cores per node"
             )
-        return core_mapping
-    return default_core_mapping(platform.node.cores_per_node)
+        mapping = core_mapping
+    else:
+        mapping = default_core_mapping(platform.node.cores_per_node)
+    cores_per_chip = platform.node.cores_per_chip
+    if (
+        cores_per_chip is not None
+        and mapping.chip_cx is None
+        and cores_per_chip < mapping.cores_per_node
+    ):
+        mapping = _chip_rectangle(mapping, cores_per_chip)
+    return mapping
 
 
 def interference_term(platform: Platform, message_bytes: float) -> float:
@@ -144,9 +186,12 @@ def fill_step_costs(
 ) -> FillStepCosts:
     """Communication costs at grid position ``(i, j)`` for equation (r2b).
 
-    Each of the four operations is classified as on-chip or off-node from the
-    position of ``(i, j)`` inside its node's ``Cx x Cy`` core rectangle
-    (Table 6).  For a single-core-per-node platform everything is off-node
+    Each of the four operations is classified by hop level from the position
+    of ``(i, j)`` inside its node's ``Cx x Cy`` core rectangle (Table 6) -
+    and, on hierarchical platforms, inside the chip sub-rectangle: intra-chip
+    hops use the on-chip sub-model, intra-node (chip-to-chip) hops the
+    platform's ``intra_node`` LogGP parameters, inter-node hops the off-node
+    sub-model.  For a single-core-per-node platform everything is off-node
     and the costs are position independent.
     """
     mapping = resolve_core_mapping(platform, core_mapping)
@@ -154,29 +199,27 @@ def fill_step_costs(
     ns_bytes = spec.message_size_ns(grid)
 
     multicore = platform.is_multicore and mapping.cores_per_node > 1
-    comm_e_on_chip = multicore and mapping.comm_from_west_on_chip(i, j)
-    recv_n_on_chip = multicore and mapping.receive_north_on_chip(i, j)
-    send_e_on_chip = multicore and mapping.send_east_on_chip(i, j)
-    comm_s_on_chip = multicore and mapping.send_south_on_chip(i, j)
+    if not multicore:
+        costs_ew = CommunicationCosts.for_message(platform, ew_bytes, level="machine")
+        costs_ns = CommunicationCosts.for_message(platform, ns_bytes, level="machine")
+        return FillStepCosts(
+            total_comm_east=costs_ew.total,
+            receive_north=costs_ns.receive,
+            send_east=costs_ew.send,
+            total_comm_south=costs_ns.total,
+        )
 
-    costs_ew_off = CommunicationCosts.for_message(platform, ew_bytes, on_chip=False)
-    costs_ns_off = CommunicationCosts.for_message(platform, ns_bytes, on_chip=False)
-    costs_ew_on = (
-        CommunicationCosts.for_message(platform, ew_bytes, on_chip=True)
-        if multicore
-        else costs_ew_off
-    )
-    costs_ns_on = (
-        CommunicationCosts.for_message(platform, ns_bytes, on_chip=True)
-        if multicore
-        else costs_ns_off
-    )
+    def ew_costs(level: str) -> CommunicationCosts:
+        return CommunicationCosts.for_message(platform, ew_bytes, level=level)
+
+    def ns_costs(level: str) -> CommunicationCosts:
+        return CommunicationCosts.for_message(platform, ns_bytes, level=level)
 
     return FillStepCosts(
-        total_comm_east=(costs_ew_on if comm_e_on_chip else costs_ew_off).total,
-        receive_north=(costs_ns_on if recv_n_on_chip else costs_ns_off).receive,
-        send_east=(costs_ew_on if send_e_on_chip else costs_ew_off).send,
-        total_comm_south=(costs_ns_on if comm_s_on_chip else costs_ns_off).total,
+        total_comm_east=ew_costs(mapping.comm_from_west_level(i, j)).total,
+        receive_north=ns_costs(mapping.receive_north_level(i, j)).receive,
+        send_east=ew_costs(mapping.send_east_level(i, j)).send,
+        total_comm_south=ns_costs(mapping.send_south_level(i, j)).total,
     )
 
 

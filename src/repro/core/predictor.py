@@ -45,7 +45,7 @@ from repro.core.model import (
     iteration_prediction,
 )
 from repro.core.multicore import resolve_core_mapping
-from repro.util.caching import call_with_unhashable_fallback
+from repro.util.caching import call_with_unhashable_fallback, clear_registered_caches
 from repro.util.units import seconds_to_days, us_to_seconds
 
 __all__ = [
@@ -221,8 +221,18 @@ _predict_cached = lru_cache(maxsize=4096)(_predict_uncached)
 
 
 def clear_prediction_cache() -> None:
-    """Drop all memoised :func:`predict` results."""
+    """Drop every prediction-related memo in the process.
+
+    Clears the :func:`predict` memo *and* every cache registered through
+    :func:`repro.util.caching.register_cache_clearer` - the communication-
+    cost memo (:func:`repro.core.comm.clear_comm_cost_cache`) and, when the
+    backend layer has been imported, the simulator-result memo
+    (:func:`repro.backends.simulator.clear_simulation_cache`).  After this
+    call every backend re-evaluates from scratch, which is the invalidation
+    contract ``tests/test_conformance.py`` pins down.
+    """
     _predict_cached.cache_clear()
+    clear_registered_caches()
 
 
 def prediction_cache_info():

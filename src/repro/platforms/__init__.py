@@ -12,16 +12,34 @@ platforms used in the Section 5 design studies.
 2
 """
 
-from repro.platforms.xt4 import cray_xt3, cray_xt4, cray_xt4_single_core
+from repro.platforms.xt4 import (
+    cray_xt3,
+    cray_xt4,
+    cray_xt4_quad_chip,
+    cray_xt4_single_core,
+)
 from repro.platforms.sp2 import ibm_sp2
 from repro.platforms.custom import custom_platform, platform_registry, get_platform
+from repro.platforms.spec import (
+    PlatformSpec,
+    describe_platform,
+    parse_noise_model,
+    parse_placement,
+    parse_speed_profile,
+)
 
 __all__ = [
     "cray_xt3",
     "cray_xt4",
+    "cray_xt4_quad_chip",
     "cray_xt4_single_core",
     "ibm_sp2",
     "custom_platform",
     "platform_registry",
     "get_platform",
+    "PlatformSpec",
+    "describe_platform",
+    "parse_noise_model",
+    "parse_placement",
+    "parse_speed_profile",
 ]

@@ -13,7 +13,12 @@ from typing import Callable, Dict, Optional
 
 from repro.core.loggp import NodeArchitecture, OffNodeParams, OnChipParams, Platform
 from repro.platforms.sp2 import ibm_sp2
-from repro.platforms.xt4 import cray_xt3, cray_xt4, cray_xt4_single_core
+from repro.platforms.xt4 import (
+    cray_xt3,
+    cray_xt4,
+    cray_xt4_quad_chip,
+    cray_xt4_single_core,
+)
 
 
 def custom_platform(
@@ -96,6 +101,7 @@ def custom_platform(
 platform_registry: Dict[str, Callable[[], Platform]] = {
     "cray-xt4": cray_xt4,
     "cray-xt4-1core": cray_xt4_single_core,
+    "cray-xt4-quad-chip": cray_xt4_quad_chip,
     "cray-xt3": cray_xt3,
     "ibm-sp2": ibm_sp2,
 }

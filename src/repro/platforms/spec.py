@@ -1,0 +1,307 @@
+"""Declarative platform composition: scenarios the paper never measured.
+
+:class:`PlatformSpec` composes a *scenario machine* from a named base
+platform plus the heterogeneity extensions of :mod:`repro.core.hetero`:
+
+* a hierarchical interconnect (``cores_per_chip`` + intra-node LogGP
+  parameters - messages then resolve per hop to intra-chip, intra-node or
+  inter-node costs by rank placement);
+* a per-node compute-speed profile (stragglers / slow nodes);
+* a background-noise model (none / fixed-quantum OS jitter / sampled).
+
+The string forms parsed by :func:`parse_speed_profile`,
+:func:`parse_noise_model` and :func:`parse_placement` are the campaign-axis
+and CLI syntax (``--speed-profile stragglers:1x2.0``,
+``--noise quantum:50/1000``, ``--placement 2x1``); see ``docs/platforms.md``
+for the schema and a worked straggler example.
+
+>>> spec = PlatformSpec(base="cray-xt4",
+...                     speed_profile="stragglers:1x2.0",
+...                     noise="quantum:50/1000")
+>>> platform = spec.build()
+>>> platform.speed_profile.slow_nodes, platform.noise.mean_inflation()
+((0,), 1.05)
+>>> platform.is_homogeneous
+False
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional, Union
+
+from repro.core.decomposition import CoreMapping
+from repro.core.hetero import (
+    FixedQuantumNoise,
+    NoiseModel,
+    SampledNoise,
+    SpeedProfile,
+)
+from repro.core.loggp import OffNodeParams, Platform
+
+__all__ = [
+    "PlatformSpec",
+    "parse_speed_profile",
+    "parse_noise_model",
+    "parse_placement",
+    "describe_platform",
+]
+
+
+# ---------------------------------------------------------------------------
+# String forms (campaign axes, CLI flags)
+# ---------------------------------------------------------------------------
+
+def parse_speed_profile(
+    text: Union[str, SpeedProfile, None],
+) -> Optional[SpeedProfile]:
+    """Parse the campaign/CLI speed-profile syntax.
+
+    Accepted forms (``None`` and ``"none"`` mean the homogeneous machine):
+
+    * ``"stragglers:<count>x<slowdown>"`` - the first ``count`` nodes run
+      their work ``slowdown`` times slower;
+    * ``"nodes:<i,j,...>x<slowdown>"`` - the listed node indices are slow;
+    * ``"baseline:<factor>"`` - every node scaled by ``factor``.
+
+    >>> parse_speed_profile("stragglers:2x1.5").slow_nodes
+    (0, 1)
+    >>> parse_speed_profile("nodes:3,7x2.0").slow_nodes
+    (3, 7)
+    >>> parse_speed_profile("none") is None
+    True
+    """
+    if text is None or isinstance(text, SpeedProfile):
+        return text
+    cleaned = text.strip().lower()
+    if cleaned in ("", "none"):
+        return None
+    kind, _, rest = cleaned.partition(":")
+    try:
+        if kind == "stragglers":
+            count, _, slowdown = rest.partition("x")
+            return SpeedProfile.stragglers(int(count), float(slowdown))
+        if kind == "nodes":
+            nodes, _, slowdown = rest.partition("x")
+            indices = tuple(int(item) for item in nodes.split(",") if item)
+            return SpeedProfile(slowdown=float(slowdown), slow_nodes=indices)
+        if kind == "baseline":
+            return SpeedProfile(baseline=float(rest))
+    except ValueError as exc:
+        raise ValueError(f"invalid speed profile {text!r}: {exc}") from exc
+    raise ValueError(
+        f"unknown speed profile {text!r}; expected 'none', "
+        "'stragglers:<count>x<slowdown>', 'nodes:<i,j,...>x<slowdown>' "
+        "or 'baseline:<factor>'"
+    )
+
+
+def parse_noise_model(
+    text: Union[str, NoiseModel, None],
+) -> Optional[NoiseModel]:
+    """Parse the campaign/CLI noise-model syntax.
+
+    Accepted forms: ``"none"``, ``"quantum:<quantum_us>/<period_us>"``
+    (fixed-quantum OS jitter) and ``"sampled:<amplitude>"`` (multiplicative
+    jitter drawn from the per-rank streams).
+
+    >>> parse_noise_model("quantum:50/1000").mean_inflation()
+    1.05
+    >>> parse_noise_model("sampled:0.1").is_stochastic
+    True
+    >>> parse_noise_model("none") is None
+    True
+    """
+    if text is None or isinstance(text, NoiseModel):
+        return text
+    cleaned = text.strip().lower()
+    if cleaned in ("", "none"):
+        return None
+    kind, _, rest = cleaned.partition(":")
+    try:
+        if kind == "quantum":
+            quantum, _, period = rest.partition("/")
+            return FixedQuantumNoise(
+                quantum_us=float(quantum),
+                period_us=float(period) if period else 1000.0,
+            )
+        if kind == "sampled":
+            return SampledNoise(amplitude=float(rest))
+    except ValueError as exc:
+        raise ValueError(f"invalid noise model {text!r}: {exc}") from exc
+    raise ValueError(
+        f"unknown noise model {text!r}; expected 'none', "
+        "'quantum:<quantum_us>/<period_us>' or 'sampled:<amplitude>'"
+    )
+
+
+def parse_placement(
+    text: Union[str, CoreMapping, None], platform: Platform
+) -> Optional[CoreMapping]:
+    """Parse the campaign/CLI rank-placement syntax into a core mapping.
+
+    ``None``/``"none"``/``"default"`` select the paper's default rectangle
+    for the platform; ``"rowwise"`` lays a node's cores along the east-west
+    axis (``C x 1``), ``"colwise"`` along north-south (``1 x C``), and an
+    explicit ``"<cx>x<cy>"`` pins the rectangle (its product must equal the
+    platform's cores per node).
+
+    >>> from repro.platforms import cray_xt4
+    >>> parse_placement("rowwise", cray_xt4())
+    CoreMapping(cx=2, cy=1, chip_cx=None, chip_cy=None)
+    >>> parse_placement("default", cray_xt4()) is None
+    True
+    """
+    if text is None or isinstance(text, CoreMapping):
+        return text
+    cleaned = text.strip().lower()
+    if cleaned in ("", "none", "default"):
+        return None
+    cores = platform.node.cores_per_node
+    if cleaned == "rowwise":
+        return CoreMapping(cx=cores, cy=1)
+    if cleaned == "colwise":
+        return CoreMapping(cx=1, cy=cores)
+    cx, sep, cy = cleaned.partition("x")
+    if sep:
+        try:
+            mapping = CoreMapping(cx=int(cx), cy=int(cy))
+        except ValueError as exc:
+            raise ValueError(f"invalid placement {text!r}: {exc}") from exc
+        if mapping.cores_per_node != cores:
+            raise ValueError(
+                f"placement {text!r} maps {mapping.cores_per_node} cores but "
+                f"platform {platform.name!r} has {cores} per node"
+            )
+        return mapping
+    raise ValueError(
+        f"unknown placement {text!r}; expected 'default', 'rowwise', "
+        "'colwise' or '<cx>x<cy>'"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Declarative composition
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """A machine scenario: base platform + heterogeneity extensions.
+
+    All fields accept either parsed objects or their string forms, so specs
+    round-trip through JSON (:meth:`from_dict`).  ``build`` resolves the
+    base name through :func:`repro.platforms.get_platform` and layers the
+    extensions on top.
+    """
+
+    base: str = "cray-xt4"
+    name: Optional[str] = None
+    cores_per_node: Optional[int] = None
+    buses_per_node: Optional[int] = None
+    cores_per_chip: Optional[int] = None
+    intra_node_latency_us: Optional[float] = None
+    intra_node_overhead_us: Optional[float] = None
+    intra_node_gap_per_byte_us: Optional[float] = None
+    speed_profile: Union[str, SpeedProfile, None] = None
+    noise: Union[str, NoiseModel, None] = None
+
+    def build(self) -> Platform:
+        """Resolve the spec into a concrete :class:`Platform`."""
+        from repro.platforms import get_platform  # late import: avoids a cycle
+
+        platform = get_platform(self.base)
+        if self.cores_per_node is not None:
+            platform = platform.with_cores_per_node(
+                self.cores_per_node, self.buses_per_node or 1
+            )
+        if self.cores_per_chip is not None:
+            if self.intra_node_overhead_us is None:
+                raise ValueError(
+                    "a chip subdivision needs intra-node link parameters "
+                    "(at least intra_node_overhead_us)"
+                )
+            intra = OffNodeParams(
+                latency=self.intra_node_latency_us or 0.0,
+                overhead=self.intra_node_overhead_us,
+                gap_per_byte=self.intra_node_gap_per_byte_us or 0.0,
+                eager_limit=platform.off_node.eager_limit,
+            )
+            platform = platform.with_hierarchy(self.cores_per_chip, intra)
+        profile = parse_speed_profile(self.speed_profile)
+        if profile is not None:
+            platform = platform.with_speed_profile(profile)
+        noise = parse_noise_model(self.noise)
+        if noise is not None:
+            platform = platform.with_noise(noise)
+        if self.name is not None:
+            from dataclasses import replace
+
+            platform = replace(platform, name=self.name)
+        return platform
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PlatformSpec":
+        """Build a spec from a plain dict; unknown keys fail loudly."""
+        known = {field for field in cls.__dataclass_fields__}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown platform spec field(s) {sorted(unknown)}; "
+                f"known fields: {sorted(known)}"
+            )
+        return cls(**dict(data))
+
+
+# ---------------------------------------------------------------------------
+# Introspection (CLI `platform describe`)
+# ---------------------------------------------------------------------------
+
+def describe_platform(platform: Platform) -> dict[str, Any]:
+    """A JSON-serialisable description of every model-relevant parameter."""
+    record: dict[str, Any] = {
+        "name": platform.name,
+        "cores_per_node": platform.node.cores_per_node,
+        "buses_per_node": platform.node.buses_per_node,
+        "chips_per_node": platform.node.chips_per_node,
+        "cores_per_chip": platform.node.cores_per_chip,
+        "compute_scale": platform.compute_scale,
+        "is_multicore": platform.is_multicore,
+        "is_hierarchical": platform.is_hierarchical,
+        "is_homogeneous": platform.is_homogeneous,
+        "off_node": {
+            "latency_us": platform.off_node.latency,
+            "overhead_us": platform.off_node.overhead,
+            "gap_per_byte_us": platform.off_node.gap_per_byte,
+            "handshake_overhead_us": platform.off_node.handshake_overhead,
+            "eager_limit_bytes": platform.off_node.eager_limit,
+        },
+    }
+    if platform.on_chip is not None:
+        record["on_chip"] = {
+            "copy_overhead_us": platform.on_chip.copy_overhead,
+            "dma_setup_us": platform.on_chip.dma_setup,
+            "gap_per_byte_copy_us": platform.on_chip.gap_per_byte_copy,
+            "gap_per_byte_dma_us": platform.on_chip.gap_per_byte_dma,
+            "eager_limit_bytes": platform.on_chip.eager_limit,
+        }
+    if platform.intra_node is not None:
+        record["intra_node"] = {
+            "latency_us": platform.intra_node.latency,
+            "overhead_us": platform.intra_node.overhead,
+            "gap_per_byte_us": platform.intra_node.gap_per_byte,
+            "eager_limit_bytes": platform.intra_node.eager_limit,
+        }
+    if platform.speed_profile is not None:
+        record["speed_profile"] = {
+            "baseline": platform.speed_profile.baseline,
+            "slowdown": platform.speed_profile.slowdown,
+            "slow_nodes": list(platform.speed_profile.slow_nodes),
+        }
+    if platform.noise is not None:
+        noise = platform.noise
+        record["noise"] = {
+            "model": type(noise).__name__,
+            "mean_inflation": noise.mean_inflation(),
+            "stochastic": noise.is_stochastic,
+        }
+    return record

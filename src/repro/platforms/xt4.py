@@ -97,6 +97,35 @@ def cray_xt4_single_core() -> Platform:
     )
 
 
+def cray_xt4_quad_chip() -> Platform:
+    """A hypothetical quad-core XT4 node built from two dual-core chips.
+
+    The Section 5.3 design studies extrapolate the XT4 constants to larger
+    nodes; this variant additionally models the node as *two chips on an
+    intra-node link* (think two sockets over HyperTransport): messages
+    between the chips pay an intermediate LogGP parameterisation - half the
+    off-node overhead, a quarter of its latency, half its gap - instead of
+    the shared-memory on-chip costs.  It is the built-in example of a
+    three-level hierarchical platform (see ``docs/platforms.md``).
+    """
+    intra_node = OffNodeParams(
+        latency=XT4_L / 4.0,
+        overhead=XT4_O / 2.0,
+        gap_per_byte=XT4_G / 2.0,
+        handshake_overhead=0.0,
+        eager_limit=XT4_EAGER_LIMIT,
+    )
+    return Platform(
+        name="cray-xt4-quad-chip",
+        off_node=_xt4_off_node(),
+        on_chip=_xt4_on_chip(),
+        node=NodeArchitecture(
+            cores_per_node=4, buses_per_node=1, cores_per_chip=2
+        ),
+        intra_node=intra_node,
+    )
+
+
 def cray_xt3(cores_per_node: int = 2) -> Platform:
     """The Cray XT3 partition (same SeaStar interconnect, same constants).
 

@@ -60,11 +60,15 @@ def aggregation_unsupported_reason(simulator: "WavefrontSimulator") -> Optional[
     """Why the aggregated engine cannot run this configuration (None = it can).
 
     The fast path requires every operation's timing to be a deterministic
-    function of its dependencies alone: no per-rank jitter and no shared
-    on-chip resources (bus queues) whose state depends on event order.
+    function of its dependencies alone *and* position-independent costs: no
+    per-rank jitter, no per-node speed multipliers, and no shared on-chip
+    resources (bus queues) whose state depends on event order.
     """
-    if simulator.compute_noise > 0.0:
-        return "compute_noise requires per-rank jitter streams"
+    if simulator.noise_model is not None:
+        return "background noise applies per-tile jitter to compute times"
+    profile = simulator.platform.speed_profile
+    if profile is not None and not profile.is_trivial:
+        return "heterogeneous speed profile gives ranks position-dependent work"
     if (
         simulator.platform.on_chip is not None
         and simulator.core_mapping.cores_per_node > 1
@@ -664,6 +668,7 @@ def _run_nonwavefront_phase(
         simulator.platform,
         total,
         rank_to_node=simulator.rank_to_node(),
+        rank_to_chip=simulator.rank_to_chip(),
         enable_contention=simulator.enable_contention,
     )
     for rank in range(total):

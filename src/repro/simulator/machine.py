@@ -189,7 +189,15 @@ class SimulatedMachine:
     rank_to_node:
         Node index of each rank.  Ranks on the same node communicate on-chip
         and share that node's bus(es).  Defaults to contiguous blocks of
-        ``platform.node.cores_per_node`` ranks per node.
+        ``platform.node.cores_per_node`` ranks per node.  The platform's
+        :class:`~repro.core.hetero.SpeedProfile` (when present) is resolved
+        against these indices: ranks on slow nodes run their ``Compute``
+        operations proportionally longer.
+    rank_to_chip:
+        Chip index of each rank on hierarchical platforms.  Ranks on the
+        same node but different chips exchange messages over the platform's
+        ``intra_node`` link; defaults to one chip per node (every same-node
+        message is on-chip, the legacy behaviour).
     enable_contention:
         When False the shared-bus queueing is skipped, giving the
         contention-free timings of Table 1 exactly (useful for unit tests and
@@ -202,6 +210,7 @@ class SimulatedMachine:
         total_ranks: int,
         rank_to_node: Optional[List[int]] = None,
         *,
+        rank_to_chip: Optional[List[int]] = None,
         enable_contention: bool = True,
     ) -> None:
         if total_ranks < 1:
@@ -215,6 +224,14 @@ class SimulatedMachine:
         if len(rank_to_node) != total_ranks:
             raise ValueError("rank_to_node must have one entry per rank")
         self.rank_to_node = list(rank_to_node)
+        if rank_to_chip is None:
+            rank_to_chip = list(self.rank_to_node)
+        if len(rank_to_chip) != total_ranks:
+            raise ValueError("rank_to_chip must have one entry per rank")
+        self.rank_to_chip = list(rank_to_chip)
+        self._work_scale = [
+            platform.node_speed_multiplier(node) for node in self.rank_to_node
+        ]
         self.enable_contention = enable_contention
         self.sim = Simulator()
 
@@ -257,6 +274,24 @@ class SimulatedMachine:
 
     def same_node(self, a: int, b: int) -> bool:
         return self.rank_to_node[a] == self.rank_to_node[b]
+
+    def same_chip(self, a: int, b: int) -> bool:
+        return self.rank_to_chip[a] == self.rank_to_chip[b]
+
+    def _link_params(self, a: int, b: int):
+        """Off-node-protocol LogGP parameters for a non-on-chip hop.
+
+        Hierarchical platforms route same-node chip-to-chip messages over
+        the ``intra_node`` link; everything else uses the machine
+        interconnect.
+        """
+        if (
+            self.platform.intra_node is not None
+            and self.same_node(a, b)
+            and not self.same_chip(a, b)
+        ):
+            return self.platform.intra_node
+        return self.platform.off_node
 
     def bus_of(self, rank: int) -> FifoBus:
         node = self._nodes[self.rank_to_node[rank]]
@@ -359,6 +394,9 @@ class SimulatedMachine:
             if op.duration < 0:
                 raise SimulationError("negative compute duration")
             duration = self.platform.scaled_work(op.duration)
+            scale = self._work_scale[rank]
+            if scale != 1.0:
+                duration *= scale
             self.stats[rank].compute_time += duration
             return self.sim.now + duration
         if isinstance(op, Send):
@@ -402,7 +440,9 @@ class SimulatedMachine:
         self.stats[rank].messages_sent += 1
         self.stats[rank].bytes_sent += op.nbytes
         now = self.sim.now
-        on_chip = self.same_node(rank, op.dst)
+        on_chip = self.same_node(rank, op.dst) and (
+            self.platform.intra_node is None or self.same_chip(rank, op.dst)
+        )
         key = (op.dst, rank, op.tag)
 
         if on_chip and self.platform.on_chip is not None:
@@ -419,7 +459,7 @@ class SimulatedMachine:
             self.stats[rank].send_time += sender_resume - now
             return sender_resume
 
-        params_off = self.platform.off_node
+        params_off = self._link_params(rank, op.dst)
         if op.nbytes <= params_off.eager_limit:
             sender_resume = now + params_off.overhead
             base_ready = (
@@ -463,7 +503,7 @@ class SimulatedMachine:
         when the payload lands; otherwise the payload is placed in the
         mailbox for a future ``Recv``.
         """
-        params = self.platform.off_node
+        params = self._link_params(sender, receiver)
         # Request-to-send reaches the receiver; the reply returns once the
         # receive has been posted (h = 2 (L + oh) when it already has been).
         request_arrives = send_init + params.overhead + params.latency

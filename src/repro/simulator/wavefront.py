@@ -42,6 +42,7 @@ from repro.apps.base import (
     WavefrontSpec,
 )
 from repro.core.decomposition import CoreMapping, Corner, ProcessorGrid, decompose
+from repro.core.hetero import NoiseModel, SampledNoise, chip_index_of, node_index_of
 from repro.core.loggp import Platform
 from repro.core.multicore import resolve_core_mapping
 from repro.simulator.collectives import allreduce_ops, allreduce_tag_span
@@ -130,7 +131,13 @@ class WavefrontSimulator:
         (per rank, per tile, deterministic given ``noise_seed``).  Models OS
         noise / work imbalance and lets robustness of the model's predictions
         be studied; zero (the default) reproduces the paper's noise-free
-        setting.
+        setting.  Equivalent to (and taking precedence over)
+        ``noise_model=SampledNoise(compute_noise)``.
+    noise_model:
+        A :class:`~repro.core.hetero.NoiseModel` stretching each tile's
+        compute time; overrides the platform's ``noise`` field.  The
+        effective model resolves as ``compute_noise`` (legacy) >
+        ``noise_model`` > ``platform.noise`` > quiet.
     noise_seed:
         Seed for the jitter stream.  All noise is drawn from per-rank
         :class:`random.Random` instances derived from this seed (see
@@ -155,6 +162,7 @@ class WavefrontSimulator:
         simulate_nonwavefront: bool = True,
         enable_contention: bool = True,
         compute_noise: float = 0.0,
+        noise_model: Optional[NoiseModel] = None,
         noise_seed: int = 0,
         engine: str = "auto",
     ) -> None:
@@ -179,6 +187,19 @@ class WavefrontSimulator:
         self.enable_contention = enable_contention
         self.compute_noise = compute_noise
         self.noise_seed = noise_seed
+        # Effective background-noise model: legacy compute_noise > explicit
+        # noise_model > the platform's own noise field > quiet.  A null
+        # model is normalised to None so the engine choice and the jitter
+        # streams see "no noise" exactly as before.
+        if compute_noise > 0.0:
+            effective: Optional[NoiseModel] = SampledNoise(compute_noise)
+        elif noise_model is not None:
+            effective = noise_model
+        else:
+            effective = platform.noise
+        if effective is not None and effective.is_null:
+            effective = None
+        self.noise_model = effective
 
         self._tiles = max(1, int(round(spec.tiles_per_stack())))
         self._w = spec.work_per_tile(grid, platform) / platform.compute_scale
@@ -189,27 +210,44 @@ class WavefrontSimulator:
     # -- rank/node mapping -------------------------------------------------------------
 
     def rank_to_node(self) -> List[int]:
-        """Node index of every rank, from the ``Cx x Cy`` core rectangles."""
-        mapping = self.core_mapping
-        nodes_per_row = -(-self.grid.n // mapping.cx)  # ceil division
-        assignment = []
-        for rank in range(self.grid.total_processors):
-            i, j = self.grid.position_of(rank)
-            node_col, node_row = mapping.node_of(i, j)
-            assignment.append(node_row * nodes_per_row + node_col)
-        return assignment
+        """Node index of every rank, from the ``Cx x Cy`` core rectangles.
+
+        Delegates to :func:`repro.core.hetero.node_index_of` - the single
+        definition of node numbering, shared with the analytic model's
+        speed-profile resolution so a straggler index means the same
+        physical node to both engines.
+        """
+        grid, mapping = self.grid, self.core_mapping
+        return [
+            node_index_of(grid, mapping, *grid.position_of(rank))
+            for rank in range(grid.total_processors)
+        ]
+
+    def rank_to_chip(self) -> List[int]:
+        """Chip index of every rank, from the chip sub-rectangles.
+
+        On non-hierarchical platforms the chip rectangle equals the node
+        rectangle, so this coincides with :meth:`rank_to_node` and every
+        same-node message stays on-chip.
+        """
+        grid, mapping = self.grid, self.core_mapping
+        return [
+            chip_index_of(grid, mapping, *grid.position_of(rank))
+            for rank in range(grid.total_processors)
+        ]
 
     # -- noise -------------------------------------------------------------------------
 
     def rank_jitter_stream(self, rank: int) -> Optional[Random]:
-        """The injected jitter stream for ``rank`` (None when noise is off).
+        """The injected jitter stream for ``rank`` (None when not needed).
 
         Each rank owns an independent :class:`random.Random` seeded from
         ``(noise_seed, rank)``, so runs are reproducible bit-for-bit for a
         given seed regardless of rank interleaving, other simulations in the
-        process, or the global :mod:`random` state.
+        process, or the global :mod:`random` state.  Deterministic noise
+        models (and quiet runs) need no stream and get ``None``.
         """
-        if self.compute_noise <= 0.0:
+        if self.noise_model is None or not self.noise_model.is_stochastic:
             return None
         return Random(self.noise_seed * 1_000_003 + rank)
 
@@ -224,11 +262,12 @@ class WavefrontSimulator:
         i, j = grid.position_of(rank)
         phases = spec.schedule.phases
         jitter = self.rank_jitter_stream(rank)
+        noise = self.noise_model
 
         def work(amount: float) -> float:
-            if jitter is None:
+            if noise is None:
                 return amount
-            return amount * (1.0 + self.compute_noise * jitter.random())
+            return amount * noise.factor(jitter)
 
         for iteration in range(self.iterations):
             for sweep_index, phase in enumerate(phases):
@@ -263,10 +302,23 @@ class WavefrontSimulator:
                 yield Mark(("sweep", iteration, sweep_index))
 
             if self.simulate_nonwavefront:
-                yield from self._nonwavefront_ops(rank, i, j, iteration)
+                yield from self._nonwavefront_ops(rank, i, j, iteration, work=work)
             yield Mark(("iteration", iteration))
 
-    def _nonwavefront_ops(self, rank: int, i: int, j: int, iteration: int) -> Iterator[Op]:
+    def _nonwavefront_ops(
+        self, rank: int, i: int, j: int, iteration: int, work=None
+    ) -> Iterator[Op]:
+        """Non-wavefront phase ops; ``work`` applies the caller's noise.
+
+        The rank program passes its per-rank noise closure so background
+        noise stretches the stencil / custom compute exactly like tile
+        compute (matching the analytic model's mean-inflation treatment);
+        the aggregated engine's hybrid phase passes nothing - it only runs
+        on noise-free configurations.
+        """
+        if work is None:
+            def work(amount: float) -> float:
+                return amount
         spec = self.spec
         grid = self.grid
         total = grid.total_processors
@@ -283,15 +335,17 @@ class WavefrontSimulator:
             return
         if isinstance(strategy, StencilNonWavefront):
             sub_x, sub_y, sub_z = spec.problem.subdomain(grid)
-            work = strategy.wg_stencil_us * sub_x * sub_y * sub_z
-            yield Compute(work, label="stencil")
+            amount = strategy.wg_stencil_us * sub_x * sub_y * sub_z
+            yield Compute(work(amount), label="stencil")
             yield from self._halo_exchange_ops(rank, i, j, tag_base)
             if strategy.include_allreduce:
                 yield from allreduce_ops(rank, total, 8, tag_base + 100)
             return
         # Custom strategies: represent their cost as pure computation of the
         # modelled duration so the simulation still covers them.
-        yield Compute(strategy.evaluate(self.platform, spec, grid), label="nonwavefront")
+        yield Compute(
+            work(strategy.evaluate(self.platform, spec, grid)), label="nonwavefront"
+        )
 
     def _halo_exchange_ops(self, rank: int, i: int, j: int, tag_base: int) -> Iterator[Op]:
         """A four-neighbour halo swap, deadlock-free via red/black ordering."""
@@ -373,6 +427,7 @@ class WavefrontSimulator:
             self.platform,
             total,
             rank_to_node=self.rank_to_node(),
+            rank_to_chip=self.rank_to_chip(),
             enable_contention=self.enable_contention,
         )
 
@@ -407,6 +462,7 @@ def simulate_wavefront(
     simulate_nonwavefront: bool = True,
     enable_contention: bool = True,
     compute_noise: float = 0.0,
+    noise_model: Optional[NoiseModel] = None,
     noise_seed: int = 0,
     engine: str = "auto",
     max_events: Optional[int] = None,
@@ -422,6 +478,7 @@ def simulate_wavefront(
         simulate_nonwavefront=simulate_nonwavefront,
         enable_contention=enable_contention,
         compute_noise=compute_noise,
+        noise_model=noise_model,
         noise_seed=noise_seed,
         engine=engine,
     )

@@ -9,11 +9,39 @@ re-running the computation).  This helper centralises that control flow.
 
 from __future__ import annotations
 
-from typing import Callable, TypeVar
+from typing import Callable, List, TypeVar
 
 _R = TypeVar("_R")
 
-__all__ = ["call_with_unhashable_fallback"]
+__all__ = [
+    "call_with_unhashable_fallback",
+    "register_cache_clearer",
+    "clear_registered_caches",
+]
+
+#: Clearers registered by every module that memoises model inputs.  The
+#: public :func:`repro.core.predictor.clear_prediction_cache` drains this
+#: registry so "clear the caches" means *all* of them - the predict memo,
+#: the communication-cost memo and the simulator-result memo - which is the
+#: contract ``tests/test_conformance.py`` pins down.
+_CACHE_CLEARERS: List[Callable[[], None]] = []
+
+
+def register_cache_clearer(clearer: Callable[[], None]) -> Callable[[], None]:
+    """Register a zero-argument cache-clearing callable (idempotent).
+
+    Returns the callable so it can be used as a decorator.  Modules register
+    at import time; a cache that was never imported has nothing to clear.
+    """
+    if clearer not in _CACHE_CLEARERS:
+        _CACHE_CLEARERS.append(clearer)
+    return clearer
+
+
+def clear_registered_caches() -> None:
+    """Invoke every registered cache clearer."""
+    for clearer in _CACHE_CLEARERS:
+        clearer()
 
 
 def call_with_unhashable_fallback(

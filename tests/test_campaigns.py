@@ -345,7 +345,9 @@ class TestReport:
             "figure5_htile.csv",
         }
         scaling = (tmp_path / "out" / "figure6_scaling.csv").read_text().splitlines()
-        assert scaling[0].startswith("application,platform,backend,htile,total_cores")
+        assert scaling[0].startswith(
+            "application,platform,backend,htile,scenario,total_cores"
+        )
         assert len(scaling) == 1 + 4  # 2 htile curves x 2 core counts
 
     def test_empty_store_reports_gracefully(self, tmp_path):
@@ -374,7 +376,7 @@ class TestReport:
             write_report(store_path, tmp_path / "out") and
             (tmp_path / "out" / "validation.csv").read_text().splitlines()
         )
-        assert validation[0].split(",")[5] == "noise_seed"
+        assert validation[0].split(",")[6] == "noise_seed"
         assert len(validation) == 1 + 2
 
     def test_write_report_removes_stale_files(self, tmp_path, counting_backend):
@@ -410,6 +412,7 @@ class TestBuiltins:
             "strong-scaling-sweep",
             "htile-sweep",
             "multicore-design",
+            "heterogeneity-study",
         }
 
     def test_unknown_name_lists_alternatives(self):

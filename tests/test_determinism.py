@@ -1,0 +1,195 @@
+"""Seeded-randomness determinism contracts.
+
+The stochastic pieces of the library - the simulator's sampled noise,
+whether expressed through the legacy ``compute_noise`` amplitude or a
+:class:`~repro.core.hetero.SampledNoise` platform model - must be
+bit-identical given a seed, regardless of *how* the evaluation is executed:
+
+* the same request list through ``predict_many`` with a thread pool and a
+  process pool;
+* an uninterrupted campaign run versus an interrupted-then-resumed one;
+* repeated in-process evaluations (cache cleared in between).
+
+Deterministic noise (fixed-quantum OS jitter) must additionally be
+seed-*independent*.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.apps.workloads import lu_class
+from repro.backends.base import PredictionRequest
+from repro.backends.service import predict_many
+from repro.backends.simulator import SimulatorBackend, clear_simulation_cache
+from repro.campaigns.runner import run_campaign
+from repro.campaigns.spec import CampaignSpec
+from repro.campaigns.store import ResultStore
+from repro.core.hetero import FixedQuantumNoise, SampledNoise, SpeedProfile
+from repro.core.predictor import clear_prediction_cache
+from repro.platforms import cray_xt4
+
+
+def _noisy_requests():
+    platform = cray_xt4().with_noise(SampledNoise(0.1))
+    return [
+        PredictionRequest(lu_class("A"), platform, total_cores=cores)
+        for cores in (4, 16, 4)
+    ]
+
+
+class TestExecutorBitIdentity:
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_thread_vs_process_pools(self, seed):
+        backend = SimulatorBackend(noise_seed=seed)
+        threaded = predict_many(
+            _noisy_requests(), backend=backend, workers=2, executor="thread"
+        )
+        clear_prediction_cache()  # process-pool workers start cold anyway
+        pooled = predict_many(
+            _noisy_requests(), backend=backend, workers=2, executor="process"
+        )
+        for a, b in zip(threaded, pooled):
+            assert a.time_per_iteration_us == b.time_per_iteration_us
+            assert a.computation_per_iteration_us == b.computation_per_iteration_us
+
+    def test_serial_matches_pooled(self):
+        backend = SimulatorBackend(noise_seed=3)
+        serial = predict_many(_noisy_requests(), backend=backend)
+        pooled = predict_many(
+            _noisy_requests(), backend=backend, workers=2, executor="process"
+        )
+        assert [r.time_per_iteration_us for r in serial] == [
+            r.time_per_iteration_us for r in pooled
+        ]
+
+
+class TestSeedSemantics:
+    def test_same_seed_bit_identical_across_cache_clears(self):
+        platform = cray_xt4().with_noise(SampledNoise(0.08))
+        backend = SimulatorBackend(noise_seed=11)
+        first = predict_many([(lu_class("A"), platform, 16)], backend=backend)[0]
+        clear_simulation_cache()
+        second = predict_many([(lu_class("A"), platform, 16)], backend=backend)[0]
+        assert first.time_per_iteration_us == second.time_per_iteration_us
+
+    def test_different_seeds_differ(self):
+        platform = cray_xt4().with_noise(SampledNoise(0.08))
+        a = predict_many(
+            [(lu_class("A"), platform, 16)], backend=SimulatorBackend(noise_seed=1)
+        )[0]
+        b = predict_many(
+            [(lu_class("A"), platform, 16)], backend=SimulatorBackend(noise_seed=2)
+        )[0]
+        assert a.time_per_iteration_us != b.time_per_iteration_us
+
+    def test_fixed_quantum_noise_is_seed_independent(self):
+        platform = cray_xt4().with_noise(FixedQuantumNoise(50.0, 1000.0))
+        a = predict_many(
+            [(lu_class("A"), platform, 16)], backend=SimulatorBackend(noise_seed=1)
+        )[0]
+        b = predict_many(
+            [(lu_class("A"), platform, 16)], backend=SimulatorBackend(noise_seed=2)
+        )[0]
+        assert a.time_per_iteration_us == b.time_per_iteration_us
+
+    def test_platform_noise_matches_legacy_compute_noise(self):
+        """SampledNoise(a) with seed s == the historical compute_noise=a, s."""
+        plain = cray_xt4()
+        legacy = predict_many(
+            [(lu_class("A"), plain, 16)],
+            backend=SimulatorBackend(compute_noise=0.1, noise_seed=5),
+        )[0]
+        modelled = predict_many(
+            [(lu_class("A"), plain.with_noise(SampledNoise(0.1)), 16)],
+            backend=SimulatorBackend(noise_seed=5),
+        )[0]
+        assert legacy.time_per_iteration_us == modelled.time_per_iteration_us
+
+
+class TestCampaignResumeBitIdentity:
+    def _spec(self):
+        return CampaignSpec(
+            name="det-noise",
+            apps=("lu-classA",),
+            total_cores=(4, 16),
+            backends=("simulator",),
+            noise_models=("sampled:0.1",),
+            speed_profiles=("none", "stragglers:1x2.0"),
+            noise_seeds=(0, 1),
+        )
+
+    def test_resumed_run_matches_uninterrupted(self, tmp_path):
+        spec = self._spec()
+        full_path = tmp_path / "full.jsonl"
+        run_campaign(spec, store=full_path)
+        full = {
+            record["key"]: record["result"]
+            for record in ResultStore(full_path).records()
+        }
+        assert len(full) == len(spec.points())
+
+        # Interrupt: keep the header plus the first three result lines.
+        resumed_path = tmp_path / "resumed.jsonl"
+        lines = full_path.read_text().splitlines()
+        resumed_path.write_text("\n".join(lines[:4]) + "\n")
+        clear_prediction_cache()  # the resumed run starts in a fresh process
+
+        summary = run_campaign(spec, store=resumed_path)
+        assert summary.cached == 3
+        assert summary.computed == len(spec.points()) - 3
+
+        resumed = {
+            record["key"]: record["result"]
+            for record in ResultStore(resumed_path).records()
+        }
+        assert resumed.keys() == full.keys()
+        for key in full:
+            assert json.dumps(resumed[key], sort_keys=True) == json.dumps(
+                full[key], sort_keys=True
+            ), f"resumed record {key} drifted"
+
+    def test_legacy_compute_noise_conflicts_with_noise_models_axis(self):
+        # The legacy amplitude would shadow every noise_models value on
+        # simulator points, silently producing identical rows under
+        # different labels - reject the combination outright.
+        with pytest.raises(ValueError, match="sampled:<amplitude>"):
+            CampaignSpec(
+                name="conflict",
+                apps=("lu-classA",),
+                total_cores=(4,),
+                backends=("simulator",),
+                compute_noise=0.05,
+                noise_models=("quantum:50/1000",),
+            )
+
+    def test_seeds_expand_only_for_stochastic_points(self):
+        spec = CampaignSpec(
+            name="seed-normalisation",
+            apps=("lu-classA",),
+            total_cores=(4,),
+            backends=("analytic-fast", "simulator"),
+            noise_models=("none", "quantum:50/1000", "sampled:0.1"),
+            noise_seeds=(0, 1),
+        )
+        points = spec.points()
+        # Analytic: 3 noise models, seed-free.  Simulator: none + quantum are
+        # deterministic (seed-free), sampled gets both seeds.
+        analytic = [p for p in points if p.backend == "analytic-fast"]
+        simulator = [p for p in points if p.backend == "simulator"]
+        assert len(analytic) == 3
+        assert all(p.noise_seed is None for p in analytic)
+        assert len(simulator) == 4
+        sampled = [p for p in simulator if p.noise_model == "sampled:0.1"]
+        assert sorted(p.noise_seed for p in sampled) == [0, 1]
+
+
+class TestStragglerDeterminism:
+    def test_speed_profiles_are_deterministic(self):
+        platform = cray_xt4().with_speed_profile(SpeedProfile.stragglers(1, 2.0))
+        first = predict_many([(lu_class("A"), platform, 16)], backend="simulator")[0]
+        clear_prediction_cache()
+        second = predict_many([(lu_class("A"), platform, 16)], backend="simulator")[0]
+        assert first.time_per_iteration_us == second.time_per_iteration_us

@@ -49,6 +49,8 @@ DOCTEST_MODULES = [
     "repro.campaigns.runner",
     "repro.campaigns.spec",
     "repro.campaigns.store",
+    "repro.core.hetero",
+    "repro.platforms.spec",
     "repro.util.sweep",
     "repro.util.tables",
     "repro.validation.compare",

@@ -1,0 +1,109 @@
+"""Golden-value regression against the paper-validation campaign inputs.
+
+``tests/data/golden_predictions.json`` pins the model's current numbers for
+every configuration of the ``paper-validation`` built-in campaign (the
+Tables 4-7 matrix): the analytic prediction for all 18 configurations, and
+the simulated "measurement" for the 16-core subset (kept small so the suite
+stays fast).  Any refactor that silently drifts the model - a reordered
+floating-point expression, a changed constant, a broken cost table - fails
+here with the exact configuration and quantity that moved.
+
+Regenerating after an *intentional* model change::
+
+    PYTHONPATH=src python -m pytest tests/test_golden.py --update-golden
+
+then review the diff of ``tests/data/golden_predictions.json`` like any
+other code change (the file is version-controlled precisely so the diff is
+reviewable).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.backends.service import predict_one
+from repro.campaigns.builtin import get_campaign
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "golden_predictions.json"
+
+#: Deterministic engines reproduce to fp-reassociation noise; anything
+#: beyond this is a genuine model change.
+GOLDEN_REL_TOL = 1e-9
+
+#: The quantities pinned per configuration.
+PINNED_FIELDS = (
+    "time_per_iteration_us",
+    "computation_per_iteration_us",
+    "time_per_time_step_s",
+)
+
+#: Simulator entries are restricted to this many cores to keep the test
+#: cheap; the analytic entries cover the full campaign matrix.
+SIMULATOR_MAX_CORES = 16
+
+
+def _golden_points():
+    """The pinned subset of the paper-validation campaign, in spec order."""
+    for point in get_campaign("paper-validation").points():
+        if point.backend == "simulator" and point.total_cores > SIMULATOR_MAX_CORES:
+            continue
+        yield point
+
+
+def _entry_key(point) -> str:
+    return f"{point.app}|{point.platform}|P{point.total_cores}|{point.backend}"
+
+
+def _evaluate(point) -> dict[str, float]:
+    request = point.request()
+    result = predict_one(
+        request.spec,
+        request.platform,
+        total_cores=point.total_cores,
+        backend=point.backend,
+    )
+    return {field: getattr(result, field) for field in PINNED_FIELDS}
+
+
+def _current_values() -> dict[str, dict[str, float]]:
+    return {_entry_key(point): _evaluate(point) for point in _golden_points()}
+
+
+def test_golden_predictions(update_golden):
+    current = _current_values()
+    if update_golden:
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(
+            json.dumps(current, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        pytest.skip(f"regenerated {GOLDEN_PATH}")
+
+    assert GOLDEN_PATH.exists(), (
+        f"{GOLDEN_PATH} is missing; generate it with "
+        "`pytest tests/test_golden.py --update-golden`"
+    )
+    golden = json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+
+    assert sorted(golden) == sorted(current), (
+        "the paper-validation matrix changed; regenerate the golden file "
+        "with --update-golden and review the diff"
+    )
+    drifted = []
+    for key, fields in golden.items():
+        for field, pinned in fields.items():
+            value = current[key][field]
+            if value != pytest.approx(pinned, rel=GOLDEN_REL_TOL):
+                drifted.append(f"{key}.{field}: pinned {pinned!r}, got {value!r}")
+    assert not drifted, "model drift detected:\n" + "\n".join(drifted)
+
+
+def test_golden_file_is_complete():
+    """Every pinned entry carries every pinned field (guards hand edits)."""
+    golden = json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+    assert golden, "golden file is empty"
+    for key, fields in golden.items():
+        assert sorted(fields) == sorted(PINNED_FIELDS), key
+        assert all(isinstance(value, float) for value in fields.values()), key

@@ -27,7 +27,7 @@ SUBPACKAGES = [
 
 
 def test_version_string():
-    assert repro.__version__ == "1.2.0"
+    assert repro.__version__ == "1.3.0"
 
 
 def test_top_level_exports_exist():
