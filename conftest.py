@@ -4,11 +4,27 @@ Lives at the repository root (not under ``tests/``) because
 ``pytest_addoption`` only takes effect in *initial* conftests - this way
 ``pytest --update-golden`` works from the root invocation the CI and the
 docs use.
+
+Hypothesis profiles are registered here too (the root conftest is imported
+before any test module, which is what profile registration requires):
+
+* ``dev`` - the default: fewer examples for fast local iteration;
+* ``ci`` - hypothesis's full default example budget, selected in CI via
+  ``pytest --hypothesis-profile=ci`` (the flag ships with hypothesis's own
+  pytest plugin; it overrides the ``dev`` default loaded below).
+
+Per-test ``@settings(max_examples=...)`` decorations override either
+profile, so the deliberately-small property sweeps keep their budgets.
 """
 
 from __future__ import annotations
 
 import pytest
+from hypothesis import settings
+
+settings.register_profile("dev", max_examples=25, deadline=None)
+settings.register_profile("ci", max_examples=100, deadline=None)
+settings.load_profile("dev")
 
 
 def pytest_addoption(parser: pytest.Parser) -> None:

@@ -25,7 +25,11 @@ application and platform parameters, and provides:
 * heterogeneous and noisy machine scenarios - hierarchical interconnects,
   per-node speed profiles (stragglers), background-noise models - honoured
   consistently by the analytic model and the simulator
-  (:mod:`repro.core.hetero`, :mod:`repro.platforms.spec`).
+  (:mod:`repro.core.hetero`, :mod:`repro.platforms.spec`);
+* model-guided design-space optimisation - exhaustive, coordinate-descent
+  and golden-section search over tile heights, decompositions, placements
+  and machine designs under a core budget, with (time, core-hours) Pareto
+  fronts (:mod:`repro.optimize`).
 
 Quick start
 -----------
@@ -78,6 +82,16 @@ from repro.core.hetero import (
     SampledNoise,
     SpeedProfile,
 )
+from repro.optimize import (
+    DesignPoint,
+    EvaluatedPoint,
+    OptimizationResult,
+    OptimizationSpace,
+    available_strategies,
+    load_space_file,
+    optimize,
+    pareto_front,
+)
 from repro.platforms import (
     PlatformSpec,
     cray_xt3,
@@ -92,7 +106,7 @@ from repro.platforms import (
     parse_speed_profile,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "BackendResult",
@@ -100,9 +114,13 @@ __all__ = [
     "CampaignSpec",
     "CoreMapping",
     "Corner",
+    "DesignPoint",
+    "EvaluatedPoint",
     "FixedQuantumNoise",
     "NoNoise",
     "NoiseModel",
+    "OptimizationResult",
+    "OptimizationSpace",
     "Platform",
     "PlatformSpec",
     "Prediction",
@@ -117,6 +135,7 @@ __all__ = [
     "WavefrontSpec",
     "allreduce_time",
     "available_backends",
+    "available_strategies",
     "builtin_campaigns",
     "campaign_report",
     "clear_prediction_cache",
@@ -131,6 +150,9 @@ __all__ = [
     "get_campaign",
     "ibm_sp2",
     "load_campaign_file",
+    "load_space_file",
+    "optimize",
+    "pareto_front",
     "parse_noise_model",
     "parse_placement",
     "parse_speed_profile",

@@ -5,6 +5,13 @@ messages) but lengthens the pipeline fill.  The study sweeps ``Htile`` for a
 given application, problem size and processor count and reports the execution
 time per time step, from which the optimal blocking factor can be read off -
 the paper finds 2-5 on the XT4 versus 5-10 on the older SP/2.
+
+Both entry points are expressed on top of :mod:`repro.optimize`: the study
+is an exhaustive search over a one-axis
+:class:`~repro.optimize.space.OptimizationSpace`, and :func:`optimal_htile`
+optionally swaps in the golden-section strategy, which exploits the
+unimodality of the tile-height curve to find the same optimum in O(log n)
+model evaluations.
 """
 
 from __future__ import annotations
@@ -13,11 +20,11 @@ from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
 from repro.apps.base import WavefrontSpec
-from repro.backends.base import BackendResult, PredictionRequest
+from repro.backends.base import BackendResult
 from repro.backends.registry import BackendSpec
-from repro.backends.service import predict_many
 from repro.core.loggp import Platform
 from repro.core.predictor import Prediction
+from repro.optimize import OptimizationSpace, StrategySpec, optimize
 
 __all__ = ["HtilePoint", "HtileStudy", "htile_study", "optimal_htile"]
 
@@ -101,18 +108,22 @@ def htile_study(
     """
     if not htile_values:
         raise ValueError("htile_values must not be empty")
-    specs = [spec_builder(htile) for htile in htile_values]
-    requests = [
-        PredictionRequest(spec, platform, total_cores=total_cores) for spec in specs
-    ]
-    results = predict_many(requests, backend=backend, workers=workers, executor=executor)
+    space = OptimizationSpace(
+        spec_builder=spec_builder,
+        platform=platform,
+        htiles=tuple(htile_values),
+        total_cores=(total_cores,),
+    )
+    result = optimize(
+        space, strategy="exhaustive", backend=backend, workers=workers, executor=executor
+    )
+    by_htile = {point.point.htile: point.result for point in result.evaluated}
     return HtileStudy(
-        application=specs[-1].name,
+        application=result.evaluated[-1].result.spec.name,
         platform=platform.name,
         total_cores=total_cores,
         points=tuple(
-            _htile_point(htile, result)
-            for htile, result in zip(htile_values, results)
+            _htile_point(htile, by_htile[float(htile)]) for htile in htile_values
         ),
     )
 
@@ -124,10 +135,17 @@ def optimal_htile(
     htile_values: Sequence[float],
     *,
     backend: BackendSpec = "analytic-fast",
+    strategy: StrategySpec = "exhaustive",
     workers: Optional[int] = None,
     executor: str = "thread",
 ) -> float:
     """The Htile value minimising execution time over the given candidates.
+
+    ``strategy`` selects how the candidates are searched:
+    ``"exhaustive"`` (default) evaluates them all, ``"golden-section"``
+    exploits the unimodality of the tile-height curve to locate the
+    optimum in O(log n) model evaluations (the conformance suite pins the
+    two to within one grid step of each other).
 
     >>> from repro.apps.workloads import chimaera_240cubed
     >>> from repro.platforms import cray_xt4
@@ -135,14 +153,19 @@ def optimal_htile(
     ...                      256, [1, 2, 4])
     >>> best in (1.0, 2.0, 4.0)
     True
+    >>> optimal_htile(chimaera_240cubed().with_htile, cray_xt4(),
+    ...               256, [1, 2, 4], strategy="golden-section") == best
+    True
     """
-    study = htile_study(
-        spec_builder,
-        platform,
-        total_cores,
-        htile_values,
-        backend=backend,
-        workers=workers,
-        executor=executor,
+    space = OptimizationSpace(
+        spec_builder=spec_builder,
+        platform=platform,
+        htiles=tuple(htile_values),
+        total_cores=(total_cores,),
     )
-    return study.optimal.htile
+    result = optimize(
+        space, strategy=strategy, backend=backend, workers=workers, executor=executor
+    )
+    htile = result.best.point.htile
+    assert htile is not None  # the space always carries an htile axis
+    return htile

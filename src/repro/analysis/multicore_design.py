@@ -12,16 +12,22 @@ diminishing or negative returns for transport codes.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Optional, Sequence
 
 from repro.apps.base import WavefrontSpec
-from repro.backends.base import BackendResult, PredictionRequest
+from repro.backends.base import BackendResult
 from repro.backends.registry import BackendSpec
-from repro.backends.service import predict_many
 from repro.core.loggp import Platform
 from repro.core.predictor import Prediction
+from repro.optimize import OptimizationSpace, optimize
 
 __all__ = ["MulticoreDesignPoint", "cores_per_node_study", "equivalent_node_counts"]
+
+
+def _fixed_spec(spec: WavefrontSpec, htile: Optional[float]) -> WavefrontSpec:
+    """Htile-ignoring builder: the design study varies the machine, not the app."""
+    return spec
 
 
 @dataclass(frozen=True)
@@ -68,29 +74,33 @@ def cores_per_node_study(
     >>> [(p.nodes, p.cores_per_node, p.total_cores) for p in points]
     [(16, 1, 16), (16, 2, 32)]
     """
-    combos = []
+    space = OptimizationSpace(
+        spec_builder=partial(_fixed_spec, spec),
+        platform=base_platform,
+        node_counts=tuple(node_counts),
+        cores_per_node=tuple(cores_per_node_options),
+        buses_per_node=buses_per_node,
+    )
+    evaluated = optimize(
+        space, strategy="exhaustive", backend=backend, workers=workers, executor=executor
+    ).evaluated
+    by_design = {(point.point.nodes, point.point.cores_per_node): point for point in evaluated}
+    points = []
     for cores in cores_per_node_options:
-        buses = min(buses_per_node, cores)
-        platform = base_platform.with_cores_per_node(cores, buses)
         for nodes in node_counts:
-            combos.append((nodes, cores, buses, platform))
-    requests = [
-        PredictionRequest(spec, platform, total_cores=nodes * cores)
-        for nodes, cores, _buses, platform in combos
-    ]
-    results = predict_many(requests, backend=backend, workers=workers, executor=executor)
-    return [
-        MulticoreDesignPoint(
-            nodes=nodes,
-            cores_per_node=cores,
-            buses_per_node=buses,
-            total_cores=nodes * cores,
-            total_time_days=result.total_time_days,
-            prediction=result.prediction,
-            result=result,
-        )
-        for (nodes, cores, buses, _platform), result in zip(combos, results)
-    ]
+            design = by_design[(nodes, cores)]
+            points.append(
+                MulticoreDesignPoint(
+                    nodes=nodes,
+                    cores_per_node=cores,
+                    buses_per_node=min(buses_per_node, cores),
+                    total_cores=design.total_cores,
+                    total_time_days=design.result.total_time_days,
+                    prediction=design.result.prediction,
+                    result=design.result,
+                )
+            )
+    return points
 
 
 def equivalent_node_counts(

@@ -1,7 +1,7 @@
 """Built-in campaign definitions, shipped as package data.
 
-Five campaigns cover the paper's experimental matrix plus the heterogeneity
-axis; each is a JSON file
+Six campaigns cover the paper's experimental matrix plus the heterogeneity
+and design-optimisation axes; each is a JSON file
 under ``repro/campaigns/data/`` in the :func:`CampaignSpec.from_dict
 <repro.campaigns.spec.CampaignSpec.from_dict>` schema (see
 ``docs/campaigns.md``), so they double as worked examples for writing your
@@ -16,10 +16,14 @@ own:
 * ``multicore-design`` - the Figure 10 single- vs dual-core node comparison;
 * ``heterogeneity-study`` - straggler count x slowdown x background noise
   on the transport benchmarks (scenarios beyond the paper's homogeneous
-  machine; see ``docs/platforms.md``).
+  machine; see ``docs/platforms.md``);
+* ``optimization-study`` - the Htile grid crossed with single- and
+  dual-core node designs, whose report's design-optima table reproduces
+  the paper's configuration conclusions automatically (see
+  ``docs/optimize.md``).
 
 >>> sorted(builtin_campaigns())
-['heterogeneity-study', 'htile-sweep', 'multicore-design', 'paper-validation', 'strong-scaling-sweep']
+['heterogeneity-study', 'htile-sweep', 'multicore-design', 'optimization-study', 'paper-validation', 'strong-scaling-sweep']
 >>> get_campaign("paper-validation").baseline
 'simulator'
 """

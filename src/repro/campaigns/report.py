@@ -14,7 +14,11 @@ paper's presentation:
   same type :func:`repro.validation.compare.diff_backends` produces;
 * **figure data** - strong-scaling curves (Figure 6) for every
   (application, platform, backend, Htile) group spanning >= 2 core counts,
-  and Htile sweeps (Figure 5) for every group spanning >= 2 tile heights.
+  and Htile sweeps (Figure 5) for every group spanning >= 2 tile heights;
+* **design optima** - per (application, backend, core count) group with at
+  least two stored design choices, the configuration minimising execution
+  time (the ``optimization-study`` campaign's conclusion table; see
+  :mod:`repro.optimize` for searching such spaces without exhaustion).
 
 :func:`campaign_report` renders Markdown; :func:`write_report` additionally
 emits the CSV data files next to it.
@@ -187,6 +191,41 @@ def _htile_groups(records):
         "htile",
         ("app", "platform", "backend", "total_cores", "noise_seed") + _SCENARIO_FIELDS,
     )
+
+
+def _optima_groups(
+    records: list[dict[str, Any]]
+) -> list[tuple[tuple, dict[str, Any], int]]:
+    """Per (app, backend, P[, seed]) group: the record minimising execution time.
+
+    Only groups offering an actual design choice - at least two distinct
+    (platform, Htile, scenario) configurations at the same core count - are
+    reported; the winner row is what the ``optimization-study`` campaign
+    uses to restate the paper's configuration conclusions.  Noisy-simulator
+    replicas are grouped per seed (a seed column is rendered whenever any
+    record carries one), so a lucky replica never masquerades as a better
+    design.
+    """
+    groups: dict[tuple, list[dict[str, Any]]] = {}
+    for record in records:
+        point = record["point"]
+        key = (point["app"], point["backend"], point["total_cores"], point.get("noise_seed"))
+        groups.setdefault(key, []).append(record)
+    def order(item: tuple) -> tuple:
+        app, backend, cores, seed = item[0]
+        return (app, backend, cores, -1 if seed is None else int(seed))
+
+    optima = []
+    for key, members in sorted(groups.items(), key=order):
+        designs = {
+            (m["point"]["platform"], m["point"].get("htile"), _scenario_cell(m["point"]))
+            for m in members
+        }
+        if len(designs) < 2:
+            continue
+        best = min(members, key=lambda m: m["result"]["time_per_time_step_s"])
+        optima.append((key, best, len(designs)))
+    return optima
 
 
 def _results_table(
@@ -381,6 +420,42 @@ def campaign_report(store: Union[str, Path, ResultStore]) -> str:
                 f"Optimal Htile: {best['point']['htile']:g}",
                 "",
             ]
+
+    optima = _optima_groups(records)
+    if optima:
+        lines += [
+            "## Design optima (optimizer view)",
+            "",
+            "Best stored configuration per (application, backend, core count"
+            + (", seed" if with_seeds else "")
+            + ") group - the question `wavebench optimize` answers directly.",
+            "",
+        ]
+        headers = ["application", "backend", "P"]
+        if with_seeds:
+            headers.append("seed")
+        headers += [
+            "best platform",
+            "best Htile",
+            "scenario",
+            "time/time-step (s)",
+            "designs compared",
+        ]
+        table = Table(headers)
+        for (app, backend, cores, seed), best, compared in optima:
+            point, result = best["point"], best["result"]
+            row = [app, backend, cores]
+            if with_seeds:
+                row.append("-" if seed is None else seed)
+            row += [
+                point["platform"],
+                _htile_cell(point.get("htile")),
+                _scenario_cell(point),
+                result["time_per_time_step_s"],
+                compared,
+            ]
+            table.add_row(*row)
+        lines += [table.render_markdown(), ""]
 
     return "\n".join(lines).rstrip("\n") + "\n"
 

@@ -8,6 +8,8 @@ A thin front end over the library for quick interactive use::
     wavebench platform list
     wavebench platform describe --platform cray-xt4-quad-chip
     wavebench htile    --app chimaera-240 --platform cray-xt4 --cores 4096 --values 1,2,4,8
+    wavebench optimize --app sweep3d-20m --cores 1024,4096 --htiles 1,2,3,4,5,6,8,10 --strategy golden-section
+    wavebench optimize --space my-space.json --budget 8192 --pareto
     wavebench scaling  --app sweep3d-1b-production --cores 1024,4096,16384
     wavebench campaign list
     wavebench campaign run    --name paper-validation --store /tmp/s
@@ -49,6 +51,13 @@ from repro.calibration.workrate import (
     measure_transport_wg,
 )
 from repro.core.model import FILL_METHODS
+from repro.optimize import (
+    OBJECTIVES,
+    OptimizationSpace,
+    available_strategies,
+    load_space_file,
+    optimize,
+)
 from repro.platforms import (
     describe_platform,
     get_platform,
@@ -206,6 +215,73 @@ def _cmd_htile(args: argparse.Namespace) -> int:
         )
     print(table.render())
     print(f"optimal Htile: {study.optimal.htile}")
+    return 0
+
+
+def _optimize_space(args: argparse.Namespace) -> OptimizationSpace:
+    """Resolve --space FILE or the inline axis flags into an OptimizationSpace."""
+    try:
+        if args.space:
+            space = load_space_file(args.space)
+        elif args.app:
+            axes: dict = {}
+            if args.htiles is not None:
+                axes["htiles"] = args.htiles
+            if args.cores is not None:
+                axes["total_cores"] = args.cores
+            if args.node_counts is not None:
+                axes["node_counts"] = args.node_counts
+            if args.cores_per_node is not None:
+                axes["cores_per_node"] = args.cores_per_node
+            if args.placements is not None:
+                axes["placements"] = [p for p in args.placements.split(",") if p]
+            if args.aspect_ratios is not None:
+                axes["aspect_ratios"] = args.aspect_ratios
+            space = OptimizationSpace.from_workload(args.app, args.platform, **axes)
+        else:
+            raise SystemExit("specify a design space with --space FILE or --app NAME")
+        if args.budget is not None:
+            space = space.with_core_budget(args.budget)
+        return space
+    except (KeyError, ValueError) as exc:
+        raise SystemExit(str(exc.args[0] if exc.args else exc)) from exc
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    space = _optimize_space(args)
+    try:
+        result = optimize(
+            space,
+            strategy=args.strategy,
+            backend=_resolve_backend(args),
+            objective=args.objective,
+            workers=args.workers,
+            executor=args.executor,
+        )
+    except (KeyError, ValueError) as exc:
+        raise SystemExit(str(exc.args[0] if exc.args else exc)) from exc
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+        return 0
+    best = result.best
+    table = Table(
+        ["quantity", "value"],
+        title=f"optimum ({result.strategy}, objective: {result.objective})",
+    )
+    table.add_row("configuration", best.point.label)
+    table.add_row("time/time-step (s)", best.time_per_time_step_s)
+    table.add_row("total time (days)", best.total_time_days)
+    table.add_row("core-hours", best.core_hours)
+    table.add_row("model evaluations", f"{result.evaluations} of {result.space_size}")
+    print(table.render())
+    if args.pareto:
+        front = Table(
+            ["configuration", "time/time-step (s)", "core-hours"],
+            title="Pareto front (time vs core-hours)",
+        )
+        for point in result.pareto_front():
+            front.add_row(point.point.label, point.time_per_time_step_s, point.core_hours)
+        print(front.render())
     return 0
 
 
@@ -520,6 +596,80 @@ def build_parser() -> argparse.ArgumentParser:
 
     add_pool_flags(p_htile)
     p_htile.set_defaults(func=_cmd_htile)
+
+    strategy_names = ", ".join(available_strategies())
+    p_optimize = sub.add_parser(
+        "optimize",
+        help="search a design space for the best configuration (Sections 5-6)",
+    )
+    p_optimize.add_argument(
+        "--space",
+        default=None,
+        help="path to a design-space JSON file (see docs/optimize.md); "
+        "overrides the inline axis flags",
+    )
+    p_optimize.add_argument(
+        "--app", default=None, help=f"application workload ({app_names})"
+    )
+    p_optimize.add_argument(
+        "--platform", default="cray-xt4", help=f"platform name ({platform_names})"
+    )
+    p_optimize.add_argument(
+        "--cores", type=_int_list, default=None, help="comma-separated core counts"
+    )
+    p_optimize.add_argument(
+        "--node-counts",
+        type=_int_list,
+        default=None,
+        help="comma-separated node counts (crossed with --cores-per-node; "
+        "alternative to --cores)",
+    )
+    p_optimize.add_argument(
+        "--htiles", type=_float_list, default=None, help="comma-separated tile heights"
+    )
+    p_optimize.add_argument(
+        "--cores-per-node",
+        type=_int_list,
+        default=None,
+        help="comma-separated cores-per-node designs (Figure 10 axis)",
+    )
+    p_optimize.add_argument(
+        "--placements",
+        default=None,
+        help="comma-separated rank placements (default, rowwise, colwise, <cx>x<cy>)",
+    )
+    p_optimize.add_argument(
+        "--aspect-ratios",
+        type=_float_list,
+        default=None,
+        help="comma-separated processor-array aspect ratios (n/m targets)",
+    )
+    p_optimize.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        help="core budget: drop configurations needing more cores than this",
+    )
+    p_optimize.add_argument(
+        "--strategy",
+        default="exhaustive",
+        help=f"search strategy ({strategy_names}; default exhaustive)",
+    )
+    p_optimize.add_argument(
+        "--objective",
+        choices=OBJECTIVES,
+        default="time",
+        help="quantity to minimise (default: time per time step)",
+    )
+    p_optimize.add_argument(
+        "--pareto",
+        action="store_true",
+        help="also print the (time, core-hours) Pareto front",
+    )
+    add_backend_flag(p_optimize)
+    add_json_flag(p_optimize)
+    add_pool_flags(p_optimize)
+    p_optimize.set_defaults(func=_cmd_optimize)
 
     p_scaling = sub.add_parser("scaling", help="strong scaling study (Figure 6)")
     add_common(p_scaling, cores_list=True)

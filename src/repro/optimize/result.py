@@ -1,0 +1,154 @@
+"""Optimisation results: evaluated points, objectives and Pareto fronts.
+
+Every strategy records *all* the configurations it evaluated (not just the
+winner), so a result doubles as the study's raw data: reports can re-plot
+the sweep, audits can verify the claimed optimum, and the benchmark harness
+can count backend evaluations.
+
+>>> OBJECTIVES
+('time', 'total-time', 'core-hours')
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Tuple
+
+from repro.backends.base import BackendResult
+from repro.optimize.space import DesignPoint
+
+__all__ = [
+    "OBJECTIVES",
+    "EvaluatedPoint",
+    "OptimizationResult",
+    "objective_value",
+    "pareto_front",
+]
+
+#: Scalar objectives a strategy can minimise: execution time per time step,
+#: total run time, or machine cost in core-hours.
+OBJECTIVES: Tuple[str, ...] = ("time", "total-time", "core-hours")
+
+
+@dataclass(frozen=True)
+class EvaluatedPoint:
+    """One candidate configuration together with its backend evaluation.
+
+    >>> from repro.backends.service import predict_one
+    >>> from repro.apps.workloads import lu_class
+    >>> from repro.platforms import cray_xt4
+    >>> result = predict_one(lu_class("A"), cray_xt4(), total_cores=16)
+    >>> point = EvaluatedPoint(DesignPoint(total_cores=16), result)
+    >>> point.core_hours == result.total_time_s / 3600.0 * 16
+    True
+    """
+
+    point: DesignPoint
+    result: BackendResult
+
+    @property
+    def total_cores(self) -> int:
+        return self.point.total_cores
+
+    @property
+    def time_per_time_step_s(self) -> float:
+        return self.result.time_per_time_step_s
+
+    @property
+    def total_time_days(self) -> float:
+        return self.result.total_time_days
+
+    @property
+    def core_hours(self) -> float:
+        """Machine cost of the full run: run time x cores occupied."""
+        return self.result.total_time_s / 3600.0 * self.point.total_cores
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "point": self.point.to_dict(),
+            "time_per_time_step_s": self.time_per_time_step_s,
+            "total_time_days": self.total_time_days,
+            "core_hours": self.core_hours,
+        }
+
+
+def objective_value(point: EvaluatedPoint, objective: str) -> float:
+    """The scalar value a strategy minimises for ``point``."""
+    if objective == "time":
+        return point.time_per_time_step_s
+    if objective == "total-time":
+        return point.total_time_days
+    if objective == "core-hours":
+        return point.core_hours
+    raise ValueError(f"objective must be one of {OBJECTIVES}, got {objective!r}")
+
+
+def pareto_front(points: Iterable[EvaluatedPoint]) -> Tuple[EvaluatedPoint, ...]:
+    """The non-dominated subset under (time per time step, core-hours).
+
+    A point dominates another when it is no worse on both objectives and
+    strictly better on at least one; the front is returned sorted by
+    execution time (fastest first), deduplicated on the objective pair.
+    """
+    candidates = sorted(
+        points, key=lambda p: (p.time_per_time_step_s, p.core_hours)
+    )
+    front: list[EvaluatedPoint] = []
+    best_cost = float("inf")
+    for candidate in candidates:
+        if candidate.core_hours < best_cost:
+            front.append(candidate)
+            best_cost = candidate.core_hours
+    return tuple(front)
+
+
+@dataclass(frozen=True)
+class OptimizationResult:
+    """What one :func:`repro.optimize.optimize` run found and evaluated.
+
+    ``evaluations`` counts *distinct backend evaluations* the strategy
+    needed - the currency of the exhaustive-vs-golden-section speedup
+    contract (``benchmarks/test_bench_optimize.py``); ``space_size`` is the
+    number of candidates an exhaustive search would have evaluated.
+    ``evaluated`` lists every evaluated configuration in first-evaluation
+    order.
+    """
+
+    strategy: str
+    backend: str
+    objective: str
+    space_size: int
+    evaluations: int
+    evaluated: Tuple[EvaluatedPoint, ...]
+
+    @property
+    def best(self) -> EvaluatedPoint:
+        """The evaluated point minimising the objective (ties: first found)."""
+        if not self.evaluated:
+            raise ValueError("the optimisation evaluated no points")
+        return min(self.evaluated, key=lambda p: objective_value(p, self.objective))
+
+    @property
+    def best_value(self) -> float:
+        return objective_value(self.best, self.objective)
+
+    def pareto_front(self) -> Tuple[EvaluatedPoint, ...]:
+        """The (time, core-hours) Pareto front over the evaluated points.
+
+        Complete for exhaustive searches; for the guided strategies it is
+        the front of what the search visited.
+        """
+        return pareto_front(self.evaluated)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable form (the CLI's ``--json`` payload)."""
+        return {
+            "strategy": self.strategy,
+            "backend": self.backend,
+            "objective": self.objective,
+            "space_size": self.space_size,
+            "evaluations": self.evaluations,
+            "best": self.best.to_dict(),
+            "pareto_front": [point.to_dict() for point in self.pareto_front()],
+            "evaluated": [point.to_dict() for point in self.evaluated],
+        }

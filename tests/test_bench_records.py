@@ -1,0 +1,165 @@
+"""Bench-record regression guard.
+
+The benchmark harness writes machine-readable speedup records to the repo
+root (``BENCH_simulator.json`` from
+``benchmarks/test_bench_simulator_fastpath.py``, ``BENCH_optimize.json``
+from ``benchmarks/test_bench_optimize.py``) and those files are committed.
+Committed artefacts rot: a schema change, a hand edit, or a regressed
+re-run could silently invalidate the speedup claims the README and docs
+cite.  This tier-1 guard parses every committed record, validates its
+schema and re-asserts the recorded contracts - a stale or broken record
+fails CI instead of quietly shipping.
+
+(The benchmarks themselves re-measure and overwrite the records; this
+guard only checks what is committed.)
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Every record the benchmark harness commits, and the benchmark that
+#: regenerates it.  Extend this table when a new ``BENCH_*.json`` is added;
+#: the completeness test below fails if a record ships unregistered.
+EXPECTED_RECORDS = {
+    "BENCH_simulator.json": "benchmarks/test_bench_simulator_fastpath.py",
+    "BENCH_optimize.json": "benchmarks/test_bench_optimize.py",
+}
+
+
+def _load(name: str) -> dict:
+    path = REPO_ROOT / name
+    assert path.exists(), (
+        f"{name} is missing; regenerate it with "
+        f"`pytest {EXPECTED_RECORDS[name]}` and commit the result"
+    )
+    data = json.loads(path.read_text(encoding="utf-8"))
+    assert isinstance(data, dict), f"{name} must hold a JSON object"
+    return data
+
+
+def _require(record: dict, name: str, keys: dict[str, type]) -> None:
+    for key, kind in keys.items():
+        assert key in record, f"{name}: missing required key {key!r}"
+        assert isinstance(record[key], kind), (
+            f"{name}: key {key!r} should be {kind}, got {type(record[key])}"
+        )
+
+
+def test_every_committed_record_is_registered():
+    committed = {path.name for path in REPO_ROOT.glob("BENCH_*.json")}
+    assert committed == set(EXPECTED_RECORDS), (
+        "committed BENCH_*.json records and the guard's registry diverged; "
+        "update EXPECTED_RECORDS in tests/test_bench_records.py"
+    )
+
+
+class TestSimulatorRecord:
+    def test_schema(self):
+        record = _load("BENCH_simulator.json")
+        _require(
+            record,
+            "BENCH_simulator.json",
+            {
+                "benchmark": str,
+                "total_cores": int,
+                "grid": str,
+                "event_engine_s": (int, float),
+                "aggregated_engine_s": (int, float),
+                "speedup": (int, float),
+                "relative_error": (int, float),
+                "contract_min_speedup": (int, float),
+                "contract_rel_tol": (int, float),
+            },
+        )
+        assert record["benchmark"] == "simulator_fastpath"
+
+    def test_fastpath_speedup_contract(self):
+        """The committed record still claims (at least) the >= 10x contract."""
+        record = _load("BENCH_simulator.json")
+        assert record["contract_min_speedup"] >= 10.0
+        assert record["speedup"] >= record["contract_min_speedup"], (
+            f"committed simulator fast-path speedup {record['speedup']:.1f}x "
+            f"is below the {record['contract_min_speedup']:.0f}x contract - "
+            "regenerate BENCH_simulator.json or fix the regression"
+        )
+        assert record["relative_error"] <= record["contract_rel_tol"]
+
+
+class TestOptimizeRecord:
+    def test_schema(self):
+        record = _load("BENCH_optimize.json")
+        _require(
+            record,
+            "BENCH_optimize.json",
+            {
+                "benchmark": str,
+                "contract_min_eval_ratio": (int, float),
+                "contract_max_grid_step_distance": int,
+                "contract_max_quality_ratio": (int, float),
+                "cases": list,
+            },
+        )
+        assert record["benchmark"] == "optimize"
+        assert record["cases"], "BENCH_optimize.json records no cases"
+        for case in record["cases"]:
+            _require(
+                case,
+                f"BENCH_optimize.json case {case.get('app')!r}",
+                {
+                    "app": str,
+                    "platform": str,
+                    "total_cores": int,
+                    "strategy": str,
+                    "grid_size": int,
+                    "exhaustive_evaluations": int,
+                    "golden_evaluations": int,
+                    "eval_ratio": (int, float),
+                    "best_htile_exhaustive": (int, float),
+                    "best_htile_golden": (int, float),
+                    "grid_step_distance": int,
+                    "quality_ratio": (int, float),
+                    "assert_eval_ratio": bool,
+                },
+            )
+
+    def test_eval_ratio_contract(self):
+        """Golden-section still needs >= 10x fewer evaluations than exhaustive."""
+        record = _load("BENCH_optimize.json")
+        assert record["contract_min_eval_ratio"] >= 10.0
+        ratio_cases = [c for c in record["cases"] if c["assert_eval_ratio"]]
+        assert ratio_cases, "no case asserts the evaluation-ratio contract"
+        for case in ratio_cases:
+            assert case["eval_ratio"] >= record["contract_min_eval_ratio"], (
+                f"{case['app']}: committed evaluation ratio "
+                f"{case['eval_ratio']:.1f}x is below the "
+                f"{record['contract_min_eval_ratio']:.0f}x contract"
+            )
+            # Internal consistency: the ratio matches the recorded counts.
+            recomputed = case["exhaustive_evaluations"] / case["golden_evaluations"]
+            assert case["eval_ratio"] == pytest.approx(recomputed, rel=1e-9)
+
+    def test_equal_quality_contract(self):
+        """Every case recovered the exhaustive optimum within one grid step
+        and within the recorded objective-quality ceiling."""
+        record = _load("BENCH_optimize.json")
+        for case in record["cases"]:
+            assert (
+                case["grid_step_distance"]
+                <= record["contract_max_grid_step_distance"]
+            ), (
+                f"{case['app']}: recorded golden-section optimum "
+                f"{case['best_htile_golden']:g} sits "
+                f"{case['grid_step_distance']} grid steps from the exhaustive "
+                f"optimum {case['best_htile_exhaustive']:g}"
+            )
+            assert case["quality_ratio"] <= record["contract_max_quality_ratio"], (
+                f"{case['app']}: recorded golden-section optimum is "
+                f"{100 * (case['quality_ratio'] - 1):.2f}% slower than the "
+                "exhaustive optimum"
+            )

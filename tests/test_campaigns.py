@@ -413,6 +413,7 @@ class TestBuiltins:
             "htile-sweep",
             "multicore-design",
             "heterogeneity-study",
+            "optimization-study",
         }
 
     def test_unknown_name_lists_alternatives(self):

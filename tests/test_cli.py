@@ -88,6 +88,80 @@ class TestCommands:
         assert "ssor-lower-sweep" in out
 
 
+class TestOptimize:
+    def test_parser_accepts_axis_flags(self):
+        args = build_parser().parse_args(
+            ["optimize", "--app", "chimaera-240", "--cores", "256,1024",
+             "--htiles", "1,2,4", "--strategy", "golden-section", "--budget", "512"]
+        )
+        assert args.cores == [256, 1024]
+        assert args.htiles == [1.0, 2.0, 4.0]
+        assert args.strategy == "golden-section"
+        assert args.budget == 512
+
+    def test_optimize_prints_best_configuration(self, capsys):
+        assert main(
+            ["optimize", "--app", "chimaera-240", "--cores", "256",
+             "--htiles", "1,2,4", "--pareto"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Htile=2" in out
+        assert "model evaluations" in out
+        assert "Pareto front" in out
+
+    def test_optimize_requires_a_space_or_app(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["optimize", "--cores", "64"])
+        assert "--space" in str(excinfo.value)
+
+    def test_optimize_rejects_unknown_strategy(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["optimize", "--app", "chimaera-240", "--cores", "64",
+                  "--htiles", "1,2", "--strategy", "annealing"])
+        assert "golden-section" in str(excinfo.value)
+
+    def test_optimize_rejects_impossible_budget(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["optimize", "--app", "chimaera-240", "--cores", "64",
+                  "--htiles", "1,2", "--budget", "2"])
+        assert "budget" in str(excinfo.value)
+
+    def test_optimize_loads_space_files(self, tmp_path, capsys):
+        path = tmp_path / "space.json"
+        path.write_text(json.dumps(
+            {"app": "lu-classA", "total_cores": [16, 64], "htiles": [1, 2]}
+        ))
+        assert main(["optimize", "--space", str(path), "--json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["space_size"] == 4
+        assert record["evaluations"] == 4
+
+    def test_optimize_cli_recovers_htile_study_optimum(self, capsys):
+        """Acceptance flow: the CLI's golden-section optimum sits within one
+        grid step of htile_study's exhaustive optimum (Sweep3D, cray-xt4)."""
+        from functools import partial
+
+        from repro.analysis.htile import htile_study
+        from repro.campaigns.spec import apply_htile
+        from repro.apps.workloads import sweep3d_20m
+        from repro.platforms import cray_xt4
+
+        grid = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 8.0, 10.0]
+        assert main(
+            ["optimize", "--app", "sweep3d-20m", "--platform", "cray-xt4",
+             "--cores", "4096", "--htiles", "1,2,3,4,5,6,8,10",
+             "--strategy", "golden-section", "--json"]
+        ) == 0
+        record = json.loads(capsys.readouterr().out)
+        cli_best = record["best"]["point"]["htile"]
+        exhaustive = htile_study(
+            partial(apply_htile, sweep3d_20m()), cray_xt4(), 4096, grid
+        ).optimal.htile
+        assert abs(grid.index(cli_best) - grid.index(exhaustive)) <= 1
+        # The guided search really did evaluate fewer candidates.
+        assert record["evaluations"] < record["space_size"]
+
+
 class TestBackendFlag:
     def test_predict_with_simulator_backend(self, capsys):
         assert main(

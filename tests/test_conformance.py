@@ -14,9 +14,17 @@ Three families of contracts over the registered prediction backends:
   reproduces the plain platform's prediction **bit-identically** through
   every registered backend.
 
-Plus the cache-invalidation contract: ``clear_prediction_cache`` empties
-every prediction-related memo (predict, communication costs, simulator
-results), so a changed platform parameter is guaranteed a fresh evaluation.
+Plus two cross-cutting families:
+
+* **metamorphic contracts**: doubling ``Htile`` halves the stack depth and
+  doubles the boundary messages, halving ``P`` on a fixed problem never
+  decreases predicted time (analytic and simulator), and
+  ``optimal_htile``'s exhaustive and golden-section strategies agree
+  within one grid step across the matrix;
+* the **cache-invalidation contract**: ``clear_prediction_cache`` empties
+  every prediction-related memo (predict, communication costs, simulator
+  results), so a changed platform parameter is guaranteed a fresh
+  evaluation.
 """
 
 from __future__ import annotations
@@ -192,6 +200,90 @@ class TestHomogeneousLimit:
             _spec("chimaera-240"), decorated, total_cores=16, backend="analytic-fast"
         )
         assert result.time_per_iteration_us == reference.time_per_iteration_us
+
+
+class TestMetamorphicContracts:
+    """Metamorphic relations: how predictions must move when inputs move.
+
+    These complement the pinned-tolerance checks above: instead of fixing
+    expected values, they fix the *direction and shape* of the change a
+    known input transformation must produce, over the same 18-config
+    matrix.
+    """
+
+    @pytest.mark.parametrize("app", APPS)
+    def test_doubling_htile_halves_the_stacked_tiles(self, app):
+        """Doubling the tile height halves the stack depth and doubles the
+        per-tile boundary messages - the Figure 5 trade-off in its raw form."""
+        from repro.campaigns.spec import apply_htile
+        from repro.core.decomposition import decompose
+
+        grid = decompose(16)
+        base = apply_htile(_spec(app), 2.0)
+        doubled = apply_htile(_spec(app), 4.0)
+        assert doubled.tiles_per_stack() == pytest.approx(
+            base.tiles_per_stack() / 2.0, rel=1e-12
+        )
+        assert doubled.message_size_ew(grid) == pytest.approx(
+            2.0 * base.message_size_ew(grid), rel=1e-12
+        )
+        assert doubled.message_size_ns(grid) == pytest.approx(
+            2.0 * base.message_size_ns(grid), rel=1e-12
+        )
+
+    @pytest.mark.parametrize(
+        "app,platform_name",
+        [(app, platform_name) for app in APPS for platform_name in PLATFORMS],
+        ids=lambda value: str(value),
+    )
+    def test_halving_cores_never_decreases_time(self, app, platform_name):
+        """Strong scaling on a fixed problem: fewer cores, never faster."""
+        platform = PLATFORMS[platform_name]()
+        times = [
+            predict_one(
+                _spec(app), platform, total_cores=cores, backend="analytic-fast"
+            ).time_per_time_step_s
+            for cores in (4, 8, 16, 32, 64)
+        ]
+        for slower, faster in zip(times, times[1:]):
+            assert slower >= faster * (1.0 - 1e-9)
+
+    def test_halving_cores_never_decreases_time_simulator(self):
+        """The same relation holds for the discrete-event measurement."""
+        platform = cray_xt4()
+        times = [
+            predict_one(
+                _spec("chimaera-240"), platform, total_cores=cores, backend="simulator"
+            ).time_per_time_step_s
+            for cores in (4, 16, 64)
+        ]
+        assert times[0] >= times[1] >= times[2]
+
+    HTILE_GRID = (1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 8.0, 10.0)
+
+    @pytest.mark.parametrize("entry", MATRIX, ids=_matrix_id)
+    def test_optimal_htile_agrees_with_golden_section(self, entry):
+        """Exhaustive and golden-section optima within one grid step,
+        across the whole conformance matrix."""
+        from functools import partial
+
+        from repro.analysis.htile import optimal_htile
+        from repro.campaigns.spec import apply_htile
+
+        app, platform_name, cores = entry
+        platform = PLATFORMS[platform_name]()
+        builder = partial(apply_htile, _spec(app))
+        exhaustive = optimal_htile(builder, platform, cores, self.HTILE_GRID)
+        golden = optimal_htile(
+            builder, platform, cores, self.HTILE_GRID, strategy="golden-section"
+        )
+        distance = abs(
+            self.HTILE_GRID.index(golden) - self.HTILE_GRID.index(exhaustive)
+        )
+        assert distance <= 1, (
+            f"{app} on {platform_name} at P={cores}: golden-section Htile "
+            f"{golden:g} is {distance} grid steps from exhaustive {exhaustive:g}"
+        )
 
 
 class TestCacheInvalidationContract:

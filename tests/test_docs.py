@@ -50,6 +50,10 @@ DOCTEST_MODULES = [
     "repro.campaigns.spec",
     "repro.campaigns.store",
     "repro.core.hetero",
+    "repro.optimize",
+    "repro.optimize.result",
+    "repro.optimize.space",
+    "repro.optimize.strategies",
     "repro.platforms.spec",
     "repro.util.sweep",
     "repro.util.tables",
@@ -69,7 +73,14 @@ def test_module_doctests(module_name):
 
 
 def test_docs_tree_exists():
-    expected = {"architecture.md", "model-equations.md", "cli.md", "campaigns.md"}
+    expected = {
+        "architecture.md",
+        "model-equations.md",
+        "cli.md",
+        "campaigns.md",
+        "platforms.md",
+        "optimize.md",
+    }
     present = {path.name for path in DOCS_DIR.glob("*.md")}
     assert expected <= present, f"missing docs pages: {sorted(expected - present)}"
 

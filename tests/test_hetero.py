@@ -112,12 +112,9 @@ class TestNoiseModels:
         with pytest.raises(ValueError):
             FixedQuantumNoise(1.0, 0.0)
 
-    def test_factor_semantics(self):
-        from random import Random
-
+    def test_factor_semantics(self, seeded_rng):
         assert FixedQuantumNoise(100.0, 1000.0).factor(None) == 1.1
-        rng = Random(1)
-        factor = SampledNoise(0.2).factor(rng)
+        factor = SampledNoise(0.2).factor(seeded_rng)
         assert 1.0 <= factor < 1.2
 
 

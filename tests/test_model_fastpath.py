@@ -12,8 +12,6 @@ period, custom mappings).
 
 from __future__ import annotations
 
-import random
-
 import pytest
 
 from repro.apps.chimaera import chimaera
@@ -70,9 +68,9 @@ def _assert_equivalent(spec, platform, grid, mapping):
 
 
 class TestFastPathMatchesExact:
-    def test_randomised_matrix(self):
+    def test_randomised_matrix(self, seeded_rng):
         """Property-style sweep over (spec, platform, grid, mapping) tuples."""
-        rng = random.Random(20260726)
+        rng = seeded_rng
         specs = _specs()
         platforms = _platforms()
         dimensions = [1, 2, 3, 4, 5, 7, 8, 9, 12, 16, 17, 24, 31, 32, 33, 48, 64, 96]

@@ -22,12 +22,15 @@ SUBPACKAGES = [
     "repro.analysis",
     "repro.validation",
     "repro.util",
+    "repro.backends",
+    "repro.campaigns",
+    "repro.optimize",
     "repro.cli",
 ]
 
 
 def test_version_string():
-    assert repro.__version__ == "1.3.0"
+    assert repro.__version__ == "1.4.0"
 
 
 def test_top_level_exports_exist():

@@ -29,6 +29,7 @@ from repro.core.decomposition import (
     decompose,
     default_core_mapping,
 )
+from repro.core.hetero import FixedQuantumNoise, SpeedProfile
 from repro.core.loggp import NodeArchitecture, OffNodeParams, OnChipParams, Platform
 from repro.core.model import fill_times, iteration_prediction, stack_time
 from repro.kernels.grid import block_bounds
@@ -295,3 +296,179 @@ class TestUnitProperties:
         assert math.isclose(
             us_to_seconds(seconds_to_us(value)), value, rel_tol=1e-12, abs_tol=1e-12
         )
+
+
+# --------------------------------------------------------------------------
+# Scenario-era layers: noise, speed profiles, hierarchical hops
+# --------------------------------------------------------------------------
+
+def _scenario_spec():
+    from repro.core.decomposition import ProblemSize as _PS
+
+    return chimaera(_PS(48, 48, 24), iterations=1)
+
+
+@st.composite
+def hierarchical_platforms(draw):
+    """Three-level platforms whose inner hops are cheaper by construction.
+
+    The intra-node link scales every machine parameter down by one factor;
+    the on-chip path's overheads and gaps are scaled below the intra-node
+    ones (with ``L ~ 0`` on chip).  All levels share one eager limit so
+    every message size exercises the same protocol branch at each level.
+    """
+    machine = draw(off_node_params)
+    node_scale = draw(st.floats(0.05, 1.0))
+    chip_scale = draw(st.floats(0.05, 1.0))
+    intra = OffNodeParams(
+        latency=machine.latency * node_scale,
+        overhead=machine.overhead * node_scale,
+        gap_per_byte=machine.gap_per_byte * node_scale,
+        handshake_overhead=machine.handshake_overhead * node_scale,
+        eager_limit=machine.eager_limit,
+    )
+    on_chip = OnChipParams(
+        copy_overhead=intra.overhead * chip_scale,
+        dma_setup=intra.latency * chip_scale,
+        gap_per_byte_copy=intra.gap_per_byte * chip_scale,
+        gap_per_byte_dma=intra.gap_per_byte * chip_scale,
+        eager_limit=machine.eager_limit,
+    )
+    return Platform(
+        name="hierarchical-random",
+        off_node=machine,
+        on_chip=on_chip,
+        intra_node=intra,
+        node=NodeArchitecture(cores_per_node=4, cores_per_chip=2),
+    )
+
+
+class TestScenarioProperties:
+    @given(
+        quantum_a=st.floats(0.0, 500.0),
+        quantum_b=st.floats(0.0, 500.0),
+        period=st.floats(100.0, 5000.0),
+    )
+    def test_noise_inflation_monotone_in_quantum(self, quantum_a, quantum_b, period):
+        small, large = sorted((quantum_a, quantum_b))
+        assert (
+            FixedQuantumNoise(small, period).mean_inflation()
+            <= FixedQuantumNoise(large, period).mean_inflation()
+        )
+
+    @given(
+        quantum=st.floats(1.0, 500.0),
+        period_a=st.floats(100.0, 5000.0),
+        period_b=st.floats(100.0, 5000.0),
+    )
+    def test_noise_inflation_monotone_in_frequency(self, quantum, period_a, period_b):
+        # A shorter period means the quantum is stolen more frequently.
+        fast, slow = sorted((period_a, period_b))
+        assert (
+            FixedQuantumNoise(quantum, fast).mean_inflation()
+            >= FixedQuantumNoise(quantum, slow).mean_inflation()
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(quantum=st.floats(0.0, 200.0))
+    def test_noise_never_decreases_predicted_time(self, quantum):
+        from repro.backends.service import predict_one
+        from repro.platforms import cray_xt4
+
+        plain = cray_xt4()
+        noisy = plain.with_noise(FixedQuantumNoise(quantum, 1000.0))
+        spec = _scenario_spec()
+        base = predict_one(spec, plain, total_cores=16).time_per_iteration_us
+        inflated = predict_one(spec, noisy, total_cores=16).time_per_iteration_us
+        assert inflated >= base - 1e-9
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        slowdown=st.floats(1.0, 4.0),
+        count=st.integers(0, 4),
+        cores=st.sampled_from([4, 16, 64]),
+    )
+    def test_slower_speed_profile_never_decreases_time(self, slowdown, count, cores):
+        from repro.backends.service import predict_one
+        from repro.platforms import cray_xt4
+
+        plain = cray_xt4()
+        degraded = plain.with_speed_profile(SpeedProfile.stragglers(count, slowdown))
+        spec = _scenario_spec()
+        base = predict_one(spec, plain, total_cores=cores).time_per_iteration_us
+        slower = predict_one(spec, degraded, total_cores=cores).time_per_iteration_us
+        assert slower >= base - 1e-9
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        slowdown_a=st.floats(1.0, 2.0),
+        factor=st.floats(1.0, 2.0),
+        cores=st.sampled_from([4, 16]),
+    )
+    def test_time_monotone_in_slowdown(self, slowdown_a, factor, cores):
+        from repro.backends.service import predict_one
+        from repro.platforms import cray_xt4
+
+        plain = cray_xt4()
+        spec = _scenario_spec()
+        mild = plain.with_speed_profile(SpeedProfile.stragglers(1, slowdown_a))
+        harsh = plain.with_speed_profile(SpeedProfile.stragglers(1, slowdown_a * factor))
+        mild_t = predict_one(spec, mild, total_cores=cores).time_per_iteration_us
+        harsh_t = predict_one(spec, harsh, total_cores=cores).time_per_iteration_us
+        assert harsh_t >= mild_t - 1e-9
+
+    @given(platform=hierarchical_platforms(), size=st.integers(0, 65536))
+    def test_hop_levels_order_chip_node_machine(self, platform, size):
+        from repro.core.comm import total_comm
+
+        chip = total_comm(platform, size, level="chip")
+        node = total_comm(platform, size, level="node")
+        machine = total_comm(platform, size, level="machine")
+        assert chip <= node + 1e-9
+        assert node <= machine + 1e-9
+
+    @given(platform=hierarchical_platforms(), size=st.integers(0, 65536))
+    def test_hop_levels_order_send_cost(self, platform, size):
+        assert send_cost(platform, size, level="chip") <= send_cost(
+            platform, size, level="node"
+        ) + 1e-9
+        assert send_cost(platform, size, level="node") <= send_cost(
+            platform, size, level="machine"
+        ) + 1e-9
+
+
+# --------------------------------------------------------------------------
+# Optimizer invariants
+# --------------------------------------------------------------------------
+
+class TestOptimizerProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        htiles=st.lists(
+            st.sampled_from([1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0]),
+            min_size=2,
+            max_size=6,
+            unique=True,
+        ),
+        cores=st.lists(
+            st.sampled_from([4, 16, 64]), min_size=1, max_size=2, unique=True
+        ),
+        strategy=st.sampled_from(["coordinate-descent", "golden-section"]),
+        objective=st.sampled_from(["time", "core-hours"]),
+    )
+    def test_guided_strategies_never_beat_exhaustive(
+        self, htiles, cores, strategy, objective
+    ):
+        from repro.optimize import OptimizationSpace, optimize
+        from repro.platforms import cray_xt4
+
+        space = OptimizationSpace(
+            spec_builder=_scenario_spec().with_htile,
+            platform=cray_xt4(),
+            htiles=tuple(htiles),
+            total_cores=tuple(cores),
+        )
+        exhaustive = optimize(space, objective=objective)
+        guided = optimize(space, strategy=strategy, objective=objective)
+        assert guided.best_value >= exhaustive.best_value - 1e-12
+        assert guided.evaluations <= exhaustive.evaluations
