@@ -122,4 +122,6 @@ def best_decomposition(
     16
     """
     points = decomposition_study(spec, platform, total_processors, **kwargs)
+    # Post-fan-out reduction on the caller; the lambda never crosses the
+    # process-pool boundary (RPR003 audit, PR 6).
     return min(points, key=lambda p: p.time_per_iteration_us)

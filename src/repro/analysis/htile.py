@@ -57,6 +57,8 @@ class HtileStudy:
 
     @property
     def optimal(self) -> HtilePoint:
+        # Post-fan-out reduction on the caller; the lambda never crosses the
+        # process-pool boundary (RPR003 audit, PR 6).
         return min(self.points, key=lambda p: p.time_per_time_step_s)
 
     def improvement_over(self, htile: float) -> float:

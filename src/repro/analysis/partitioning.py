@@ -249,4 +249,6 @@ def optimal_parallel_jobs(
         workers=workers,
         executor=executor,
     )
+    # Post-fan-out reduction on the caller; the lambda never crosses the
+    # process-pool boundary (RPR003 audit, PR 6).
     return min(points, key=lambda p: getattr(p, criterion))

@@ -26,6 +26,7 @@ from repro.backends.registry import BackendSpec
 from repro.backends.service import predict_many
 from repro.core.decomposition import ProblemSize, ProcessorGrid, decompose
 from repro.core.loggp import Platform
+from repro.util.units import safe_ratio
 
 __all__ = [
     "RedesignPoint",
@@ -48,16 +49,12 @@ class RedesignPoint:
     def fill_fraction_sequential(self) -> Optional[float]:
         if self.sequential_fill_days is None:
             return None
-        if self.sequential_days == 0.0:
-            return 0.0
-        return self.sequential_fill_days / self.sequential_days
+        return safe_ratio(self.sequential_fill_days, self.sequential_days)
 
     @property
     def improvement(self) -> float:
         """Fractional reduction in run time from pipelining the groups."""
-        if self.sequential_days == 0.0:
-            return 0.0
-        return 1.0 - self.pipelined_days / self.sequential_days
+        return 1.0 - safe_ratio(self.pipelined_days, self.sequential_days, default=1.0)
 
 
 def pipelined_energy_groups_spec(

@@ -73,6 +73,9 @@ class ScalingCurve:
         """Speed-up relative to the smallest (or given) processor count."""
         if not self.points:
             return []
+        # Post-fan-out reductions on the caller (here and in
+        # parallel_efficiency); these lambdas never cross the process-pool
+        # boundary (RPR003 audit, PR 6).
         base = (
             self.point(baseline_cores)
             if baseline_cores is not None

@@ -146,7 +146,7 @@ class SensitivityResult:
         in the parameter (evaluated at the given perturbation factor)."""
         import math
 
-        if self.baseline_us <= 0 or self.perturbed_us <= 0 or self.factor == 1.0:
+        if self.baseline_us <= 0 or self.perturbed_us <= 0 or self.factor == 1.0:  # repro: noqa[RPR004] factor 1.0 is the exact no-perturbation sentinel
             return 0.0
         return math.log(self.perturbed_us / self.baseline_us) / math.log(self.factor)
 
@@ -175,7 +175,7 @@ def sensitivity_study(
     >>> dominant_parameter(results, kind="application").parameter
     'wg'
     """
-    if factor <= 0 or factor == 1.0:
+    if factor <= 0 or factor == 1.0:  # repro: noqa[RPR004] exact 1.0 would divide by log(1)=0; any other factor is valid
         raise ValueError("factor must be positive and different from 1")
     perturbations = [("platform", parameter) for parameter in platform_parameters] + [
         ("application", parameter) for parameter in application_parameters
@@ -228,4 +228,6 @@ def dominant_parameter(
     ]
     if not candidates:
         raise ValueError("no sensitivity results to choose from")
+    # Post-fan-out reduction on the caller; the lambda never crosses the
+    # process-pool boundary (RPR003 audit, PR 6).
     return max(candidates, key=lambda r: abs(r.elasticity))

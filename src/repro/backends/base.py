@@ -24,7 +24,7 @@ from repro.core.loggp import Platform
 from repro.core.multicore import resolve_core_mapping
 from repro.core.predictor import Prediction
 from repro.simulator.wavefront import WavefrontSimulationResult
-from repro.util.units import seconds_to_days, us_to_seconds
+from repro.util.units import safe_ratio, seconds_to_days, us_to_seconds
 
 __all__ = ["BackendResult", "PredictionBackend", "PredictionRequest"]
 
@@ -149,9 +149,7 @@ class BackendResult:
 
     @property
     def computation_fraction(self) -> float:
-        if self.time_per_iteration_us == 0.0:
-            return 0.0
-        return self.computation_per_iteration_us / self.time_per_iteration_us
+        return safe_ratio(self.computation_per_iteration_us, self.time_per_iteration_us)
 
     @property
     def communication_fraction(self) -> float:
@@ -161,9 +159,7 @@ class BackendResult:
     def pipeline_fill_fraction(self) -> Optional[float]:
         if self.pipeline_fill_per_iteration_us is None:
             return None
-        if self.time_per_iteration_us == 0.0:
-            return 0.0
-        return self.pipeline_fill_per_iteration_us / self.time_per_iteration_us
+        return safe_ratio(self.pipeline_fill_per_iteration_us, self.time_per_iteration_us)
 
     # -- run-length aggregates -------------------------------------------------------
 

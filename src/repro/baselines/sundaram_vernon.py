@@ -72,7 +72,7 @@ def sundaram_vernon_iteration_time(
     reproduces equation (s2) exactly when ``Wg,pre = 0``); ``StartP(n-1, m)``
     is approximated by ``StartP(n, m)`` minus one horizontal pipeline step.
     """
-    if spec.wg_pre_us != 0.0:
+    if spec.wg_pre_us != 0.0:  # repro: noqa[RPR004] Wg,pre = 0 is the model's exact applicability condition, not a tolerance
         raise ValueError(
             "the Sundaram-Stukel & Vernon model applies to Sweep3D-like codes "
             "with no pre-computation (Wg,pre = 0)"

@@ -68,7 +68,7 @@ def _slope(points: list[Sample]) -> float:
     mean_y = sum(p[1] for p in points) / count
     num = sum((x - mean_x) * (y - mean_y) for x, y in points)
     den = sum((x - mean_x) ** 2 for x, y in points)
-    if den == 0.0:
+    if den == 0.0:  # repro: noqa[RPR004] identical sample sizes give an exactly-zero variance; fail loud
         raise ValueError("cannot fit a slope to samples with identical sizes")
     return num / den
 

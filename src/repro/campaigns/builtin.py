@@ -40,7 +40,7 @@ __all__ = ["builtin_campaigns", "get_campaign"]
 
 
 @lru_cache(maxsize=1)
-def _load_builtins() -> dict[str, CampaignSpec]:
+def _load_builtins() -> dict[str, CampaignSpec]:  # repro: noqa[RPR002] static packaged-data registry, immutable for the process lifetime
     data_dir = files("repro.campaigns") / "data"
     campaigns: dict[str, CampaignSpec] = {}
     for entry in sorted(data_dir.iterdir(), key=lambda e: e.name):

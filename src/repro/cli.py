@@ -18,6 +18,7 @@ A thin front end over the library for quick interactive use::
     wavebench pingpong --platform cray-xt4
     wavebench table3
     wavebench workrate
+    wavebench lint     --fail-on error --json
 
 Every subcommand prints a plain-text table (``campaign report`` prints
 Markdown); the same functionality is available programmatically through
@@ -51,6 +52,7 @@ from repro.calibration.workrate import (
     measure_transport_wg,
 )
 from repro.core.model import FILL_METHODS
+from repro.devtools.lint.cli import add_lint_arguments, run_lint
 from repro.optimize import (
     OBJECTIVES,
     OptimizationSpace,
@@ -775,6 +777,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_workrate.add_argument("--cells", type=int, default=10)
     p_workrate.add_argument("--repetitions", type=int, default=2)
     p_workrate.set_defaults(func=_cmd_workrate)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="run the repository invariant checker (see docs/lint.md)",
+    )
+    add_lint_arguments(p_lint)
+    p_lint.set_defaults(func=run_lint)
 
     return parser
 

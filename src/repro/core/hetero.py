@@ -100,7 +100,7 @@ class SpeedProfile:
         The homogeneous limit: attaching a trivial profile to a platform
         must not change any prediction, bit for bit.
         """
-        return self.baseline == 1.0 and (self.slowdown == 1.0 or not self.slow_nodes)
+        return self.baseline == 1.0 and (self.slowdown == 1.0 or not self.slow_nodes)  # repro: noqa[RPR004] bit-for-bit homogeneous-limit contract requires exact 1.0
 
     def multiplier_for_node(self, node: int) -> float:
         """The work-time multiplier of node ``node``."""
@@ -273,7 +273,7 @@ class NoiseModel:
     @property
     def is_null(self) -> bool:
         """True when the model never changes any compute time."""
-        return self.mean_inflation() == 1.0 and not self.is_stochastic
+        return self.mean_inflation() == 1.0 and not self.is_stochastic  # repro: noqa[RPR004] null model must be exactly 1.0 (bit-for-bit identity)
 
     @property
     def is_stochastic(self) -> bool:
@@ -355,6 +355,6 @@ class SampledNoise(NoiseModel):
         return 1.0 + self.amplitude / 2.0
 
     def factor(self, rng) -> float:
-        if self.amplitude == 0.0:
+        if self.amplitude == 0.0:  # repro: noqa[RPR004] exact-zero amplitude skips the rng draw so the stream stays aligned
             return 1.0
         return 1.0 + self.amplitude * rng.random()

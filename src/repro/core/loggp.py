@@ -84,7 +84,7 @@ class OffNodeParams:
     @property
     def bandwidth_bytes_per_us(self) -> float:
         """Effective long-message bandwidth ``1/G`` in bytes per microsecond."""
-        if self.gap_per_byte == 0.0:
+        if self.gap_per_byte == 0.0:  # repro: noqa[RPR004] G = 0 is the exact infinite-bandwidth sentinel
             return float("inf")
         return 1.0 / self.gap_per_byte
 

@@ -437,7 +437,7 @@ def fill_times(
     w = spec.work_per_tile(grid, platform)
     wpre = spec.pre_work_per_tile(grid, platform)
     inflation = platform.noise_inflation()
-    if inflation != 1.0:
+    if inflation != 1.0:  # repro: noqa[RPR004] exactly 1.0 on homogeneous platforms; fast path preserves bit-for-bit identity
         # Background noise stretches every compute operation; the analytic
         # model charges the mean factor (see repro.core.hetero).
         w *= inflation
@@ -502,14 +502,14 @@ def stack_time(
     w = spec.work_per_tile(grid, platform)
     wpre = spec.pre_work_per_tile(grid, platform)
     inflation = platform.noise_inflation()
-    if inflation != 1.0:
+    if inflation != 1.0:  # repro: noqa[RPR004] exactly 1.0 on homogeneous platforms; fast path preserves bit-for-bit identity
         w *= inflation
         wpre *= inflation
     profile = platform.speed_profile
     if profile is not None and not profile.is_trivial:
         mapping = resolve_core_mapping(platform, core_mapping)
         slowest = max_multiplier(profile, grid, mapping)
-        if slowest != 1.0:
+        if slowest != 1.0:  # repro: noqa[RPR004] trivial profile yields exactly 1.0; skip to keep identity
             w *= slowest
             wpre *= slowest
     tiles = spec.tiles_per_stack()
@@ -548,12 +548,12 @@ def iteration_prediction(
     # treatment as the stack - and is stretched by background noise like
     # any compute.  Both factors are exactly 1.0 on homogeneous platforms.
     inflation = platform.noise_inflation()
-    if inflation != 1.0:
+    if inflation != 1.0:  # repro: noqa[RPR004] exactly 1.0 on homogeneous platforms; fast path preserves bit-for-bit identity
         nonwf_work *= inflation
     profile = platform.speed_profile
     if profile is not None and not profile.is_trivial:
         slowest = max_multiplier(profile, grid, mapping)
-        if slowest != 1.0:
+        if slowest != 1.0:  # repro: noqa[RPR004] trivial profile yields exactly 1.0; skip to keep identity
             nonwf_work *= slowest
     return IterationPrediction(
         spec_name=spec.name,

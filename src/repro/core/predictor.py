@@ -46,7 +46,7 @@ from repro.core.model import (
 )
 from repro.core.multicore import resolve_core_mapping
 from repro.util.caching import call_with_unhashable_fallback, clear_registered_caches
-from repro.util.units import seconds_to_days, us_to_seconds
+from repro.util.units import safe_ratio, seconds_to_days, us_to_seconds
 
 __all__ = [
     "Prediction",
@@ -119,10 +119,7 @@ class Prediction:
     @property
     def computation_fraction(self) -> float:
         """Fraction of the iteration time spent computing (Figure 11)."""
-        total = self.time_per_iteration_us
-        if total == 0.0:
-            return 0.0
-        return self.computation_per_iteration_us / total
+        return safe_ratio(self.computation_per_iteration_us, self.time_per_iteration_us)
 
     @property
     def communication_fraction(self) -> float:

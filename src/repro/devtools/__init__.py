@@ -1,0 +1,8 @@
+"""Developer tooling that guards the repository's own invariants.
+
+Nothing in this package is needed to *use* the library; it exists so the
+conventions the prediction stack's correctness rests on - injected seeded
+RNG streams, registered cache clearers, picklable process-pool callables -
+are machine-checked instead of tribal knowledge.  See
+:mod:`repro.devtools.lint`.
+"""

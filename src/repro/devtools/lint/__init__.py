@@ -1,0 +1,76 @@
+"""AST-based invariant checker for the repro codebase.
+
+The linter codifies contracts that ordinary tests cannot see from the
+outside: injected (never ambient) randomness, caches wired into the
+:mod:`repro.util.caching` clearing registry, picklable callables at
+process-pool boundaries, tolerance-based float comparison, registry and
+``__all__`` consistency, and basic hygiene.  Rules live in
+:mod:`repro.devtools.lint.rules`, one module per rule, and register
+themselves with :func:`register_rule` exactly like prediction backends
+register with ``repro.backends.registry``.
+
+Quick programmatic check of a snippet:
+
+>>> from repro.devtools.lint import lint_source
+>>> [f.rule_id for f in lint_source("import random\\nx = random.random()\\n")]
+['RPR001']
+
+Suppress a finding inline with a justified ``# repro: noqa[RULE]`` comment:
+
+>>> list(lint_source(
+...     "import random\\n"
+...     "x = random.random()  # repro: noqa[RPR001] doctest demo value\\n"
+... ))
+[]
+
+See ``docs/lint.md`` for the rule table and the CLI
+(``wavebench lint`` / ``python -m repro.devtools.lint``).
+"""
+
+from __future__ import annotations
+
+from repro.devtools.lint.engine import (
+    LintEngine,
+    LintProject,
+    LintedModule,
+    collect_python_files,
+    default_lint_paths,
+    find_project_root,
+    lint_paths,
+    lint_source,
+)
+from repro.devtools.lint.findings import SEVERITIES, Finding, LintReport, severity_rank
+from repro.devtools.lint.registry import (
+    LintRule,
+    ModuleRule,
+    ProjectRule,
+    available_rules,
+    get_rules,
+    register_rule,
+    rule_table,
+)
+from repro.devtools.lint.reporters import render_json, render_text
+
+__all__ = [
+    "LintEngine",
+    "LintProject",
+    "LintedModule",
+    "collect_python_files",
+    "default_lint_paths",
+    "find_project_root",
+    "lint_paths",
+    "lint_source",
+    "SEVERITIES",
+    "Finding",
+    "LintReport",
+    "severity_rank",
+    "LintRule",
+    "ModuleRule",
+    "ProjectRule",
+    "available_rules",
+    "get_rules",
+    "register_rule",
+    "rule_table",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,103 @@
+"""Command-line front end of the lint engine.
+
+Two equivalent entry points expose the same flags:
+
+* ``wavebench lint`` (a subcommand of :mod:`repro.cli`);
+* ``python -m repro.devtools.lint``.
+
+Exit status: 0 when no finding reaches the ``--fail-on`` severity
+threshold, 1 otherwise, 2 on usage errors (argparse's convention).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.devtools.lint.engine import LintEngine, default_lint_paths
+from repro.devtools.lint.findings import SEVERITIES
+from repro.devtools.lint.registry import rule_table
+from repro.devtools.lint.reporters import render_json, render_text
+from repro.devtools.lint.suppressions import META_RULES
+
+__all__ = ["add_lint_arguments", "main", "run_lint"]
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint flags to ``parser`` (shared by both entry points)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help="files or directories to lint (default: the repro package tree "
+        "and the sibling tests/ directory)",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated rule ids to run (default: every registered rule)",
+    )
+    parser.add_argument(
+        "--fail-on",
+        choices=SEVERITIES,
+        default="error",
+        help="lowest severity that causes a non-zero exit (default: error)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable JSON report instead of text lines",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules (id, severity, scope, summary) and exit",
+    )
+    parser.add_argument(
+        "--project-root",
+        default=None,
+        help="repository root used to resolve docs cross-checks and display "
+        "paths (default: auto-detected from the linted paths)",
+    )
+
+
+def _list_rules() -> int:
+    for row in rule_table():
+        print(f"{row['id']}  [{row['severity']:<7}]  ({row['scope']})  {row['summary']}")
+    for rule_id, (severity, summary) in sorted(META_RULES.items()):
+        print(f"{rule_id}  [{severity:<7}]  (engine)  {summary}")
+    return 0
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute a parsed lint invocation (the ``wavebench lint`` handler)."""
+    if args.list_rules:
+        return _list_rules()
+    rules = None
+    if args.rules:
+        rules = [rule_id.strip() for rule_id in args.rules.split(",") if rule_id.strip()]
+    paths = [Path(p) for p in args.paths] if args.paths else default_lint_paths()
+    root = Path(args.project_root) if args.project_root else None
+    engine = LintEngine(rules=rules, project_root=root)
+    try:
+        report = engine.lint_paths(paths)
+    except (FileNotFoundError, KeyError) as exc:
+        raise SystemExit(str(exc.args[0] if exc.args else exc)) from exc
+    print(render_json(report) if args.json else render_text(report))
+    return 1 if report.failing(args.fail_on) else 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.lint",
+        description="AST-based checker for the repository's determinism, "
+        "caching and concurrency contracts (see docs/lint.md)",
+    )
+    add_lint_arguments(parser)
+    return run_lint(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

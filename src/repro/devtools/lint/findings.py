@@ -1,0 +1,110 @@
+"""Structured lint findings and the report that aggregates them.
+
+A :class:`Finding` is one rule violation pinned to ``path:line:col``; a
+:class:`LintReport` is the sorted collection the engine returns and the
+reporters (:mod:`repro.devtools.lint.reporters`) render.  Severities are a
+two-level scale (``warning`` < ``error``): the CLI's ``--fail-on`` picks
+the threshold that turns findings into a non-zero exit status.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+__all__ = ["SEVERITIES", "Finding", "LintReport", "severity_rank"]
+
+#: Recognised severities, mildest first.
+SEVERITIES: Tuple[str, ...] = ("warning", "error")
+
+
+def severity_rank(severity: str) -> int:
+    """Position of ``severity`` on the scale (higher is worse).
+
+    >>> severity_rank("error") > severity_rank("warning")
+    True
+    """
+    try:
+        return SEVERITIES.index(severity)
+    except ValueError:
+        raise ValueError(
+            f"unknown severity {severity!r}; choose from {SEVERITIES}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location.
+
+    >>> finding = Finding("src/repro/x.py", 3, 0, "RPR004", "error",
+    ...                   "float equality comparison")
+    >>> finding.render()
+    'src/repro/x.py:3:1 RPR004 [error] float equality comparison'
+    """
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    severity: str
+    message: str
+
+    @property
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.rule_id)
+
+    def render(self) -> str:
+        """``file:line:col rule-id [severity] message`` (1-based column)."""
+        return (
+            f"{self.path}:{self.line}:{self.col + 1} "
+            f"{self.rule_id} [{self.severity}] {self.message}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col + 1,
+            "rule": self.rule_id,
+            "severity": self.severity,
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """Every finding of one engine run, plus the file count it covered."""
+
+    findings: Tuple[Finding, ...]
+    files: int
+
+    @property
+    def errors(self) -> int:
+        return sum(1 for f in self.findings if f.severity == "error")
+
+    @property
+    def warnings(self) -> int:
+        return sum(1 for f in self.findings if f.severity == "warning")
+
+    def failing(self, fail_on: str = "error") -> Tuple[Finding, ...]:
+        """The findings at or above the ``fail_on`` severity threshold."""
+        threshold = severity_rank(fail_on)
+        return tuple(
+            f for f in self.findings if severity_rank(f.severity) >= threshold
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "findings": [f.to_dict() for f in self.findings],
+            "summary": {
+                "files": self.files,
+                "findings": len(self.findings),
+                "errors": self.errors,
+                "warnings": self.warnings,
+            },
+        }
+
+
+def sorted_findings(findings: Iterable[Finding]) -> Tuple[Finding, ...]:
+    """Deterministic report order: path, then line, column, rule id."""
+    return tuple(sorted(findings, key=lambda f: f.sort_key))

@@ -1,0 +1,165 @@
+"""String-keyed registry of lint rules.
+
+Mirrors the prediction-backend registry pattern
+(:mod:`repro.backends.registry`): built-in rules register lazily on first
+use, and future PRs add one rule module per new invariant plus a
+:func:`register_rule` call - the engine, CLI and reporters pick it up
+without modification.
+
+A rule is a class with four class attributes -
+
+* ``rule_id`` - stable identifier (``"RPR001"``);
+* ``severity`` - ``"warning"`` or ``"error"``;
+* ``summary`` - one line for ``--list-rules`` and docs;
+* ``scope`` - which module roles it applies to (``("src",)`` by default:
+  the conventions are contracts of the library tree, not of tests);
+
+and one check method: :class:`ModuleRule` subclasses implement
+``check(module)`` (run once per parsed file), :class:`ProjectRule`
+subclasses implement ``check_project(project)`` (run once per engine run,
+with every parsed module in view - for cross-file invariants such as
+registry/docs consistency).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.devtools.lint.findings import SEVERITIES, Finding
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.devtools.lint.engine import LintedModule, LintProject
+
+__all__ = [
+    "LintRule",
+    "ModuleRule",
+    "ProjectRule",
+    "RuleSpec",
+    "available_rules",
+    "get_rules",
+    "register_rule",
+    "rule_table",
+]
+
+
+class LintRule:
+    """Base class carrying the rule metadata contract."""
+
+    rule_id: str = ""
+    severity: str = "error"
+    summary: str = ""
+    scope: tuple = ("src",)
+    project_level: bool = False
+
+    def applies(self, module: "LintedModule") -> bool:
+        return module.role in self.scope
+
+    def finding(self, module: "LintedModule", node, message: str) -> Finding:
+        """A finding of this rule at an AST node of ``module``."""
+        return Finding(
+            path=module.display,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule_id=self.rule_id,
+            severity=self.severity,
+            message=message,
+        )
+
+
+class ModuleRule(LintRule):
+    """A rule checked one parsed module at a time."""
+
+    def check(self, module: "LintedModule") -> Iterable[Finding]:
+        raise NotImplementedError
+
+
+class ProjectRule(LintRule):
+    """A rule that needs every parsed module (cross-file invariants)."""
+
+    project_level = True
+
+    def check_project(self, project: "LintProject") -> Iterable[Finding]:
+        raise NotImplementedError
+
+
+#: What rule selections accept: a registered id or a rule instance.
+RuleSpec = Union[str, LintRule]
+
+_RULES: Dict[str, Callable[[], LintRule]] = {}
+_builtins_registered = False
+
+
+def _ensure_builtins() -> None:
+    global _builtins_registered
+    if _builtins_registered:
+        return
+    _builtins_registered = True
+    # Importing the rules package executes every rule module's
+    # @register_rule decorator (same lazy pattern as backends.registry).
+    import repro.devtools.lint.rules  # noqa: F401  (import-for-side-effect)
+
+
+def register_rule(cls: type) -> type:
+    """Class decorator registering a rule under its ``rule_id``.
+
+    >>> @register_rule
+    ... class DemoRule(ModuleRule):
+    ...     rule_id = "DEMO001"
+    ...     summary = "demonstration"
+    ...     def check(self, module):
+    ...         return ()
+    >>> "DEMO001" in available_rules()
+    True
+    """
+    rule_id = getattr(cls, "rule_id", "")
+    if not rule_id:
+        raise ValueError(f"rule class {cls.__name__} must set rule_id")
+    if cls.severity not in SEVERITIES:
+        raise ValueError(
+            f"rule {rule_id}: severity must be one of {SEVERITIES}, "
+            f"got {cls.severity!r}"
+        )
+    _RULES[rule_id] = cls
+    return cls
+
+
+def available_rules() -> tuple:
+    """Sorted ids of all registered rules."""
+    _ensure_builtins()
+    return tuple(sorted(_RULES))
+
+
+def get_rules(specs: Optional[Sequence[RuleSpec]] = None) -> List[LintRule]:
+    """Resolve a rule selection (``None`` means every registered rule)."""
+    _ensure_builtins()
+    if specs is None:
+        return [_RULES[rule_id]() for rule_id in sorted(_RULES)]
+    rules: List[LintRule] = []
+    for spec in specs:
+        if isinstance(spec, LintRule):
+            rules.append(spec)
+        elif isinstance(spec, str):
+            try:
+                rules.append(_RULES[spec]())
+            except KeyError:
+                known = ", ".join(available_rules())
+                raise KeyError(
+                    f"unknown lint rule {spec!r}; available: {known}"
+                ) from None
+        else:
+            raise TypeError(f"rule must be an id or a LintRule, got {spec!r}")
+    return rules
+
+
+def rule_table() -> List[dict]:
+    """``[{"id", "severity", "summary", "scope"}, ...]`` for docs and --list-rules."""
+    _ensure_builtins()
+    return [
+        {
+            "id": rule_id,
+            "severity": _RULES[rule_id].severity,
+            "summary": _RULES[rule_id].summary,
+            "scope": "/".join(_RULES[rule_id].scope),
+        }
+        for rule_id in sorted(_RULES)
+    ]

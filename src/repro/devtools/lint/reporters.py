@@ -1,0 +1,38 @@
+"""Render a :class:`~repro.devtools.lint.findings.LintReport` for humans or machines."""
+
+from __future__ import annotations
+
+import json
+
+from repro.devtools.lint.findings import LintReport
+
+__all__ = ["render_json", "render_text"]
+
+#: Schema version of the JSON report (bump on breaking field changes).
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(report: LintReport) -> str:
+    """One ``file:line:col rule-id [severity] message`` line per finding,
+    then a summary line.
+
+    >>> from repro.devtools.lint.findings import Finding, LintReport
+    >>> print(render_text(LintReport((), files=3)))
+    3 files linted: clean
+    """
+    lines = [finding.render() for finding in report.findings]
+    if report.findings:
+        lines.append(
+            f"{report.files} files linted: {len(report.findings)} finding(s) "
+            f"({report.errors} error(s), {report.warnings} warning(s))"
+        )
+    else:
+        lines.append(f"{report.files} files linted: clean")
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    """The machine-readable report: ``{"version", "findings", "summary"}``."""
+    record = {"version": JSON_SCHEMA_VERSION}
+    record.update(report.to_dict())
+    return json.dumps(record, indent=2)

@@ -1,0 +1,116 @@
+"""RPR001 - RNG must be an injected, seeded stream.
+
+The determinism contract (PR 2/4, ``tests/test_determinism.py``): every
+stochastic component draws from a :class:`random.Random` seeded per rank
+and passed in explicitly.  Module-level :mod:`random` calls share hidden
+global state across threads and campaigns; an unseeded ``Random()`` (or
+``numpy.random.default_rng()`` without a seed) makes same-seed re-runs
+diverge.  Both break bit-identical resume and the golden-prediction tests.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Set
+
+from repro.devtools.lint.astutil import dotted_name
+from repro.devtools.lint.findings import Finding
+from repro.devtools.lint.registry import ModuleRule, register_rule
+
+__all__ = ["UnseededRandomRule"]
+
+#: Legacy numpy global-state functions (np.random.<fn> without a Generator).
+_NUMPY_GLOBAL_FNS = {
+    "seed",
+    "rand",
+    "randn",
+    "randint",
+    "random",
+    "random_sample",
+    "normal",
+    "uniform",
+    "choice",
+    "shuffle",
+    "permutation",
+}
+
+
+@register_rule
+class UnseededRandomRule(ModuleRule):
+    rule_id = "RPR001"
+    severity = "error"
+    summary = "no unseeded Random() or module-level random.* calls; inject a seeded stream"
+
+    def check(self, module) -> Iterable[Finding]:
+        random_aliases: Set[str] = set()
+        from_random: Dict[str, str] = {}
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random":
+                        random_aliases.add(alias.asname or alias.name)
+            elif isinstance(node, ast.ImportFrom) and node.module == "random":
+                for alias in node.names:
+                    if alias.name != "*":
+                        from_random[alias.asname or alias.name] = alias.name
+
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id in random_aliases
+            ):
+                yield from self._check_random_api(module, node, func.attr)
+                continue
+            if isinstance(func, ast.Name) and func.id in from_random:
+                yield from self._check_random_api(module, node, from_random[func.id])
+                continue
+            dotted = dotted_name(func)
+            if dotted is None:
+                continue
+            parts = dotted.split(".")
+            if (
+                len(parts) >= 3
+                and parts[-2] == "random"
+                and parts[-1] in _NUMPY_GLOBAL_FNS
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f"global-state numpy RNG call {dotted}(); use a seeded "
+                    "numpy.random.default_rng(seed) generator instead",
+                )
+            elif parts[-1] == "default_rng" and not node.args and not node.keywords:
+                yield self.finding(
+                    module,
+                    node,
+                    "unseeded default_rng(); pass an explicit seed so runs "
+                    "are reproducible",
+                )
+
+    def _check_random_api(self, module, node: ast.Call, api_name: str):
+        if api_name in ("Random", "SystemRandom"):
+            if api_name == "SystemRandom":
+                yield self.finding(
+                    module,
+                    node,
+                    "SystemRandom() draws OS entropy and can never be "
+                    "seeded; use random.Random(seed)",
+                )
+            elif not node.args and not node.keywords:
+                yield self.finding(
+                    module,
+                    node,
+                    "unseeded random.Random(); seed it from the injected "
+                    "configuration (e.g. Random(noise_seed * k + rank))",
+                )
+        else:
+            yield self.finding(
+                module,
+                node,
+                f"module-level random.{api_name}() uses shared global state; "
+                "inject a per-rank seeded random.Random stream instead",
+            )

@@ -1,0 +1,128 @@
+"""RPR003 - process-pool boundaries need picklable, module-level callables.
+
+``parallel_map`` / ``unique_map`` / ``ParameterSweep.run`` /
+``predict_many`` all accept ``executor="process"``, which ships their
+callable arguments to a :class:`~concurrent.futures.ProcessPoolExecutor`.
+Lambdas and functions defined inside another function cannot be pickled -
+the failure appears only on the process-pool path, typically in a user's
+long campaign rather than in the (thread-pooled) test suite.  The fix is
+the idiom PR 1 established: a module-level helper, partially applied with
+:func:`functools.partial`.
+
+A call that pins ``executor="thread"`` literally is exempt - thread pools
+share the interpreter and accept closures.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional, Set
+
+from repro.devtools.lint.astutil import dotted_name
+from repro.devtools.lint.findings import Finding
+from repro.devtools.lint.registry import ModuleRule, register_rule
+
+__all__ = ["PicklableCallableRule"]
+
+#: Callables whose arguments can cross a process-pool boundary.
+_TARGET_FUNCTIONS = {"parallel_map", "unique_map", "predict_many"}
+
+#: Attribute calls treated as sweep fan-out when they carry pool kwargs
+#: (``ParameterSweep.run(fn, workers=..., executor=...)``).
+_TARGET_METHODS = {"run"}
+_POOL_KEYWORDS = {"workers", "executor"}
+
+
+def _is_target_call(node: ast.Call) -> bool:
+    func = node.func
+    name = dotted_name(func)
+    last = name.rsplit(".", 1)[-1] if name else None
+    if last in _TARGET_FUNCTIONS:
+        return True
+    if (
+        isinstance(func, ast.Attribute)
+        and func.attr in _TARGET_METHODS
+        and any(kw.arg in _POOL_KEYWORDS for kw in node.keywords)
+    ):
+        return True
+    return False
+
+
+def _pins_thread_executor(node: ast.Call) -> bool:
+    for keyword in node.keywords:
+        if keyword.arg == "executor":
+            value = keyword.value
+            return isinstance(value, ast.Constant) and value.value == "thread"
+    return False
+
+
+@register_rule
+class PicklableCallableRule(ModuleRule):
+    rule_id = "RPR003"
+    severity = "error"
+    summary = "no lambdas/local defs across process-pool boundaries (must pickle)"
+
+    def check(self, module) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        self._visit(module, module.tree.body, scopes=[], findings=findings)
+        return findings
+
+    def _visit(self, module, statements, scopes: List[Set[str]], findings) -> None:
+        for stmt in statements:
+            self._visit_node(module, stmt, scopes, findings)
+
+    def _visit_node(self, module, node: ast.AST, scopes: List[Set[str]], findings) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # A def nested inside a function is a local (unpicklable) callable
+            # from the enclosing scope's point of view.
+            if scopes:
+                scopes[-1].add(node.name)
+            scopes.append(set())
+            for child in ast.iter_child_nodes(node):
+                self._visit_node(module, child, scopes, findings)
+            scopes.pop()
+            return
+        if isinstance(node, ast.Assign) and scopes and isinstance(node.value, ast.Lambda):
+            # `name = lambda ...` binds a local callable too.
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    scopes[-1].add(target.id)
+        if isinstance(node, ast.Call) and _is_target_call(node):
+            if not _pins_thread_executor(node):
+                findings.extend(self._check_arguments(module, node, scopes))
+        for child in ast.iter_child_nodes(node):
+            self._visit_node(module, child, scopes, findings)
+
+    def _check_arguments(
+        self, module, call: ast.Call, scopes: List[Set[str]]
+    ) -> Iterable[Finding]:
+        local_names: Set[str] = set()
+        for scope in scopes:
+            local_names |= scope
+        values = list(call.args) + [kw.value for kw in call.keywords]
+        for value in values:
+            lambda_node = self._first_lambda(value)
+            if lambda_node is not None:
+                yield self.finding(
+                    module,
+                    lambda_node,
+                    "lambda passed across a potential process-pool boundary "
+                    "cannot be pickled; hoist it to a module-level function "
+                    "(use functools.partial to bind arguments)",
+                )
+                continue
+            if isinstance(value, ast.Name) and value.id in local_names:
+                yield self.finding(
+                    module,
+                    value,
+                    f"locally-defined function {value.id!r} passed across a "
+                    "potential process-pool boundary cannot be pickled; "
+                    "hoist it to module level",
+                )
+
+    @staticmethod
+    def _first_lambda(node: ast.expr) -> Optional[ast.Lambda]:
+        for inner in ast.walk(node):
+            if isinstance(inner, ast.Lambda):
+                return inner
+        return None

@@ -1,0 +1,65 @@
+"""RPR004 - no ``==`` / ``!=`` against float literals.
+
+Exact float comparison is almost always a rounding-error time bomb in a
+numerical model (the conformance suite works to 1e-9 tolerances for a
+reason).  The two legitimate shapes must be made explicit:
+
+* ratio guards - use :func:`repro.util.units.safe_ratio` instead of an
+  ``if den == 0.0`` prologue;
+* exact-sentinel checks (a value that is *bit-exactly* 0.0/1.0 because it
+  was never computed, only assigned) - keep the comparison and add
+  ``# repro: noqa[RPR004] exact sentinel: <why>``.
+
+Only comparisons against float *literals* are flagged; variable-vs-variable
+comparisons are statically untypable.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.devtools.lint.findings import Finding
+from repro.devtools.lint.registry import ModuleRule, register_rule
+
+__all__ = ["FloatEqualityRule"]
+
+
+def _is_float_literal(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return True
+    # -1.0 / +1.0 parse as UnaryOp(Constant).
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        return _is_float_literal(node.operand)
+    return False
+
+
+@register_rule
+class FloatEqualityRule(ModuleRule):
+    rule_id = "RPR004"
+    severity = "error"
+    summary = "no float ==/!= comparisons (safe_ratio, tolerance, or justified sentinel)"
+
+    def check(self, module) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left] + list(node.comparators)
+            for index, op in enumerate(node.ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                left, right = operands[index], operands[index + 1]
+                literal = next(
+                    (side for side in (left, right) if _is_float_literal(side)), None
+                )
+                if literal is None:
+                    continue
+                symbol = "==" if isinstance(op, ast.Eq) else "!="
+                yield self.finding(
+                    module,
+                    node,
+                    f"float {symbol} comparison against "
+                    f"{ast.unparse(literal)}; use util.units.safe_ratio / a "
+                    "tolerance, or mark an exact sentinel with "
+                    "# repro: noqa[RPR004] <why>",
+                )

@@ -1,0 +1,94 @@
+"""RPR006 - ``__all__`` must agree with what the module actually binds.
+
+Three checks per module that declares a literal ``__all__``:
+
+* every listed name is bound at module level (a phantom export breaks
+  ``from repro import *`` and the package-API tests at import time - or
+  worse, silently, when the name is only missing under some import
+  order);
+* no duplicate entries;
+* in package ``__init__`` modules, every *public* name pulled in with
+  ``from x import y`` also appears in ``__all__`` (re-exports are the
+  whole point of an ``__init__``; an unlisted one is an accidental,
+  undocumented API surface).
+
+Dynamic ``__all__`` (comprehensions, concatenation) is skipped - the rule
+only reasons about literal lists/tuples of strings.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional, Set
+
+from repro.devtools.lint.astutil import (
+    iter_module_statements,
+    module_bindings,
+    string_elements,
+)
+from repro.devtools.lint.findings import Finding
+from repro.devtools.lint.registry import ModuleRule, register_rule
+
+__all__ = ["ExportConsistencyRule"]
+
+
+def _find_all_assignment(tree: ast.Module) -> Optional[ast.Assign]:
+    for stmt in iter_module_statements(tree):
+        if isinstance(stmt, ast.Assign) and any(
+            isinstance(t, ast.Name) and t.id == "__all__" for t in stmt.targets
+        ):
+            return stmt
+    return None
+
+
+@register_rule
+class ExportConsistencyRule(ModuleRule):
+    rule_id = "RPR006"
+    severity = "error"
+    summary = "__all__ entries must be bound; __init__ re-exports must be listed"
+
+    def check(self, module) -> Iterable[Finding]:
+        assignment = _find_all_assignment(module.tree)
+        if assignment is None:
+            return
+        elements = string_elements(assignment.value)
+        if elements is None:
+            return  # dynamic __all__: out of static reach
+        bound = module_bindings(module.tree)
+        if bound is None:
+            return  # star-import: bindings unknowable
+
+        exported: List[str] = [element.value for element in elements]
+        seen: Set[str] = set()
+        for element in elements:
+            name = element.value
+            if name in seen:
+                yield self.finding(
+                    module, element, f"duplicate __all__ entry {name!r}"
+                )
+            seen.add(name)
+            if name not in bound:
+                yield self.finding(
+                    module,
+                    element,
+                    f"__all__ lists {name!r} but the module never binds it",
+                )
+
+        if module.path.name != "__init__.py":
+            return
+        exported_set = set(exported)
+        for stmt in iter_module_statements(module.tree):
+            if not isinstance(stmt, ast.ImportFrom) or stmt.module == "__future__":
+                continue
+            for alias in stmt.names:
+                name = alias.asname or alias.name
+                if name == "*" or name.startswith("_"):
+                    continue
+                if name not in exported_set:
+                    yield self.finding(
+                        module,
+                        stmt,
+                        f"__init__ imports {name!r} but __all__ does not "
+                        "list it; add it or alias it with a leading "
+                        "underscore",
+                    )

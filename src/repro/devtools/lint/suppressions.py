@@ -1,0 +1,166 @@
+"""Inline ``# repro: noqa[RULE-ID]`` suppressions.
+
+A finding is suppressed by a comment **on its own line**::
+
+    if value == 0.0:  # repro: noqa[RPR004] exact sentinel: unset marker
+
+The justification text after the bracket is mandatory - a suppression with
+no reason raises :data:`LINT_UNJUSTIFIED` - and a suppression whose rule
+never fires on that line raises :data:`LINT_UNUSED`, so stale ``noqa``
+comments rot loudly instead of silently.  Several ids may share one
+comment: ``# repro: noqa[RPR002,RPR004] reason``.
+
+Comments are located with :mod:`tokenize` (not a line regex), so the
+marker inside a string literal is never mistaken for a suppression.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.devtools.lint.findings import Finding
+
+__all__ = [
+    "LINT_PARSE",
+    "LINT_UNUSED",
+    "LINT_UNJUSTIFIED",
+    "META_RULES",
+    "Suppression",
+    "SuppressionIndex",
+    "scan_suppressions",
+]
+
+#: Meta rule ids emitted by the engine itself (not registry rules).
+LINT_PARSE = "LINT000"
+LINT_UNUSED = "LINT001"
+LINT_UNJUSTIFIED = "LINT002"
+
+#: id -> (severity, summary) for the engine-level meta rules.
+META_RULES: Dict[str, Tuple[str, str]] = {
+    LINT_PARSE: ("error", "file does not parse"),
+    LINT_UNUSED: ("error", "suppression never matched a finding"),
+    LINT_UNJUSTIFIED: ("error", "suppression carries no justification"),
+}
+
+_NOQA = re.compile(
+    r"#\s*repro:\s*noqa\[(?P<rules>[A-Za-z0-9_,\s]+)\]\s*(?P<justification>.*)$"
+)
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One ``# repro: noqa[...]`` comment."""
+
+    line: int
+    rule_ids: Tuple[str, ...]
+    justification: str
+
+
+def scan_suppressions(source: str) -> List[Suppression]:
+    """All suppression comments in ``source``, in line order.
+
+    >>> found = scan_suppressions("x = 1.0\\nif x == 1.0:  "
+    ...                           "# repro: noqa[RPR004] exact sentinel\\n    pass\\n")
+    >>> [(s.line, s.rule_ids, s.justification) for s in found]
+    [(2, ('RPR004',), 'exact sentinel')]
+    """
+    suppressions: List[Suppression] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        # Unparseable files already raise a LINT000 finding; there is
+        # nothing sensible to suppress in them.
+        return suppressions
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _NOQA.search(token.string)
+        if match is None:
+            continue
+        rule_ids = tuple(
+            part.strip() for part in match.group("rules").split(",") if part.strip()
+        )
+        if not rule_ids:
+            continue
+        suppressions.append(
+            Suppression(
+                line=token.start[0],
+                rule_ids=rule_ids,
+                justification=match.group("justification").strip(),
+            )
+        )
+    return suppressions
+
+
+class SuppressionIndex:
+    """Applies one module's suppressions to its findings and tracks usage."""
+
+    def __init__(self, path: str, suppressions: Sequence[Suppression]):
+        self.path = path
+        self.suppressions = tuple(suppressions)
+        self._used: Set[Tuple[int, str]] = set()
+
+    def filter(self, findings: Iterable[Finding]) -> List[Finding]:
+        """Drop suppressed findings, remembering which (line, rule) matched."""
+        by_line: Dict[int, List[Suppression]] = {}
+        for suppression in self.suppressions:
+            by_line.setdefault(suppression.line, []).append(suppression)
+        kept: List[Finding] = []
+        for finding in findings:
+            suppressed = False
+            for suppression in by_line.get(finding.line, ()):
+                if finding.rule_id in suppression.rule_ids:
+                    self._used.add((suppression.line, finding.rule_id))
+                    suppressed = True
+            if not suppressed:
+                kept.append(finding)
+        return kept
+
+    def meta_findings(self, active_rule_ids: Set[str]) -> List[Finding]:
+        """Unused-suppression and missing-justification findings.
+
+        A suppression for a rule outside ``active_rule_ids`` (e.g. when the
+        run was narrowed with ``--rules``) is exempt from the unused check -
+        the rule never had a chance to fire.
+        """
+        findings: List[Finding] = []
+        for suppression in self.suppressions:
+            active = [r for r in suppression.rule_ids if r in active_rule_ids]
+            if not active:
+                continue
+            if not suppression.justification:
+                severity, _summary = META_RULES[LINT_UNJUSTIFIED]
+                findings.append(
+                    Finding(
+                        self.path,
+                        suppression.line,
+                        0,
+                        LINT_UNJUSTIFIED,
+                        severity,
+                        "suppression needs a justification: "
+                        f"# repro: noqa[{','.join(suppression.rule_ids)}] <why>",
+                    )
+                )
+            unused = [
+                rule_id
+                for rule_id in active
+                if (suppression.line, rule_id) not in self._used
+            ]
+            for rule_id in unused:
+                severity, _summary = META_RULES[LINT_UNUSED]
+                findings.append(
+                    Finding(
+                        self.path,
+                        suppression.line,
+                        0,
+                        LINT_UNUSED,
+                        severity,
+                        f"unused suppression: {rule_id} raises no finding on "
+                        "this line (delete the noqa)",
+                    )
+                )
+        return findings

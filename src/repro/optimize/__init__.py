@@ -32,9 +32,9 @@ True
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional  # repro: noqa[RPR006] annotation helper for optimize(), not package API
 
-from repro.backends.registry import BackendSpec, get_backend
+from repro.backends.registry import BackendSpec, get_backend  # repro: noqa[RPR006] internal plumbing for optimize(); the registry is the public entry point
 from repro.optimize.result import (
     OBJECTIVES,
     EvaluatedPoint,

@@ -81,7 +81,7 @@ class Evaluator:
         self.workers = workers
         self.executor = executor
         self.evaluations = 0
-        self._memo: Dict[DesignPoint, EvaluatedPoint] = {}
+        self._memo: Dict[DesignPoint, EvaluatedPoint] = {}  # repro: noqa[RPR002] lifetime bounded by one optimize() run; the Evaluator is never reused
         self._order: List[EvaluatedPoint] = []
 
     @property
@@ -140,6 +140,9 @@ class ExhaustiveSearch:
         self, space: OptimizationSpace, evaluator: Evaluator, objective: str
     ) -> EvaluatedPoint:
         evaluated = evaluator.evaluate(space.points())
+        # Post-fan-out reduction: evaluate() has already returned from any
+        # predict_many pool; the lambda never crosses the process boundary
+        # (RPR003 audit, PR 6).
         return min(evaluated, key=lambda p: objective_value(p, objective))
 
 

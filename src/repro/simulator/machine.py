@@ -395,7 +395,7 @@ class SimulatedMachine:
                 raise SimulationError("negative compute duration")
             duration = self.platform.scaled_work(op.duration)
             scale = self._work_scale[rank]
-            if scale != 1.0:
+            if scale != 1.0:  # repro: noqa[RPR004] homogeneous ranks carry exactly 1.0; multiply only when heterogeneity is configured
                 duration *= scale
             self.stats[rank].compute_time += duration
             return self.sim.now + duration

@@ -16,7 +16,7 @@ def _format_cell(value: Any, precision: int) -> str:
     if isinstance(value, bool):
         return str(value)
     if isinstance(value, float):
-        if value == 0.0:
+        if value == 0.0:  # repro: noqa[RPR004] exact zero prints as "0"; near-zero must keep its magnitude
             return "0"
         magnitude = abs(value)
         if magnitude >= 1e5 or magnitude < 1e-3:

@@ -61,6 +61,29 @@ def us_to_days(value_us: float) -> float:
     return seconds_to_days(us_to_seconds(value_us))
 
 
+def safe_ratio(numerator: float, denominator: float, default: float = 0.0) -> float:
+    """``numerator / denominator``, or ``default`` for a zero denominator.
+
+    The single sanctioned home of the zero-denominator guard: fraction-style
+    metrics (relative error, computation fraction, pipeline fill) all reduce
+    to "divide, but a degenerate denominator means a well-defined limit", and
+    repeating a raw ``== 0.0`` float comparison at each call site is exactly
+    the hazard lint rule RPR004 exists to catch.  Centralising it here keeps
+    the exact-zero sentinel in one audited place.
+
+    >>> safe_ratio(3.0, 4.0)
+    0.75
+    >>> safe_ratio(1.0, 0.0)
+    0.0
+    >>> safe_ratio(1.0, 0.0, default=1.0)
+    1.0
+    """
+    denominator = float(denominator)
+    if denominator == 0.0:  # repro: noqa[RPR004] exact-zero sentinel: this helper IS the sanctioned guard
+        return float(default)
+    return float(numerator) / denominator
+
+
 def rate_per_month(time_per_item_s: float) -> float:
     """Number of items completed per 30-day month given seconds per item.
 

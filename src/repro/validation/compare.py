@@ -29,6 +29,7 @@ from repro.core.comm import allreduce_time
 from repro.core.decomposition import CoreMapping, ProcessorGrid
 from repro.core.loggp import Platform
 from repro.simulator.pingpong import allreduce_benchmark
+from repro.util.units import safe_ratio
 
 __all__ = [
     "ValidationResult",
@@ -60,9 +61,7 @@ class ValidationResult:
     @property
     def relative_error(self) -> float:
         """Signed relative error of the model: (model - simulated) / simulated."""
-        if self.simulated_us == 0.0:
-            return 0.0
-        return (self.model_us - self.simulated_us) / self.simulated_us
+        return safe_ratio(self.model_us - self.simulated_us, self.simulated_us)
 
     @property
     def absolute_relative_error(self) -> float:
@@ -251,9 +250,7 @@ class AllReduceValidation:
 
     @property
     def relative_error(self) -> float:
-        if self.simulated_us == 0.0:
-            return 0.0
-        return (self.model_us - self.simulated_us) / self.simulated_us
+        return safe_ratio(self.model_us - self.simulated_us, self.simulated_us)
 
 
 def validate_allreduce(

@@ -50,6 +50,8 @@ DOCTEST_MODULES = [
     "repro.campaigns.spec",
     "repro.campaigns.store",
     "repro.core.hetero",
+    "repro.devtools.lint",
+    "repro.devtools.lint.engine",
     "repro.optimize",
     "repro.optimize.result",
     "repro.optimize.space",
@@ -80,6 +82,7 @@ def test_docs_tree_exists():
         "campaigns.md",
         "platforms.md",
         "optimize.md",
+        "lint.md",
     }
     present = {path.name for path in DOCS_DIR.glob("*.md")}
     assert expected <= present, f"missing docs pages: {sorted(expected - present)}"

@@ -1,0 +1,115 @@
+"""End-to-end tests of the ``wavebench lint`` CLI and the self-check.
+
+The self-check is the PR's acceptance gate: the linter run over the real
+``src/repro`` tree (and ``tests/``) must exit 0 - every invariant either
+holds or carries a justified inline suppression.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as wavebench_main
+from repro.devtools.lint.cli import main as lint_main
+from repro.devtools.lint.reporters import JSON_SCHEMA_VERSION
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_TREE = REPO_ROOT / "src" / "repro"
+
+
+def test_self_check_real_tree_is_clean(capsys):
+    """``wavebench lint`` over the repository's own sources exits 0."""
+    exit_code = wavebench_main(["lint", str(SRC_TREE), str(REPO_ROOT / "tests")])
+    out = capsys.readouterr().out
+    assert exit_code == 0
+    assert out.strip().endswith("clean")
+
+
+def test_module_entry_point_matches_subcommand(capsys):
+    """``python -m repro.devtools.lint`` and ``wavebench lint`` agree."""
+    assert lint_main([str(SRC_TREE)]) == wavebench_main(["lint", str(SRC_TREE)])
+
+
+def test_module_entry_point_runs_as_subprocess():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.devtools.lint", str(SRC_TREE)],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "clean" in result.stdout
+
+
+def test_json_report_schema(tmp_path, capsys):
+    src = tmp_path / "src"
+    src.mkdir()
+    (src / "mod.py").write_text(
+        "def f(v: float) -> bool:\n    return v == 1.0\n", encoding="utf-8"
+    )
+    exit_code = wavebench_main(
+        ["lint", str(src), "--json", "--project-root", str(tmp_path)]
+    )
+    payload = json.loads(capsys.readouterr().out)
+    assert exit_code == 1
+    assert payload["version"] == JSON_SCHEMA_VERSION
+    assert payload["summary"] == {
+        "files": 1,
+        "findings": 1,
+        "errors": 1,
+        "warnings": 0,
+    }
+    (finding,) = payload["findings"]
+    assert finding["rule"] == "RPR004"
+    assert finding["severity"] == "error"
+    assert finding["path"].endswith("mod.py")
+    assert finding["line"] == 2
+    assert isinstance(finding["col"], int) and finding["col"] >= 1
+    assert "float ==" in finding["message"]
+
+
+def test_rules_flag_narrows_the_run(tmp_path, capsys):
+    src = tmp_path / "src"
+    src.mkdir()
+    (src / "mod.py").write_text(
+        "import random\nx = random.random()\ny = x == 1.0\n", encoding="utf-8"
+    )
+    exit_code = wavebench_main(
+        ["lint", str(src), "--rules", "RPR001", "--project-root", str(tmp_path)]
+    )
+    out = capsys.readouterr().out
+    assert exit_code == 1
+    assert "RPR001" in out
+    assert "RPR004" not in out
+
+
+def test_fail_on_warning_threshold(tmp_path, capsys):
+    # No built-in rule emits warnings today, so exercise the threshold
+    # logic through the report API instead of a fixture tree.
+    from repro.devtools.lint.findings import Finding, LintReport
+
+    warning = Finding("m.py", 1, 0, "RPRXXX", "warning", "w")
+    report = LintReport((warning,), files=1)
+    assert report.failing("warning")
+    assert not report.failing("error")
+
+
+def test_list_rules_covers_all_rule_ids(capsys):
+    exit_code = wavebench_main(["lint", "--list-rules"])
+    out = capsys.readouterr().out
+    assert exit_code == 0
+    for rule_id in ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006", "RPR007"):
+        assert rule_id in out
+    for meta in ("LINT000", "LINT001", "LINT002"):
+        assert meta in out
+
+
+def test_missing_path_exits_with_message(tmp_path):
+    with pytest.raises(SystemExit):
+        wavebench_main(["lint", str(tmp_path / "nope")])
