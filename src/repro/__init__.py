@@ -106,7 +106,7 @@ from repro.platforms import (
     parse_speed_profile,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "BackendResult",

@@ -30,6 +30,7 @@ from typing import Optional, Protocol, Sequence
 from repro.core.comm import ALLREDUCE_PAYLOAD_BYTES, allreduce_time, total_comm
 from repro.core.decomposition import Corner, ProblemSize, ProcessorGrid
 from repro.core.loggp import Platform
+from repro.util.caching import cached_field_hash
 
 __all__ = [
     "FillClass",
@@ -320,6 +321,11 @@ class WavefrontSpec:
             raise ValueError("boundary_bytes_per_cell must be positive")
         if min(self.iterations, self.time_steps, self.energy_groups) < 1:
             raise ValueError("iterations, time_steps and energy_groups must be >= 1")
+
+    def __hash__(self) -> int:
+        # Specs key every prediction memo; the generated hash re-walks the
+        # nested problem/schedule/nonwavefront tree on each dict operation.
+        return cached_field_hash(self)
 
     # -- Table 3 derived quantities -------------------------------------------------
 

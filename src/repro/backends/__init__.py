@@ -19,6 +19,9 @@ that comparison (and any future engine) interchangeable:
     * ``"analytic-fast"`` - the closed-form / period-folded ``StartP``
       engine (the default everywhere);
     * ``"analytic-exact"`` - the reference full-grid recurrence;
+    * ``"analytic-vec"`` - the same fast-path equations evaluated as
+      struct-of-arrays batches (numpy when importable, a stdlib vector
+      fallback otherwise) through the batch protocol below;
     * ``"simulator"`` - the discrete-event simulator, using the
       diagonal-aggregated fast path on noise-free homogeneous
       configurations and the per-rank event engine otherwise.
@@ -38,7 +41,10 @@ that comparison (and any future engine) interchangeable:
     :func:`predict_many` evaluates a list of
     :class:`PredictionRequest` objects on one backend, fusing request
     deduplication, the per-backend result caches and optional
-    process/thread-pool fan-out.  :func:`predict_one` is the single-request
+    process/thread-pool fan-out.  Backends that additionally implement the
+    optional :class:`BatchPredictionBackend` protocol (``evaluate_batch``,
+    e.g. ``analytic-vec``) receive whole deduplicated batches in one call.
+    :func:`predict_one` is the single-request
     form.  The analysis studies (:mod:`repro.analysis`), the validation
     harness (:mod:`repro.validation`) and the CLI's ``--backend`` flag all
     go through this layer, so validation is literally "run the same matrix
@@ -53,7 +59,12 @@ End to end:
 """
 
 from repro.backends.analytic import AnalyticBackend
-from repro.backends.base import BackendResult, PredictionBackend, PredictionRequest
+from repro.backends.base import (
+    BackendResult,
+    BatchPredictionBackend,
+    PredictionBackend,
+    PredictionRequest,
+)
 from repro.backends.registry import (
     BackendSpec,
     available_backends,
@@ -66,17 +77,21 @@ from repro.backends.simulator import (
     clear_simulation_cache,
     simulation_cache_info,
 )
+from repro.backends.vectorized import VectorizedAnalyticBackend, clear_vectorized_cache
 
 __all__ = [
     "AnalyticBackend",
     "BackendResult",
     "BackendSpec",
+    "BatchPredictionBackend",
     "PredictionBackend",
     "PredictionRequest",
     "SimulatorBackend",
+    "VectorizedAnalyticBackend",
     "as_request",
     "available_backends",
     "clear_simulation_cache",
+    "clear_vectorized_cache",
     "get_backend",
     "predict_many",
     "predict_one",

@@ -16,7 +16,7 @@ are the built-ins.  Every backend consumes the same resolved configuration -
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Protocol, Tuple, runtime_checkable
+from typing import List, Optional, Protocol, Sequence, Tuple, runtime_checkable
 
 from repro.apps.base import WavefrontSpec
 from repro.core.decomposition import CoreMapping, ProcessorGrid, decompose
@@ -26,7 +26,12 @@ from repro.core.predictor import Prediction
 from repro.simulator.wavefront import WavefrontSimulationResult
 from repro.util.units import safe_ratio, seconds_to_days, us_to_seconds
 
-__all__ = ["BackendResult", "PredictionBackend", "PredictionRequest"]
+__all__ = [
+    "BackendResult",
+    "BatchPredictionBackend",
+    "PredictionBackend",
+    "PredictionRequest",
+]
 
 
 @runtime_checkable
@@ -57,6 +62,35 @@ class PredictionBackend(Protocol):
         core_mapping: Optional[CoreMapping] = None,
     ) -> "BackendResult":
         """Predict one iteration of ``spec`` on ``platform`` over ``grid``."""
+        ...
+
+
+@runtime_checkable
+class BatchPredictionBackend(PredictionBackend, Protocol):
+    """Optional extension: evaluate a whole batch of configurations at once.
+
+    Backends that can amortise work across configurations (struct-of-arrays
+    evaluation, shared setup) additionally implement ``evaluate_batch``;
+    the service layer (:func:`repro.backends.service.predict_many`) detects
+    the method and hands over whole deduplicated batches instead of mapping
+    ``evaluate`` point by point.  Implementations must return one
+    :class:`BackendResult` per input configuration, in input order.
+
+    >>> from repro.backends.vectorized import VectorizedAnalyticBackend
+    >>> from repro.backends.analytic import AnalyticBackend
+    >>> isinstance(VectorizedAnalyticBackend(), BatchPredictionBackend)
+    True
+    >>> isinstance(AnalyticBackend(), BatchPredictionBackend)
+    False
+    """
+
+    def evaluate_batch(
+        self,
+        resolved: Sequence[
+            Tuple[WavefrontSpec, Platform, ProcessorGrid, CoreMapping]
+        ],
+    ) -> List["BackendResult"]:
+        """Evaluate every resolved configuration, results in input order."""
         ...
 
 

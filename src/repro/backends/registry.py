@@ -41,9 +41,11 @@ def _ensure_builtins() -> None:
     # circular imports: the backend modules import backends.base too.
     from repro.backends.analytic import AnalyticBackend
     from repro.backends.simulator import SimulatorBackend
+    from repro.backends.vectorized import VectorizedAnalyticBackend
 
     _FACTORIES.setdefault("analytic-fast", lambda: AnalyticBackend(method="fast"))
     _FACTORIES.setdefault("analytic-exact", lambda: AnalyticBackend(method="exact"))
+    _FACTORIES.setdefault("analytic-vec", lambda: VectorizedAnalyticBackend())
     _FACTORIES.setdefault("simulator", lambda: SimulatorBackend())
 
 

@@ -70,6 +70,36 @@ def _evaluate_resolved(backend: PredictionBackend, resolved) -> BackendResult:
     return backend.evaluate(spec, platform, grid, mapping)
 
 
+def _predict_batch(backend, resolved) -> List[BackendResult]:
+    """Route a request list through a backend's ``evaluate_batch``.
+
+    Mirrors :func:`repro.util.sweep.unique_map`'s deduplication: repeated
+    configurations are evaluated once and the batch result is expanded back
+    to request order.  Unhashable configurations degrade to the undeduplicated
+    full list, exactly like ``unique_map``.
+    """
+    try:
+        seen: dict = {}
+        positions = []
+        distinct = []
+        for config in resolved:
+            # setdefault keeps this to one hash per configuration - config
+            # hashing is a measurable cost at design-matrix scale.
+            index = seen.setdefault(config, len(distinct))
+            if index == len(distinct):
+                distinct.append(config)
+            positions.append(index)
+    except TypeError:
+        return list(backend.evaluate_batch(resolved))
+    results = list(backend.evaluate_batch(distinct))
+    if len(results) != len(distinct):
+        raise ValueError(
+            f"backend {backend.name!r} returned {len(results)} results "
+            f"for a batch of {len(distinct)} configurations"
+        )
+    return [results[position] for position in positions]
+
+
 def predict_many(
     requests: Iterable[RequestLike],
     *,
@@ -80,12 +110,17 @@ def predict_many(
     """Evaluate every request on ``backend``, returning results in order.
 
     ``backend`` is a registered name (``"analytic-fast"``,
-    ``"analytic-exact"``, ``"simulator"``, or anything added with
-    :func:`repro.backends.register_backend`) or a backend instance.
-    ``workers``/``executor`` fan the distinct configurations out over a pool
-    (see :func:`repro.util.sweep.parallel_map`); with
-    ``executor="process"`` the per-process caches start cold, so prefer
-    threads when the request list is dominated by duplicates.
+    ``"analytic-exact"``, ``"analytic-vec"``, ``"simulator"``, or anything
+    added with :func:`repro.backends.register_backend`) or a backend
+    instance.  Backends implementing the optional batch protocol
+    (:class:`~repro.backends.base.BatchPredictionBackend`, e.g.
+    ``analytic-vec``) receive the whole deduplicated batch in one
+    ``evaluate_batch`` call - ``workers``/``executor`` are irrelevant there
+    (the batch already amortises the per-point overhead).  Other backends
+    fan the distinct configurations out over an optional pool (see
+    :func:`repro.util.sweep.parallel_map`); with ``executor="process"`` the
+    per-process caches start cold, so prefer threads when the request list
+    is dominated by duplicates.
 
     >>> from repro.apps.workloads import lu_class
     >>> from repro.platforms import cray_xt4
@@ -93,9 +128,15 @@ def predict_many(
     >>> results = predict_many(requests)          # the duplicate is free
     >>> results[0].time_per_iteration_us == results[2].time_per_iteration_us
     True
+    >>> batched = predict_many(requests, backend="analytic-vec")
+    >>> [abs(b.time_per_iteration_us - r.time_per_iteration_us) <= 1e-9
+    ...  for b, r in zip(batched, results)]
+    [True, True, True]
     """
     backend_obj = get_backend(backend)
     resolved = [as_request(request).resolve() for request in requests]
+    if callable(getattr(backend_obj, "evaluate_batch", None)):
+        return _predict_batch(backend_obj, resolved)
     return unique_map(
         partial(_evaluate_resolved, backend_obj), resolved, workers, executor
     )

@@ -25,13 +25,17 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from enum import Enum
+from functools import lru_cache
 from typing import Iterator, Optional, Tuple
+
+from repro.util.caching import register_cache_clearer
 
 __all__ = [
     "ProblemSize",
     "ProcessorGrid",
     "CoreMapping",
     "Corner",
+    "clear_decomposition_cache",
     "decompose",
     "default_core_mapping",
 ]
@@ -333,14 +337,7 @@ class CoreMapping:
         return "machine"
 
 
-def decompose(total_processors: int) -> ProcessorGrid:
-    """Choose a near-square ``n x m`` factorisation of ``total_processors``.
-
-    Wavefront codes are conventionally run on (near-)square processor arrays;
-    both the paper's benchmarks and its Section 5 studies use power-of-two
-    processor counts, for which this returns either a square or a 2:1
-    rectangle (e.g. 8192 -> 128 x 64).
-    """
+def _decompose_uncached(total_processors: int) -> ProcessorGrid:
     if total_processors < 1:
         raise ValueError("total_processors must be positive")
     best: Tuple[int, int] | None = None
@@ -351,6 +348,28 @@ def decompose(total_processors: int) -> ProcessorGrid:
     assert best is not None
     n, m = best
     return ProcessorGrid(n=n, m=m)
+
+
+_decompose_cached = lru_cache(maxsize=4096)(_decompose_uncached)
+
+
+@register_cache_clearer
+def clear_decomposition_cache() -> None:
+    """Drop all memoised :func:`decompose` factorisations."""
+    _decompose_cached.cache_clear()
+
+
+def decompose(total_processors: int) -> ProcessorGrid:
+    """Choose a near-square ``n x m`` factorisation of ``total_processors``.
+
+    Wavefront codes are conventionally run on (near-)square processor arrays;
+    both the paper's benchmarks and its Section 5 studies use power-of-two
+    processor counts, for which this returns either a square or a 2:1
+    rectangle (e.g. 8192 -> 128 x 64).  The trial division is memoised
+    (:class:`ProcessorGrid` is immutable); design-matrix batches repeat a
+    handful of processor counts thousands of times.
+    """
+    return _decompose_cached(total_processors)
 
 
 def default_core_mapping(cores_per_node: int) -> CoreMapping:

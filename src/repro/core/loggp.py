@@ -29,6 +29,7 @@ from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from repro.core.hetero import NoiseModel, SpeedProfile
+from repro.util.caching import cached_field_hash
 
 #: Message size (bytes) above which the MPI implementation switches from the
 #: eager protocol to a rendezvous handshake on the Cray XT4 (Section 3.1).
@@ -226,6 +227,11 @@ class Platform:
                 "intra_node parameters require node.cores_per_chip to subdivide "
                 "the node into more than one chip"
             )
+
+    def __hash__(self) -> int:
+        # Platforms key every prediction memo; the generated hash re-walks
+        # the nested parameter tree on each dict operation.
+        return cached_field_hash(self)
 
     @property
     def is_multicore(self) -> bool:

@@ -37,16 +37,19 @@ adjusted costs used in the stack-processing time (equation (r4)).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.apps.base import WavefrontSpec
 from repro.core.comm import CommunicationCosts
 from repro.core.decomposition import CoreMapping, ProcessorGrid, default_core_mapping
 from repro.core.loggp import Platform
+from repro.util.caching import call_with_unhashable_fallback, register_cache_clearer
 
 __all__ = [
     "ContentionPenalty",
     "FillStepCosts",
     "StackCommCosts",
+    "clear_core_mapping_cache",
     "interference_term",
     "contention_penalty",
     "fill_step_costs",
@@ -89,8 +92,19 @@ def resolve_core_mapping(platform: Platform, core_mapping: CoreMapping | None) -
     node) the resolved mapping carries the chip sub-rectangle, so every
     consumer - analytic cost tables, the simulator's rank placement -
     classifies hops identically.  An explicit mapping that already pins a
-    chip rectangle is passed through untouched.
+    chip rectangle is passed through untouched.  Resolutions are memoised
+    (both inputs are immutable value objects); unhashable subclasses fall
+    back to the uncached computation.
     """
+    return call_with_unhashable_fallback(
+        _resolve_core_mapping_cached, _resolve_core_mapping_uncached,
+        platform, core_mapping,
+    )
+
+
+def _resolve_core_mapping_uncached(
+    platform: Platform, core_mapping: CoreMapping | None
+) -> CoreMapping:
     if core_mapping is not None:
         if core_mapping.cores_per_node != platform.node.cores_per_node:
             raise ValueError(
@@ -108,6 +122,15 @@ def resolve_core_mapping(platform: Platform, core_mapping: CoreMapping | None) -
     ):
         mapping = _chip_rectangle(mapping, cores_per_chip)
     return mapping
+
+
+_resolve_core_mapping_cached = lru_cache(maxsize=4096)(_resolve_core_mapping_uncached)
+
+
+@register_cache_clearer
+def clear_core_mapping_cache() -> None:
+    """Drop all memoised :func:`resolve_core_mapping` resolutions."""
+    _resolve_core_mapping_cached.cache_clear()
 
 
 def interference_term(platform: Platform, message_bytes: float) -> float:

@@ -9,15 +9,50 @@ re-running the computation).  This helper centralises that control flow.
 
 from __future__ import annotations
 
+from dataclasses import fields
 from typing import Callable, List, TypeVar
 
 _R = TypeVar("_R")
 
 __all__ = [
     "call_with_unhashable_fallback",
+    "cached_field_hash",
     "register_cache_clearer",
     "clear_registered_caches",
 ]
+
+
+def cached_field_hash(obj) -> int:
+    """A frozen dataclass's field hash, computed once and memoised on ``obj``.
+
+    Deeply-nested frozen value objects (specs, platforms) are used as cache
+    keys throughout the library; the generated ``__hash__`` re-walks the
+    whole field tree on every dictionary operation, which dominates batch
+    evaluation at design-matrix scale.  Instances are immutable, so the
+    value is computed from the same compared-field tuple the generated hash
+    uses and stashed on the instance (``object.__setattr__`` bypasses the
+    frozen guard; ``dataclasses.replace`` builds fresh instances, so the
+    memo can never go stale).
+
+    >>> from dataclasses import dataclass
+    >>> @dataclass(frozen=True)
+    ... class Point:
+    ...     x: int
+    ...     y: int
+    ...     def __hash__(self) -> int:
+    ...         return cached_field_hash(self)
+    >>> hash(Point(1, 2)) == hash(Point(1, 2))
+    True
+    """
+    instance_dict = obj.__dict__
+    value = instance_dict.get("_cached_field_hash")
+    if value is None:
+        value = hash(
+            tuple(getattr(obj, field.name) for field in fields(obj) if field.compare)
+        )
+        # Writing through __dict__ bypasses the frozen-dataclass guard.
+        instance_dict["_cached_field_hash"] = value
+    return value
 
 #: Clearers registered by every module that memoises model inputs.  The
 #: public :func:`repro.core.predictor.clear_prediction_cache` drains this

@@ -215,6 +215,121 @@ class TestPredictMany:
             assert rel / s.time_per_iteration_us < 0.05
 
 
+class _CountingBatchBackend:
+    """Batch-protocol implementation recording what the service hands it."""
+
+    name = "counting-batch"
+
+    def __init__(self):
+        self.batches = []
+
+    def evaluate(self, spec, platform, grid, core_mapping=None):
+        from repro.core.multicore import resolve_core_mapping
+
+        mapping = resolve_core_mapping(platform, core_mapping)
+        return self.evaluate_batch([(spec, platform, grid, mapping)])[0]
+
+    def evaluate_batch(self, resolved):
+        resolved = list(resolved)
+        self.batches.append(resolved)
+        fast = get_backend("analytic-fast")
+        return [fast.evaluate(*config) for config in resolved]
+
+
+class TestBatchProtocol:
+    """The optional ``evaluate_batch`` protocol through ``predict_many``."""
+
+    def test_protocol_detection(self):
+        from repro.backends import BatchPredictionBackend, VectorizedAnalyticBackend
+
+        assert isinstance(VectorizedAnalyticBackend(), BatchPredictionBackend)
+        assert isinstance(_CountingBatchBackend(), BatchPredictionBackend)
+        assert not isinstance(AnalyticBackend(), BatchPredictionBackend)
+
+    def test_one_deduplicated_batch_in_request_order(self, spec, xt4_single):
+        backend = _CountingBatchBackend()
+        requests = [
+            PredictionRequest(spec, xt4_single, total_cores=c)
+            for c in (16, 64, 16, 4)
+        ]
+        results = predict_many(requests, backend=backend)
+        # One evaluate_batch call carrying only the distinct configurations,
+        # in first-seen order.
+        assert len(backend.batches) == 1
+        assert [grid.total_processors for _s, _p, grid, _m in backend.batches[0]] == [
+            16, 64, 4,
+        ]
+        # Results expand back to request order, duplicates shared.
+        assert [r.total_cores for r in results] == [16, 64, 16, 4]
+        assert results[0] is results[2]
+
+    def test_workers_ignored_for_batch_backends(self, spec, xt4_single):
+        backend = _CountingBatchBackend()
+        requests = [
+            PredictionRequest(spec, xt4_single, total_cores=c) for c in (4, 16, 64)
+        ]
+        results = predict_many(requests, backend=backend, workers=2)
+        assert len(backend.batches) == 1  # still one batch, no per-point pool
+        assert [r.total_cores for r in results] == [4, 16, 64]
+
+    def test_batch_and_scalar_backends_agree(self, spec, xt4_single):
+        requests = [
+            PredictionRequest(spec, xt4_single, total_cores=c) for c in (4, 16, 64)
+        ]
+        scalar = predict_many(requests, backend="analytic-fast")
+        batched = predict_many(requests, backend="analytic-vec")
+        assert [r.time_per_iteration_us for r in scalar] == [
+            r.time_per_iteration_us for r in batched
+        ]
+
+    def test_short_batch_result_is_an_error(self, spec, xt4_single):
+        class _Broken(_CountingBatchBackend):
+            def evaluate_batch(self, resolved):
+                return super().evaluate_batch(resolved)[:-1]
+
+        requests = [
+            PredictionRequest(spec, xt4_single, total_cores=c) for c in (4, 16)
+        ]
+        with pytest.raises(ValueError, match="batch of"):
+            predict_many(requests, backend=_Broken())
+
+    def test_unhashable_specs_skip_dedup(self, xt4_single):
+        from dataclasses import fields
+
+        base = chimaera(ProblemSize(32, 32, 16), iterations=1)
+
+        class _UnhashableSpec(type(base)):
+            __hash__ = None
+
+        unhashable = _UnhashableSpec(
+            **{f.name: getattr(base, f.name) for f in fields(base) if f.init}
+        )
+        backend = _CountingBatchBackend()
+        requests = [
+            PredictionRequest(unhashable, xt4_single, total_cores=16),
+            PredictionRequest(unhashable, xt4_single, total_cores=16),
+        ]
+        results = predict_many(requests, backend=backend)
+        # Dedup needs hashing; unhashable configs fall back to the full
+        # undeduplicated batch, still through one evaluate_batch call.
+        assert len(backend.batches) == 1
+        assert len(backend.batches[0]) == 2
+        assert results[0].time_per_iteration_us == results[1].time_per_iteration_us
+
+    def test_process_executor_regression_non_batch(self, spec, xt4_single):
+        """Scalar backends keep the per-point pool path bit-for-bit."""
+        requests = [
+            PredictionRequest(spec, xt4_single, total_cores=c) for c in (4, 16, 64)
+        ]
+        serial = predict_many(requests, backend="analytic-fast")
+        pooled = predict_many(
+            requests, backend="analytic-fast", workers=2, executor="process"
+        )
+        assert [r.time_per_iteration_us for r in serial] == [
+            r.time_per_iteration_us for r in pooled
+        ]
+
+
 class TestBackendResult:
     def test_aggregates_follow_spec(self, xt4_single):
         spec = chimaera(ProblemSize(32, 32, 16), iterations=1).with_time_steps(3)

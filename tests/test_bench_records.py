@@ -3,7 +3,8 @@
 The benchmark harness writes machine-readable speedup records to the repo
 root (``BENCH_simulator.json`` from
 ``benchmarks/test_bench_simulator_fastpath.py``, ``BENCH_optimize.json``
-from ``benchmarks/test_bench_optimize.py``) and those files are committed.
+from ``benchmarks/test_bench_optimize.py``, ``BENCH_vec.json`` from
+``benchmarks/test_bench_vec.py``) and those files are committed.
 Committed artefacts rot: a schema change, a hand edit, or a regressed
 re-run could silently invalidate the speedup claims the README and docs
 cite.  This tier-1 guard parses every committed record, validates its
@@ -29,6 +30,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 EXPECTED_RECORDS = {
     "BENCH_simulator.json": "benchmarks/test_bench_simulator_fastpath.py",
     "BENCH_optimize.json": "benchmarks/test_bench_optimize.py",
+    "BENCH_vec.json": "benchmarks/test_bench_vec.py",
 }
 
 
@@ -89,6 +91,49 @@ class TestSimulatorRecord:
             "regenerate BENCH_simulator.json or fix the regression"
         )
         assert record["relative_error"] <= record["contract_rel_tol"]
+
+
+class TestVecRecord:
+    def test_schema(self):
+        record = _load("BENCH_vec.json")
+        _require(
+            record,
+            "BENCH_vec.json",
+            {
+                "benchmark": str,
+                "platform": str,
+                "points": int,
+                "htile_points": int,
+                "core_counts": list,
+                "analytic_fast_s": (int, float),
+                "analytic_vec_s": (int, float),
+                "speedup": (int, float),
+                "max_abs_deviation_us": (int, float),
+                "contract_min_speedup": (int, float),
+                "contract_abs_tol_us": (int, float),
+            },
+        )
+        assert record["benchmark"] == "vec_backend"
+        assert record["points"] >= 10_000, (
+            "the vec speedup contract is measured on a >= 10,000-point grid"
+        )
+        assert record["points"] == record["htile_points"] * len(
+            record["core_counts"]
+        )
+
+    def test_vec_speedup_contract(self):
+        """The committed record still claims (at least) the >= 10x contract."""
+        record = _load("BENCH_vec.json")
+        assert record["contract_min_speedup"] >= 10.0
+        assert record["speedup"] >= record["contract_min_speedup"], (
+            f"committed analytic-vec speedup {record['speedup']:.1f}x is "
+            f"below the {record['contract_min_speedup']:.0f}x contract - "
+            "regenerate BENCH_vec.json or fix the regression"
+        )
+        assert record["max_abs_deviation_us"] <= record["contract_abs_tol_us"]
+        # Internal consistency: the ratio matches the recorded timings.
+        recomputed = record["analytic_fast_s"] / record["analytic_vec_s"]
+        assert record["speedup"] == pytest.approx(recomputed, rel=1e-9)
 
 
 class TestOptimizeRecord:

@@ -254,6 +254,53 @@ class TestCampaignRunner:
         # ...and the final report is byte-identical to the uninterrupted run.
         assert campaign_report(store_b) == reference_report
 
+    def test_campaign_routes_through_evaluate_batch(self, tmp_path):
+        """A batch-protocol backend gets the whole campaign in one call,
+        with results identical to the scalar analytic path."""
+        batches: list[int] = []
+
+        @dataclass(frozen=True)
+        class _CountingBatchBackend:
+            @property
+            def name(self) -> str:
+                return "counting-batch"
+
+            def evaluate(self, spec, platform, grid, core_mapping=None):
+                result = AnalyticBackend().evaluate(spec, platform, grid, core_mapping)
+                return replace(result, backend=self.name)
+
+            def evaluate_batch(self, resolved):
+                resolved = list(resolved)
+                batches.append(len(resolved))
+                return [self.evaluate(*config) for config in resolved]
+
+        register_backend("counting-batch", _CountingBatchBackend, replace=True)
+        try:
+            spec = CampaignSpec(
+                name="batched",
+                apps=("lu-classA",),
+                total_cores=(4, 16, 64),
+                htiles=(1.0, 2.0),
+                backends=("counting-batch",),
+            )
+            summary = run_campaign(spec, store=tmp_path / "batched.jsonl")
+            assert (summary.total_points, summary.computed) == (6, 6)
+            assert batches == [6]  # one evaluate_batch call, whole campaign
+
+            reference = run_campaign(
+                replace(spec, backends=("analytic-fast",)),
+                store=tmp_path / "reference.jsonl",
+            )
+            assert reference.computed == 6
+            batched_report = campaign_report(tmp_path / "batched.jsonl")
+            reference_report = campaign_report(tmp_path / "reference.jsonl")
+            assert (
+                batched_report.replace("counting-batch", "analytic-fast")
+                == reference_report
+            )
+        finally:
+            _FACTORIES.pop("counting-batch", None)
+
     def test_pending_lists_missing_points(self, tmp_path, counting_backend, small_spec):
         store = ResultStore(tmp_path / "p.jsonl")
         runner = CampaignRunner(small_spec, store)

@@ -5,6 +5,10 @@ Three families of contracts over the registered prediction backends:
 * **fast = exact**: the closed-form/period-folded analytic engine agrees
   with the reference grid walk to 1e-9 relative on every matrix entry,
   including heterogeneous scenario platforms;
+* **vec = fast**: the vectorized batch backend (``analytic-vec``)
+  reproduces the scalar fast path to 1e-9 relative on the same matrix and
+  scenario platforms - on the numpy path *and* on the pure-stdlib
+  fallback (``model_vec._np = None``);
 * **analytic vs simulator**: on the noise-free homogeneous matrix the
   analytic model stays within a pinned tolerance of the discrete-event
   "measurement" (the paper's <5%/<10% validation claim, with head-room for
@@ -110,6 +114,105 @@ class TestFastEqualsExact:
             assert fast.time_per_iteration_us == pytest.approx(
                 exact.time_per_iteration_us, rel=1e-9
             )
+
+
+class TestVecEqualsFast:
+    """``analytic-vec`` reproduces the scalar fast path (both vector paths)."""
+
+    @pytest.mark.parametrize("entry", MATRIX, ids=_matrix_id)
+    def test_homogeneous_matrix(self, entry):
+        app, platform_name, cores = entry
+        platform = PLATFORMS[platform_name]()
+        fast = predict_one(_spec(app), platform, total_cores=cores, backend="analytic-fast")
+        vec = predict_one(_spec(app), platform, total_cores=cores, backend="analytic-vec")
+        assert vec.time_per_iteration_us == pytest.approx(
+            fast.time_per_iteration_us, rel=1e-9
+        )
+        assert vec.computation_per_iteration_us == pytest.approx(
+            fast.computation_per_iteration_us, rel=1e-9
+        )
+        for (fast_name, fast_time), (vec_name, vec_time) in zip(
+            fast.phases, vec.phases
+        ):
+            assert fast_name == vec_name
+            assert vec_time == pytest.approx(fast_time, rel=1e-9, abs=1e-9)
+
+    @pytest.mark.parametrize(
+        "platform_builder",
+        [
+            lambda: cray_xt4().with_speed_profile(SpeedProfile.stragglers(2, 2.0)),
+            lambda: cray_xt4().with_noise(SampledNoise(0.1)),
+            lambda: cray_xt4_quad_chip(),
+            lambda: cray_xt4_quad_chip()
+            .with_speed_profile(SpeedProfile.stragglers(1, 3.0))
+            .with_noise(SampledNoise(0.05)),
+        ],
+        ids=["stragglers", "sampled-noise", "hierarchical", "combined"],
+    )
+    def test_scenario_platforms(self, platform_builder):
+        platform = platform_builder()
+        for cores in (16, 64):
+            fast = predict_one(
+                _spec("chimaera-240"), platform, total_cores=cores, backend="analytic-fast"
+            )
+            vec = predict_one(
+                _spec("chimaera-240"), platform, total_cores=cores, backend="analytic-vec"
+            )
+            assert vec.time_per_iteration_us == pytest.approx(
+                fast.time_per_iteration_us, rel=1e-9
+            )
+
+    def test_pure_stdlib_fallback_matches(self, monkeypatch, caplog):
+        """Without numpy the fallback vectors produce the same numbers,
+        and the backend warns exactly once about the slower path."""
+        import logging
+
+        from repro.core import model_vec
+
+        platform = cray_xt4_quad_chip()
+        reference = predict_one(
+            _spec("chimaera-240"), platform, total_cores=64, backend="analytic-fast"
+        )
+        clear_prediction_cache()
+        monkeypatch.setattr(model_vec, "_np", None)
+        assert not model_vec.have_numpy()
+        with caplog.at_level(logging.WARNING, logger="repro.core.model_vec"):
+            result = predict_one(
+                _spec("chimaera-240"), platform, total_cores=64, backend="analytic-vec"
+            )
+            again = predict_one(
+                _spec("chimaera-240"), platform, total_cores=16, backend="analytic-vec"
+            )
+        assert result.time_per_iteration_us == reference.time_per_iteration_us
+        assert again.time_per_iteration_us > 0.0
+        fallback_warnings = [
+            record for record in caplog.records if "stdlib fallback" in record.message
+        ]
+        assert len(fallback_warnings) == 1, "the fallback warning fires once"
+        # Back on the numpy path nothing changes (and the memo was bypassed:
+        # the monkeypatched run serves fresh evaluations after the clear).
+        clear_prediction_cache()
+
+    def test_fallback_warning_resets_with_the_caches(self, monkeypatch, caplog):
+        import logging
+
+        from repro.core import model_vec
+
+        monkeypatch.setattr(model_vec, "_np", None)
+        clear_prediction_cache()
+        with caplog.at_level(logging.WARNING, logger="repro.core.model_vec"):
+            predict_one(
+                _spec("lu-classA"), cray_xt4(), total_cores=16, backend="analytic-vec"
+            )
+            clear_prediction_cache()  # also resets the once-only warning latch
+            predict_one(
+                _spec("lu-classA"), cray_xt4(), total_cores=16, backend="analytic-vec"
+            )
+        fallback_warnings = [
+            record for record in caplog.records if "stdlib fallback" in record.message
+        ]
+        assert len(fallback_warnings) == 2
+        clear_prediction_cache()
 
 
 class TestAnalyticVsSimulator:
@@ -307,6 +410,26 @@ class TestCacheInvalidationContract:
         CommunicationCosts.for_message(platform, 1024.0)
         info_after = _comm_cache_info()
         assert info_after.misses == info_before.misses + 1
+
+    def test_clears_vec_and_resolution_memos(self):
+        """The vec batch memo and the resolution memos joined the registry."""
+        from repro.backends.vectorized import _BATCH_MEMO
+        from repro.core.decomposition import _decompose_cached
+        from repro.core.multicore import _resolve_core_mapping_cached
+
+        platform = cray_xt4()
+        predict_one(
+            _spec("chimaera-240"), platform, total_cores=16, backend="analytic-vec"
+        )
+        assert len(_BATCH_MEMO) > 0
+        assert _decompose_cached.cache_info().currsize > 0
+        assert _resolve_core_mapping_cached.cache_info().currsize > 0
+
+        clear_prediction_cache()
+
+        assert len(_BATCH_MEMO) == 0
+        assert _decompose_cached.cache_info().currsize == 0
+        assert _resolve_core_mapping_cached.cache_info().currsize == 0
 
     def test_mutated_platform_parameter_gets_fresh_prediction(self):
         """After a clear, a changed parameter must change the prediction.

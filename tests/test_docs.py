@@ -43,6 +43,7 @@ DOCTEST_MODULES = [
     "repro.backends.registry",
     "repro.backends.service",
     "repro.backends.simulator",
+    "repro.backends.vectorized",
     "repro.campaigns",
     "repro.campaigns.builtin",
     "repro.campaigns.report",
@@ -50,6 +51,7 @@ DOCTEST_MODULES = [
     "repro.campaigns.spec",
     "repro.campaigns.store",
     "repro.core.hetero",
+    "repro.core.model_vec",
     "repro.devtools.lint",
     "repro.devtools.lint.engine",
     "repro.optimize",

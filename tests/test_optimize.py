@@ -291,6 +291,58 @@ class TestEvaluator:
         assert len(evaluator.evaluated) == len(points)
 
 
+class CountingBatchBackend:
+    """Batch-protocol wrapper over the analytic backend, counting calls."""
+
+    name = "counting-batch"
+
+    def __init__(self):
+        from repro.backends.analytic import AnalyticBackend
+
+        self.inner = AnalyticBackend()
+        self.batch_calls = 0
+        self.scalar_calls = 0
+        self.points_seen = 0
+
+    def evaluate(self, spec, platform, grid, core_mapping=None):
+        self.scalar_calls += 1
+        return self.inner.evaluate(spec, platform, grid, core_mapping)
+
+    def evaluate_batch(self, resolved):
+        resolved = list(resolved)
+        self.batch_calls += 1
+        self.points_seen += len(resolved)
+        return [self.inner.evaluate(*config) for config in resolved]
+
+
+class TestBatchRouting:
+    """Optimisation inherits the batch protocol with no API change."""
+
+    def test_exhaustive_search_routes_through_evaluate_batch(self):
+        space = chimaera_space()
+        backend = CountingBatchBackend()
+        batched = optimize(space, backend=backend)
+        assert backend.batch_calls == 1  # the whole space in one batch
+        assert backend.scalar_calls == 0
+        assert backend.points_seen == batched.space_size == 8
+
+        reference = optimize(space)  # default scalar analytic-fast
+        assert batched.best.point == reference.best.point
+        assert (
+            batched.best.time_per_time_step_s
+            == reference.best.time_per_time_step_s
+        )
+
+    def test_exhaustive_search_vec_matches_scalar(self):
+        space = chimaera_space()
+        reference = optimize(space)
+        vec = optimize(space, backend="analytic-vec")
+        assert vec.best.point == reference.best.point
+        assert vec.best.time_per_time_step_s == pytest.approx(
+            reference.best.time_per_time_step_s, rel=1e-9
+        )
+
+
 class TestStrategies:
     def test_registry(self):
         assert available_strategies() == [
