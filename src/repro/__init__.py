@@ -75,11 +75,13 @@ from repro.campaigns import (
     run_campaign,
     write_report,
 )
+from repro.core.faults import FaultModel
 from repro.core.hetero import (
     FixedQuantumNoise,
     NoiseModel,
     NoNoise,
     SampledNoise,
+    SlowdownWindow,
     SpeedProfile,
 )
 from repro.optimize import (
@@ -101,12 +103,14 @@ from repro.platforms import (
     custom_platform,
     describe_platform,
     ibm_sp2,
+    parse_fault_model,
     parse_noise_model,
     parse_placement,
+    parse_slowdown_windows,
     parse_speed_profile,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "BackendResult",
@@ -116,6 +120,7 @@ __all__ = [
     "Corner",
     "DesignPoint",
     "EvaluatedPoint",
+    "FaultModel",
     "FixedQuantumNoise",
     "NoNoise",
     "NoiseModel",
@@ -129,6 +134,7 @@ __all__ = [
     "ProcessorGrid",
     "ResultStore",
     "SampledNoise",
+    "SlowdownWindow",
     "SpeedProfile",
     "SweepPhase",
     "SweepSchedule",
@@ -153,8 +159,10 @@ __all__ = [
     "load_space_file",
     "optimize",
     "pareto_front",
+    "parse_fault_model",
     "parse_noise_model",
     "parse_placement",
+    "parse_slowdown_windows",
     "parse_speed_profile",
     "predict",
     "predict_many",

@@ -81,6 +81,8 @@ class AnalyticBackend:
             ("stack", iteration.nsweeps * iteration.stack.total),
             ("nonwavefront", iteration.tnonwavefront),
         )
+        if iteration.trework != 0.0:  # repro: noqa[RPR004] fault-free predictions carry exactly 0.0 and keep the three-phase breakdown
+            phases = phases + (("rework", iteration.trework),)
         return BackendResult(
             backend=self.name,
             spec=prediction.spec,

@@ -52,8 +52,11 @@ class SimulatorBackend:
     on, no noise, automatic engine choice) reproduce the validation
     harness's measurement configuration.  Heterogeneous platform features -
     per-node speed profiles, hierarchical interconnects and platform-level
-    noise models - are honoured automatically from the platform description;
-    ``noise_model`` overrides the platform's own noise field for ablations.
+    noise models, and fault/checkpoint models - are honoured automatically
+    from the platform description; ``noise_model`` overrides the platform's
+    own noise field for ablations, ``fault_seed`` selects the per-rank
+    failure streams, and ``link_contention`` serialises overlapping
+    off-node payloads on per-link FIFO queues.
 
     >>> SimulatorBackend().name
     'simulator'
@@ -72,6 +75,8 @@ class SimulatorBackend:
     compute_noise: float = 0.0
     noise_model: Optional[NoiseModel] = None
     noise_seed: int = 0
+    fault_seed: int = 0
+    link_contention: bool = False
     engine: str = "auto"
     max_events: Optional[int] = None
 
@@ -151,6 +156,8 @@ def _simulate_uncached(
         compute_noise=backend.compute_noise,
         noise_model=backend.noise_model,
         noise_seed=backend.noise_seed,
+        fault_seed=backend.fault_seed,
+        link_contention=backend.link_contention,
         engine=backend.engine,
         max_events=backend.max_events,
     )

@@ -130,6 +130,8 @@ def _wrap(name: str, config: _Config, point: PointValues) -> BackendResult:
         ("stack", point.stack_phase),
         ("nonwavefront", point.nonwavefront_phase),
     )
+    if point.rework != 0.0:  # repro: noqa[RPR004] fault-free points carry exactly 0.0 and keep the three-phase breakdown
+        phases = phases + (("rework", point.rework),)
     return BackendResult(
         backend=name,
         spec=spec,

@@ -1,7 +1,8 @@
 """Built-in campaign definitions, shipped as package data.
 
-Six campaigns cover the paper's experimental matrix plus the heterogeneity
-and design-optimisation axes; each is a JSON file
+Seven campaigns cover the paper's experimental matrix plus the
+heterogeneity, fault-tolerance and design-optimisation axes; each is a
+JSON file
 under ``repro/campaigns/data/`` in the :func:`CampaignSpec.from_dict
 <repro.campaigns.spec.CampaignSpec.from_dict>` schema (see
 ``docs/campaigns.md``), so they double as worked examples for writing your
@@ -17,13 +18,16 @@ own:
 * ``heterogeneity-study`` - straggler count x slowdown x background noise
   on the transport benchmarks (scenarios beyond the paper's homogeneous
   machine; see ``docs/platforms.md``);
+* ``fault-tolerance-study`` - time-to-solution vs MTBF x checkpoint
+  interval, comparing the analytic bounded expected-rework correction
+  against the fault-injecting simulator (see ``docs/faults.md``);
 * ``optimization-study`` - the Htile grid crossed with single- and
   dual-core node designs, whose report's design-optima table reproduces
   the paper's configuration conclusions automatically (see
   ``docs/optimize.md``).
 
 >>> sorted(builtin_campaigns())
-['heterogeneity-study', 'htile-sweep', 'multicore-design', 'optimization-study', 'paper-validation', 'strong-scaling-sweep']
+['fault-tolerance-study', 'heterogeneity-study', 'htile-sweep', 'multicore-design', 'optimization-study', 'paper-validation', 'strong-scaling-sweep']
 >>> get_campaign("paper-validation").baseline
 'simulator'
 """

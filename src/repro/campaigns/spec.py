@@ -2,7 +2,9 @@
 
 A :class:`CampaignSpec` names the *matrix* of configurations a study wants
 evaluated - applications x platforms x core counts x tile heights x
-prediction backends x noise seeds - the way the paper's Tables 4-7 and
+prediction backends x noise seeds x scenario axes (placements, speed
+profiles, noise models, fault models and their seeds) - the way the
+paper's Tables 4-7 and
 Figures 5-8 each sweep a handful of axes and cross-check model against
 measurement.  The spec is a plain frozen dataclass, loadable from a dict or
 a JSON file, so campaigns can be versioned alongside the code (the built-in
@@ -38,6 +40,7 @@ from repro.backends.registry import BackendSpec
 from repro.backends.simulator import SimulatorBackend
 from repro.platforms import (
     get_platform,
+    parse_fault_model,
     parse_noise_model,
     parse_placement,
     parse_speed_profile,
@@ -104,6 +107,8 @@ class CampaignPoint:
     placement: Optional[str] = None
     speed_profile: Optional[str] = None
     noise_model: Optional[str] = None
+    fault_model: Optional[str] = None
+    fault_seed: Optional[int] = None
 
     def key(self) -> str:
         """Stable content hash identifying this configuration in a store."""
@@ -132,6 +137,10 @@ class CampaignPoint:
             record["speed_profile"] = self.speed_profile
         if self.noise_model is not None:
             record["noise_model"] = self.noise_model
+        if self.fault_model is not None:
+            record["fault_model"] = self.fault_model
+        if self.fault_seed is not None:
+            record["fault_seed"] = self.fault_seed
         return record
 
     @classmethod
@@ -150,6 +159,12 @@ class CampaignPoint:
             ),
             noise_model=(
                 None if data.get("noise_model") is None else str(data["noise_model"])
+            ),
+            fault_model=(
+                None if data.get("fault_model") is None else str(data["fault_model"])
+            ),
+            fault_seed=(
+                None if data.get("fault_seed") is None else int(data["fault_seed"])
             ),
         )
 
@@ -181,6 +196,9 @@ class CampaignPoint:
         noise = parse_noise_model(self.noise_model)
         if noise is not None:
             platform = platform.with_noise(noise)
+        faults = parse_fault_model(self.fault_model)
+        if faults is not None:
+            platform = platform.with_faults(faults)
         return platform
 
     def request(self) -> PredictionRequest:
@@ -196,19 +214,24 @@ class CampaignPoint:
     def backend_spec(self) -> BackendSpec:
         """What to pass as ``backend=`` to the prediction service.
 
-        Plain registered names pass through; a noisy simulator point builds
-        the configured :class:`~repro.backends.simulator.SimulatorBackend`
-        so each seed gets its own deterministic jitter stream.
+        Plain registered names pass through; a noisy or faulty simulator
+        point builds the configured
+        :class:`~repro.backends.simulator.SimulatorBackend` so each seed
+        gets its own deterministic jitter / failure streams.
         """
-        if self.backend == "simulator" and self.noise_seed is not None:
+        if self.backend == "simulator" and (
+            self.noise_seed is not None or self.fault_seed is not None
+        ):
             return SimulatorBackend(
-                compute_noise=self.compute_noise, noise_seed=self.noise_seed
+                compute_noise=self.compute_noise,
+                noise_seed=self.noise_seed or 0,
+                fault_seed=self.fault_seed or 0,
             )
         return self.backend
 
-    def backend_group(self) -> tuple[str, Optional[int]]:
+    def backend_group(self) -> tuple[str, Optional[int], Optional[int]]:
         """Grouping key for batching points through one ``predict_many`` call."""
-        return (self.backend, self.noise_seed)
+        return (self.backend, self.noise_seed, self.fault_seed)
 
 
 def _as_tuple(values: Any, coerce) -> tuple:
@@ -265,6 +288,8 @@ class CampaignSpec:
     placements: Tuple[Optional[str], ...] = (None,)
     speed_profiles: Tuple[Optional[str], ...] = (None,)
     noise_models: Tuple[Optional[str], ...] = (None,)
+    fault_models: Tuple[Optional[str], ...] = (None,)
+    fault_seeds: Tuple[Optional[int], ...] = (None,)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "apps", _as_tuple(self.apps, str))
@@ -281,7 +306,12 @@ class CampaignSpec:
             "noise_seeds",
             _as_tuple(self.noise_seeds, lambda s: None if s is None else int(s)),
         )
-        for axis in ("placements", "speed_profiles", "noise_models"):
+        object.__setattr__(
+            self,
+            "fault_seeds",
+            _as_tuple(self.fault_seeds, lambda s: None if s is None else int(s)),
+        )
+        for axis in ("placements", "speed_profiles", "noise_models", "fault_models"):
             object.__setattr__(
                 self,
                 axis,
@@ -301,6 +331,8 @@ class CampaignSpec:
             "placements",
             "speed_profiles",
             "noise_models",
+            "fault_models",
+            "fault_seeds",
         ):
             if not getattr(self, axis):
                 raise ValueError(f"campaign axis {axis!r} has no values")
@@ -330,33 +362,42 @@ class CampaignSpec:
 
         Noise seeds differentiate only *stochastic* simulator points - the
         legacy ``compute_noise`` amplitude or a stochastic ``noise_models``
-        entry (``sampled:...``); the analytic model and deterministic noise
-        models are seed-independent, so their seeds are normalised away
-        rather than duplicating work.
+        entry (``sampled:...``); fault seeds likewise differentiate only
+        simulator points whose fault model actually fails (finite MTBF).
+        The analytic model and deterministic scenarios are seed-independent,
+        so their seeds are normalised away rather than duplicating work.
         """
         stochastic_noise = {
             noise: (parsed := parse_noise_model(noise)) is not None
             and parsed.is_stochastic
             for noise in self.noise_models
         }
+        failing_faults = {
+            fault: (parsed := parse_fault_model(fault)) is not None and parsed.fails
+            for fault in self.fault_models
+        }
         seen: set[str] = set()
         expanded: list[CampaignPoint] = []
-        for app, platform, cores, htile, backend, seed, placement, profile, noise in (
-            itertools.product(
-                self.apps,
-                self.platforms,
-                self.total_cores,
-                self.htiles,
-                self.backends,
-                self.noise_seeds,
-                self.placements,
-                self.speed_profiles,
-                self.noise_models,
-            )
+        for (
+            app, platform, cores, htile, backend, seed,
+            placement, profile, noise, fault, fault_seed,
+        ) in itertools.product(
+            self.apps,
+            self.platforms,
+            self.total_cores,
+            self.htiles,
+            self.backends,
+            self.noise_seeds,
+            self.placements,
+            self.speed_profiles,
+            self.noise_models,
+            self.fault_models,
+            self.fault_seeds,
         ):
             stochastic = backend == "simulator" and (
                 self.compute_noise > 0.0 or stochastic_noise[noise]
             )
+            faulting = backend == "simulator" and failing_faults[fault]
             point = CampaignPoint(
                 app=app,
                 platform=platform,
@@ -368,6 +409,8 @@ class CampaignSpec:
                 placement=placement,
                 speed_profile=profile,
                 noise_model=noise,
+                fault_model=fault,
+                fault_seed=fault_seed if faulting else None,
             )
             key = point.key()
             if key not in seen:
@@ -404,6 +447,10 @@ class CampaignSpec:
             record["speed_profiles"] = list(self.speed_profiles)
         if self.noise_models != (None,):
             record["noise_models"] = list(self.noise_models)
+        if self.fault_models != (None,):
+            record["fault_models"] = list(self.fault_models)
+        if self.fault_seeds != (None,):
+            record["fault_seeds"] = list(self.fault_seeds)
         return record
 
     @classmethod
@@ -428,6 +475,8 @@ class CampaignSpec:
             "placements",
             "speed_profiles",
             "noise_models",
+            "fault_models",
+            "fault_seeds",
         }
         unknown = set(data) - known
         if unknown:

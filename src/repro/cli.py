@@ -51,6 +51,7 @@ from repro.calibration.workrate import (
     measure_stencil_wg,
     measure_transport_wg,
 )
+from repro.core.faults import FaultModel
 from repro.core.model import FILL_METHODS
 from repro.devtools.lint.cli import add_lint_arguments, run_lint
 from repro.optimize import (
@@ -63,8 +64,10 @@ from repro.optimize import (
 from repro.platforms import (
     describe_platform,
     get_platform,
+    parse_fault_model,
     parse_noise_model,
     parse_placement,
+    parse_slowdown_windows,
     parse_speed_profile,
     platform_registry,
 )
@@ -101,15 +104,36 @@ def _resolve_backend(args: argparse.Namespace) -> str:
 
 
 def _scenario_platform(args: argparse.Namespace):
-    """The platform with any --speed-profile / --noise scenario applied."""
+    """The platform with any scenario flags applied.
+
+    Handles ``--speed-profile``, ``--slowdown-windows``, ``--noise``,
+    ``--faults`` and the ``--mtbf`` / ``--checkpoint-interval`` shorthands
+    (which merge into the fault model).
+    """
+    from dataclasses import replace
+    from repro.core.hetero import SpeedProfile
+
     platform = get_platform(args.platform)
     try:
         profile = parse_speed_profile(getattr(args, "speed_profile", None))
+        windows = parse_slowdown_windows(getattr(args, "slowdown_windows", None))
+        if windows:
+            profile = replace(profile or SpeedProfile(), windows=windows)
         if profile is not None:
             platform = platform.with_speed_profile(profile)
         noise = parse_noise_model(getattr(args, "noise", None))
         if noise is not None:
             platform = platform.with_noise(noise)
+        faults = parse_fault_model(getattr(args, "faults", None))
+        overrides = {}
+        if getattr(args, "mtbf", None) is not None:
+            overrides["mtbf_us"] = args.mtbf
+        if getattr(args, "checkpoint_interval", None) is not None:
+            overrides["checkpoint_interval_us"] = args.checkpoint_interval
+        if overrides:
+            faults = replace(faults or FaultModel(), **overrides)
+        if faults is not None:
+            platform = platform.with_faults(faults)
     except ValueError as exc:
         raise SystemExit(str(exc)) from exc
     return platform
@@ -126,12 +150,26 @@ def _cmd_predict(args: argparse.Namespace) -> int:
         mapping = parse_placement(args.placement, platform)
     except ValueError as exc:
         raise SystemExit(str(exc)) from exc
+    backend = _resolve_backend(args)
+    fault_seed = getattr(args, "fault_seed", 0)
+    link_contention = bool(getattr(args, "link_contention", False))
+    if fault_seed or link_contention:
+        if backend != "simulator":
+            raise SystemExit(
+                "--fault-seed and --link-contention configure the event "
+                "simulator; combine them with --backend simulator"
+            )
+        from repro.backends.simulator import SimulatorBackend
+
+        backend = SimulatorBackend(
+            fault_seed=fault_seed, link_contention=link_contention
+        )
     result = predict_one(
         spec,
         platform,
         total_cores=args.cores,
         core_mapping=mapping,
-        backend=_resolve_backend(args),
+        backend=backend,
     )
     summary = result.summary()
     if args.json:
@@ -549,12 +587,49 @@ def build_parser() -> argparse.ArgumentParser:
             help="background-noise model: none, quantum:<quantum_us>/<period_us> "
             "or sampled:<amplitude>",
         )
+        p.add_argument(
+            "--slowdown-windows",
+            default=None,
+            help="time-varying slowdown windows (simulator only), "
+            "';'-separated <start_us>-<end_us>x<factor>[@<i,j,...>] entries",
+        )
+        p.add_argument(
+            "--faults",
+            default=None,
+            help="fault/checkpoint model, '/'-separated key:value pairs in "
+            "microseconds: mtbf, repair, restart, interval, dump "
+            "(e.g. mtbf:2e9/repair:1e6/interval:1e6/dump:5e3)",
+        )
+        p.add_argument(
+            "--mtbf",
+            type=float,
+            default=None,
+            help="mean time between failures in us (shorthand merged into --faults)",
+        )
+        p.add_argument(
+            "--checkpoint-interval",
+            type=float,
+            default=None,
+            help="checkpoint period in us (shorthand merged into --faults)",
+        )
 
     p_predict = sub.add_parser("predict", help="predict execution time")
     add_common(p_predict)
     p_predict.add_argument("--htile", type=float, default=None)
     p_predict.add_argument("--time-steps", type=int, default=None)
     add_scenario_flags(p_predict)
+    p_predict.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed of the per-rank failure streams (simulator backend only)",
+    )
+    p_predict.add_argument(
+        "--link-contention",
+        action="store_true",
+        help="serialise overlapping off-node payloads on per-link FIFO "
+        "queues (simulator backend only)",
+    )
     p_predict.add_argument(
         "--method",
         choices=FILL_METHODS,

@@ -1,0 +1,199 @@
+"""Fault, checkpoint/restart and recovery value types.
+
+The paper's model (and every scenario added so far) assumes nodes that
+never fail mid-run.  Real machines at scale fail constantly - the classic
+resilience literature (Daly's optimal-checkpoint analysis and its
+ancestors) models a node as failing with exponentially-distributed
+inter-failure times of mean MTBF, the application writing periodic
+checkpoints, and every failure costing a repair, a restart and the rework
+of everything computed since the last checkpoint.
+
+:class:`FaultModel` is the frozen value type describing such a machine.
+It is attached to :class:`~repro.core.loggp.Platform` (``platform.faults``)
+and consumed by two backends:
+
+* the discrete-event simulator replays seeded per-rank failure streams
+  (``random.Random(fault_seed * 2_000_003 + rank)``) and injects the
+  checkpoint-dump, repair/restart and rework costs into each rank's
+  compute timeline (:mod:`repro.simulator.machine`);
+* the analytic model applies the deterministic checkpoint-dump inflation
+  ``1 + dump/interval`` to the per-tile work and adds a bounded
+  *expected-rework* correction ``E[failures] x mean rework``
+  (:func:`expected_rework_us`), mirroring the bounded-heterogeneity
+  correction of :mod:`repro.core.model`.
+
+The analytic correction is a first-order expansion, accurate only while
+failures are rare within one run (:func:`rework_guard`); outside the guard
+the simulator is the reference and the analytic backends refuse the
+configuration rather than report a silently-wrong number.
+
+>>> fm = FaultModel(mtbf_us=1e9, repair_us=1e6, checkpoint_interval_us=1e7,
+...                 checkpoint_cost_us=1e4)
+>>> fm.is_null
+False
+>>> FaultModel().is_null
+True
+>>> round(fm.checkpoint_inflation(), 3)
+1.001
+>>> expected_rework_us(fm, 0.0)
+0.0
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "FaultModel",
+    "FAULT_STREAM_STRIDE",
+    "expected_failures",
+    "expected_rework_us",
+    "rework_guard",
+]
+
+#: Multiplier deriving a rank's failure stream seed from the fault seed:
+#: ``Random(fault_seed * FAULT_STREAM_STRIDE + rank)``.  Deliberately a
+#: different prime from the noise streams' ``1_000_003`` so fault schedules
+#: are independent of noise seeds (changing one never changes the other).
+FAULT_STREAM_STRIDE = 2_000_003
+
+#: Applicability guard for the analytic expected-rework correction: the
+#: first-order expansion is only trusted while the expected number of
+#: failures per run stays below this bound.
+MAX_EXPECTED_FAILURES = 0.5
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """Node fail/recover behaviour plus checkpoint/restart costs.
+
+    All times are microseconds, matching the rest of the model.  The
+    defaults describe a machine that never fails and never checkpoints -
+    the *null* model, whose attachment must not change any prediction bit
+    for bit (:attr:`is_null`).
+
+    ``mtbf_us``
+        Mean time between failures of one rank's node (exponential
+        inter-failure times); ``inf`` disables failures.
+    ``repair_us`` / ``restart_us``
+        Downtime after a failure: hardware repair/failover plus the
+        application restart (checkpoint read-back).
+    ``checkpoint_interval_us``
+        Compute time between checkpoint dumps; ``inf`` disables
+        checkpointing (a failure then reworks everything computed so far).
+    ``checkpoint_cost_us``
+        Time to write one checkpoint dump.
+
+    >>> FaultModel(mtbf_us=5e8).is_null
+    False
+    >>> FaultModel(checkpoint_interval_us=1e7, checkpoint_cost_us=0.0).is_null
+    True
+    """
+
+    mtbf_us: float = math.inf
+    repair_us: float = 0.0
+    restart_us: float = 0.0
+    checkpoint_interval_us: float = math.inf
+    checkpoint_cost_us: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.mtbf_us <= 0:
+            raise ValueError("mtbf_us must be positive (inf disables failures)")
+        if self.repair_us < 0 or self.restart_us < 0:
+            raise ValueError("repair_us and restart_us must be non-negative")
+        if self.checkpoint_interval_us <= 0:
+            raise ValueError(
+                "checkpoint_interval_us must be positive (inf disables checkpointing)"
+            )
+        if self.checkpoint_cost_us < 0:
+            raise ValueError("checkpoint_cost_us must be non-negative")
+
+    @property
+    def is_null(self) -> bool:
+        """True when the model never changes any timeline.
+
+        The fault-free limit: no failures ever strike *and* checkpoint
+        dumps cost nothing (either never taken or free), so attaching the
+        model preserves every prediction bit for bit.
+        """
+        return self.mtbf_us == math.inf and (
+            self.checkpoint_interval_us == math.inf or self.checkpoint_cost_us == 0.0  # repro: noqa[RPR004] bit-for-bit fault-free-limit contract
+        )
+
+    @property
+    def fails(self) -> bool:
+        """True when failures can actually strike (finite MTBF)."""
+        return self.mtbf_us != math.inf
+
+    def checkpoint_inflation(self) -> float:
+        """Deterministic work stretch from periodic checkpoint dumps.
+
+        Every ``checkpoint_interval_us`` of compute pays one
+        ``checkpoint_cost_us`` dump, stretching compute by
+        ``1 + cost/interval``; exactly 1.0 when checkpointing is disabled
+        or free.
+
+        >>> FaultModel(checkpoint_interval_us=1e6,
+        ...            checkpoint_cost_us=5e4).checkpoint_inflation()
+        1.05
+        """
+        if self.checkpoint_interval_us == math.inf:
+            return 1.0
+        return 1.0 + self.checkpoint_cost_us / self.checkpoint_interval_us
+
+    def mean_rework_us(self, base_time_us: float) -> float:
+        """Expected cost of one failure: downtime plus rework.
+
+        A failure pays repair + restart, then redoes the work since the
+        last checkpoint - on average half a checkpoint interval, capped at
+        the run length (an uncheckpointed run reworks on average half of
+        what it has computed).
+        """
+        interval = min(self.checkpoint_interval_us, base_time_us)
+        return self.repair_us + self.restart_us + interval / 2.0
+
+
+def expected_failures(model: FaultModel, base_time_us: float) -> float:
+    """Expected failures of one rank during ``base_time_us`` of compute."""
+    if not model.fails:
+        return 0.0
+    return base_time_us / model.mtbf_us
+
+
+def expected_rework_us(model: FaultModel, base_time_us: float) -> float:
+    """Bounded expected-rework correction: ``E[failures] x mean rework``.
+
+    First-order resilience overhead of a run whose fault-free span is
+    ``base_time_us``: non-negative, vanishing as MTBF grows to ``inf``,
+    and monotone in the failure rate ``1/MTBF``.  Valid only within
+    :func:`rework_guard` (rare failures); the callers enforce the guard.
+
+    >>> fm = FaultModel(mtbf_us=1e8, repair_us=1e5, restart_us=1e5,
+    ...                 checkpoint_interval_us=1e6)
+    >>> expected_rework_us(fm, 1e6)  # 0.01 failures x 700_000 us
+    7000.0
+    >>> expected_rework_us(FaultModel(), 1e6)
+    0.0
+    """
+    failures = expected_failures(model, base_time_us)
+    if failures == 0.0:  # repro: noqa[RPR004] exactly 0.0 when the model never fails (fault-free limit)
+        return 0.0
+    return failures * model.mean_rework_us(base_time_us)
+
+
+def rework_guard(model: FaultModel, base_time_us: float) -> None:
+    """Raise unless the first-order rework correction is applicable.
+
+    The correction linearises "failures during rework" away, so it is only
+    trusted while failures are rare within one run:
+    ``E[failures] <= 0.5``.  Beyond that, use the simulator backend.
+    """
+    failures = expected_failures(model, base_time_us)
+    if failures > MAX_EXPECTED_FAILURES:
+        raise ValueError(
+            f"analytic expected-rework correction is out of its applicability "
+            f"range: E[failures] = {failures:.2f} > {MAX_EXPECTED_FAILURES} per "
+            f"run (mtbf_us={model.mtbf_us:g}, run={base_time_us:g} us); use "
+            f"the simulator backend for failure-dominated regimes"
+        )

@@ -37,6 +37,7 @@ from typing import List, Tuple
 from repro.core.decomposition import CoreMapping, ProcessorGrid
 
 __all__ = [
+    "SlowdownWindow",
     "SpeedProfile",
     "NoiseModel",
     "NoNoise",
@@ -57,6 +58,58 @@ __all__ = [
 # ---------------------------------------------------------------------------
 
 @dataclass(frozen=True)
+class SlowdownWindow:
+    """A time-varying slowdown: a work-time multiplier active for a while.
+
+    Models transient degradation - a thermal-throttling episode, a burst of
+    contention from a co-scheduled job, a rack losing a fan - as a
+    piecewise-constant multiplier on simulated time: compute starting
+    within ``[start_us, end_us)`` takes ``factor`` times longer.  An empty
+    ``nodes`` tuple applies the window to every node; otherwise only the
+    listed node indices (the convention of :func:`node_index_of`) slow
+    down.
+
+    Windows are sampled at compute-operation granularity (the multiplier in
+    force when an operation *starts* applies to the whole operation), which
+    is why they are a simulator-only scenario: the analytic fast path
+    declares them unsupported and the event engine takes over.
+
+    >>> window = SlowdownWindow(1000.0, 2000.0, 2.0)
+    >>> window.factor_at(0, 1500.0), window.factor_at(0, 2500.0)
+    (2.0, 1.0)
+    """
+
+    start_us: float
+    end_us: float
+    factor: float
+    nodes: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.start_us < 0:
+            raise ValueError("window start_us must be non-negative")
+        if self.end_us <= self.start_us:
+            raise ValueError("window end_us must exceed start_us")
+        if self.factor <= 0:
+            raise ValueError("window factor must be positive")
+        if any(node < 0 for node in self.nodes):
+            raise ValueError("window node indices must be non-negative")
+        object.__setattr__(self, "nodes", tuple(sorted(set(self.nodes))))
+
+    @property
+    def is_trivial(self) -> bool:
+        """True when the window never changes any compute time."""
+        return self.factor == 1.0  # repro: noqa[RPR004] bit-for-bit homogeneous-limit contract requires exact 1.0
+
+    def factor_at(self, node: int, time_us: float) -> float:
+        """The multiplier this window contributes at ``time_us`` on ``node``."""
+        if self.nodes and node not in self.nodes:
+            return 1.0
+        if self.start_us <= time_us < self.end_us:
+            return self.factor
+        return 1.0
+
+
+@dataclass(frozen=True)
 class SpeedProfile:
     """Per-node compute-speed multipliers (work-*time* multipliers).
 
@@ -68,16 +121,25 @@ class SpeedProfile:
     machine actually built for a given grid simply select no node (so one
     profile can be swept across several machine sizes).
 
+    ``windows`` adds *time-varying* slowdowns on top of the static
+    per-node multipliers: each :class:`SlowdownWindow` multiplies the
+    work time of compute starting inside its ``[start_us, end_us)`` span
+    (overlapping windows compound multiplicatively).
+
     >>> profile = SpeedProfile.stragglers(2, 2.0)
     >>> profile.multiplier_for_node(0), profile.multiplier_for_node(5)
     (2.0, 1.0)
     >>> SpeedProfile().is_trivial, profile.is_trivial
     (True, False)
+    >>> windowed = SpeedProfile(windows=(SlowdownWindow(0.0, 100.0, 3.0),))
+    >>> windowed.multiplier_at(0, 50.0), windowed.multiplier_at(0, 200.0)
+    (3.0, 1.0)
     """
 
     baseline: float = 1.0
     slowdown: float = 1.0
     slow_nodes: Tuple[int, ...] = ()
+    windows: Tuple[SlowdownWindow, ...] = ()
 
     def __post_init__(self) -> None:
         if self.baseline <= 0 or self.slowdown <= 0:
@@ -85,6 +147,7 @@ class SpeedProfile:
         if any(node < 0 for node in self.slow_nodes):
             raise ValueError("slow node indices must be non-negative")
         object.__setattr__(self, "slow_nodes", tuple(sorted(set(self.slow_nodes))))
+        object.__setattr__(self, "windows", tuple(self.windows))
 
     @classmethod
     def stragglers(cls, count: int, slowdown: float, baseline: float = 1.0) -> "SpeedProfile":
@@ -100,13 +163,39 @@ class SpeedProfile:
         The homogeneous limit: attaching a trivial profile to a platform
         must not change any prediction, bit for bit.
         """
-        return self.baseline == 1.0 and (self.slowdown == 1.0 or not self.slow_nodes)  # repro: noqa[RPR004] bit-for-bit homogeneous-limit contract requires exact 1.0
+        static_trivial = self.baseline == 1.0 and (self.slowdown == 1.0 or not self.slow_nodes)  # repro: noqa[RPR004] bit-for-bit homogeneous-limit contract requires exact 1.0
+        return static_trivial and not self.has_windows
+
+    @property
+    def has_windows(self) -> bool:
+        """True when any window can actually change a compute time."""
+        return any(not window.is_trivial for window in self.windows)
 
     def multiplier_for_node(self, node: int) -> float:
-        """The work-time multiplier of node ``node``."""
+        """The *static* work-time multiplier of node ``node`` (no windows)."""
         if self.slow_nodes and node in self.slow_nodes:
             return self.baseline * self.slowdown
         return self.baseline
+
+    def window_factor(self, node: int, time_us: float) -> float:
+        """The combined factor of every window active at ``time_us``.
+
+        Exactly 1.0 when no window covers the instant, so the simulator can
+        apply it on top of the static multiplier without disturbing the
+        homogeneous limit bit for bit.
+        """
+        factor = 1.0
+        for window in self.windows:
+            contribution = window.factor_at(node, time_us)
+            if contribution != 1.0:  # repro: noqa[RPR004] inactive windows contribute exactly 1.0 (bit-for-bit identity)
+                factor *= contribution
+        return factor
+
+    def multiplier_at(self, node: int, time_us: float) -> float:
+        """The full work-time multiplier of ``node`` at simulated time
+        ``time_us``: the static per-node multiplier times every active
+        window's factor."""
+        return self.multiplier_for_node(node) * self.window_factor(node, time_us)
 
 
 # ---------------------------------------------------------------------------

@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
+from repro.core.faults import FaultModel
 from repro.core.hetero import NoiseModel, SpeedProfile
 from repro.util.caching import cached_field_hash
 
@@ -192,12 +193,16 @@ class Platform:
       one node when ``node.cores_per_chip`` subdivides the node.  Messages
       then resolve to one of three hop levels by rank placement: intra-chip
       (``on_chip``), intra-node (``intra_node``), inter-node (``off_node``);
-    * ``speed_profile`` - per-node compute-speed multipliers (stragglers);
-    * ``noise`` - a background-interference model stretching compute times.
+    * ``speed_profile`` - per-node compute-speed multipliers (stragglers)
+      plus optional time-varying slowdown windows;
+    * ``noise`` - a background-interference model stretching compute times;
+    * ``faults`` - node fail/recover behaviour with checkpoint/restart
+      costs (see :mod:`repro.core.faults` and ``docs/faults.md``).
 
-    All three default to ``None`` (the paper's homogeneous, quiet machine),
-    and the trivial settings (all multipliers 1.0, null noise, one chip per
-    node) reproduce the homogeneous predictions bit-identically.
+    All of them default to ``None`` (the paper's homogeneous, quiet,
+    fault-free machine), and the trivial settings (all multipliers 1.0,
+    null noise, null faults, one chip per node) reproduce the homogeneous
+    predictions bit-identically.
     """
 
     name: str
@@ -214,6 +219,8 @@ class Platform:
     speed_profile: Optional["SpeedProfile"] = None
     #: Background-interference model applied to compute operations.
     noise: Optional["NoiseModel"] = None
+    #: Node fail/recover behaviour plus checkpoint/restart costs.
+    faults: Optional["FaultModel"] = None
 
     def __post_init__(self) -> None:
         if self.compute_scale <= 0:
@@ -254,6 +261,8 @@ class Platform:
         if self.speed_profile is not None and not self.speed_profile.is_trivial:
             return False
         if self.noise is not None and not self.noise.is_null:
+            return False
+        if self.faults is not None and not self.faults.is_null:
             return False
         return not self.is_hierarchical
 
@@ -296,6 +305,10 @@ class Platform:
     def with_noise(self, noise: Optional[NoiseModel]) -> "Platform":
         """Return a copy with a different background-noise model."""
         return replace(self, noise=noise)
+
+    def with_faults(self, faults: Optional[FaultModel]) -> "Platform":
+        """Return a copy with a different fault/checkpoint model."""
+        return replace(self, faults=faults)
 
     def with_hierarchy(
         self, cores_per_chip: int, intra_node: OffNodeParams

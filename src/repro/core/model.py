@@ -77,6 +77,7 @@ from dataclasses import dataclass
 
 from repro.apps.base import WavefrontSpec
 from repro.core.decomposition import CoreMapping, ProcessorGrid
+from repro.core.faults import expected_rework_us, rework_guard
 from repro.core.hetero import column_multipliers, diagonal_multipliers, max_multiplier
 from repro.core.loggp import Platform
 from repro.core.multicore import (
@@ -155,6 +156,10 @@ class IterationPrediction:
     nsweeps: int
     nfull: int
     ndiag: int
+    #: Bounded expected-rework correction (``E[failures] x mean rework``) of
+    #: the platform's fault model; exactly 0.0 on fault-free platforms, so
+    #: every homogeneous result stays bit-identical.
+    trework: float = 0.0
 
     @property
     def tdiagfill(self) -> float:
@@ -175,22 +180,28 @@ class IterationPrediction:
 
     @property
     def time_per_iteration(self) -> float:
-        """Equation (r5): the time for one iteration, microseconds."""
+        """Equation (r5) plus the expected-rework correction, microseconds."""
         return (
             self.ndiag * self.fill.tdiagfill
             + self.nfull * self.fill.tfullfill
             + self.nsweeps * self.stack.total
             + self.tnonwavefront
+            + self.trework
         )
 
     @property
     def computation_per_iteration(self) -> float:
-        """Computation component of the iteration time (Figure 11)."""
+        """Computation component of the iteration time (Figure 11).
+
+        Rework redoes computation (plus node downtime), so the correction
+        counts here rather than in the communication component.
+        """
         return (
             self.ndiag * self.fill.tdiagfill_work
             + self.nfull * self.fill.tfullfill_work
             + self.nsweeps * self.stack.work
             + self.tnonwavefront_work
+            + self.trework
         )
 
     @property
@@ -408,6 +419,32 @@ def _fill_heterogeneity_extras(
     return extra_diag, extra_full
 
 
+def _require_analytic_supported(platform: Platform) -> None:
+    """Reject simulator-only scenarios instead of silently mispricing them.
+
+    Time-varying slowdown windows change compute costs with *event times*,
+    which no closed-form path expression can honour; the event simulator is
+    the only backend that prices them.
+    """
+    profile = platform.speed_profile
+    if profile is not None and profile.has_windows:
+        raise ValueError(
+            "time-varying slowdown windows are a simulator-only scenario; "
+            "use the simulator backend (see docs/faults.md)"
+        )
+
+
+def _fault_inflation(platform: Platform) -> float:
+    """Deterministic checkpoint-dump stretch of the platform's fault model.
+
+    Exactly 1.0 on fault-free platforms (and on fault models that never
+    checkpoint), preserving the homogeneous results bit for bit.
+    """
+    if platform.faults is None:
+        return 1.0
+    return platform.faults.checkpoint_inflation()
+
+
 def fill_times(
     spec: WavefrontSpec,
     platform: Platform,
@@ -432,6 +469,7 @@ def fill_times(
     """
     if method not in FILL_METHODS:
         raise ValueError(f"method must be one of {FILL_METHODS}, got {method!r}")
+    _require_analytic_supported(platform)
     mapping = resolve_core_mapping(platform, core_mapping)
     n, m = grid.n, grid.m
     w = spec.work_per_tile(grid, platform)
@@ -442,6 +480,12 @@ def fill_times(
         # model charges the mean factor (see repro.core.hetero).
         w *= inflation
         wpre *= inflation
+    dump = _fault_inflation(platform)
+    if dump != 1.0:  # repro: noqa[RPR004] exactly 1.0 on fault-free platforms; fast path preserves bit-for-bit identity
+        # Periodic checkpoint dumps stretch every compute operation by the
+        # duty-cycle factor 1 + cost/interval (see repro.core.faults).
+        w *= dump
+        wpre *= dump
     table, multicore = _fill_cost_table(spec, platform, grid, mapping)
     cx, cy = len(table), len(table[0])
 
@@ -499,12 +543,17 @@ def stack_time(
     each tile), so the per-tile work is scaled by the profile's maximum
     multiplier; background noise scales it by the mean inflation factor.
     """
+    _require_analytic_supported(platform)
     w = spec.work_per_tile(grid, platform)
     wpre = spec.pre_work_per_tile(grid, platform)
     inflation = platform.noise_inflation()
     if inflation != 1.0:  # repro: noqa[RPR004] exactly 1.0 on homogeneous platforms; fast path preserves bit-for-bit identity
         w *= inflation
         wpre *= inflation
+    dump = _fault_inflation(platform)
+    if dump != 1.0:  # repro: noqa[RPR004] exactly 1.0 on fault-free platforms; fast path preserves bit-for-bit identity
+        w *= dump
+        wpre *= dump
     profile = platform.speed_profile
     if profile is not None and not profile.is_trivial:
         mapping = resolve_core_mapping(platform, core_mapping)
@@ -550,11 +599,29 @@ def iteration_prediction(
     inflation = platform.noise_inflation()
     if inflation != 1.0:  # repro: noqa[RPR004] exactly 1.0 on homogeneous platforms; fast path preserves bit-for-bit identity
         nonwf_work *= inflation
+    dump = _fault_inflation(platform)
+    if dump != 1.0:  # repro: noqa[RPR004] exactly 1.0 on fault-free platforms; fast path preserves bit-for-bit identity
+        nonwf_work *= dump
     profile = platform.speed_profile
     if profile is not None and not profile.is_trivial:
         slowest = max_multiplier(profile, grid, mapping)
         if slowest != 1.0:  # repro: noqa[RPR004] trivial profile yields exactly 1.0; skip to keep identity
             nonwf_work *= slowest
+    trework = 0.0
+    faults = platform.faults
+    if faults is not None and faults.fails:
+        # Bounded expected-rework correction: E[failures] x mean rework
+        # over the iteration's fault-free span, first-order and guarded
+        # (rare-failure regime only; see docs/faults.md).
+        base_time = (
+            spec.ndiag * fill.tdiagfill
+            + spec.nfull * fill.tfullfill
+            + spec.nsweeps * stack.total
+            + nonwf_work
+            + nonwf_comm
+        )
+        rework_guard(faults, base_time)
+        trework = expected_rework_us(faults, base_time)
     return IterationPrediction(
         spec_name=spec.name,
         platform_name=platform.name,
@@ -569,4 +636,5 @@ def iteration_prediction(
         nsweeps=spec.nsweeps,
         nfull=spec.nfull,
         ndiag=spec.ndiag,
+        trework=trework,
     )

@@ -33,7 +33,9 @@ so homogeneous-platform results are bit-identical):
 * the Table 1 communication-cost kernels at all three hop levels, the
   stack costs with Table 6 bus contention, and the all-reduce
   non-wavefront term (equation (9));
-* noise mean-inflation of ``W``/``Wpre`` (a scalar factor per group).
+* noise mean-inflation and checkpoint-dump inflation of ``W``/``Wpre``
+  (scalar factors per group), plus the per-point bounded expected-rework
+  correction of fault-model platforms (see :mod:`repro.core.faults`).
 
 Per-point scalar fallbacks (delegating to the scalar model, so results
 match by construction):
@@ -71,12 +73,15 @@ from repro.apps.base import AllReduceNonWavefront, NoNonWavefront, WavefrontSpec
 from repro.core.decomposition import CoreMapping, ProcessorGrid
 from repro.core.hetero import max_multiplier
 from repro.core.loggp import OffNodeParams, OnChipParams, Platform
+from repro.core.faults import expected_rework_us, rework_guard
 from repro.core.model import (
     _FOLD_BASE_PERIODS,
     _FOLD_REL_TOL,
     _count_residue,
+    _fault_inflation,
     _fill_cost_table,
     _fill_heterogeneity_extras,
+    _require_analytic_supported,
     _startp_exact,
     iteration_prediction,
 )
@@ -571,7 +576,8 @@ class PointValues:
 
     ``stack_phase`` is ``nsweeps * Tstack`` and ``nonwavefront_phase`` is
     ``Tnonwavefront`` - the two non-fill entries of the analytic backends'
-    phase breakdown.
+    phase breakdown.  ``rework`` is the bounded expected-rework correction
+    of fault-model platforms, exactly 0.0 on fault-free ones.
     """
 
     time_per_iteration: float
@@ -579,6 +585,7 @@ class PointValues:
     pipeline_fill: float
     stack_phase: float
     nonwavefront_phase: float
+    rework: float = 0.0
 
 
 def _scalar_point(config: _Config) -> PointValues:
@@ -591,6 +598,7 @@ def _scalar_point(config: _Config) -> PointValues:
         pipeline_fill=iteration.pipeline_fill_time,
         stack_phase=iteration.nsweeps * iteration.stack.total,
         nonwavefront_phase=iteration.tnonwavefront,
+        rework=iteration.trework,
     )
 
 
@@ -626,6 +634,7 @@ def _evaluate_group(
     configs: Sequence[_Config],
 ) -> List[PointValues]:
     """Evaluate one ``(platform, mapping)`` group as struct-of-arrays."""
+    _require_analytic_supported(platform)
     specs = [config[0] for config in configs]
     grids = [config[2] for config in configs]
 
@@ -647,6 +656,10 @@ def _evaluate_group(
     if inflation != 1.0:  # repro: noqa[RPR004] exactly 1.0 on homogeneous platforms; preserves bit-for-bit identity
         w_list = [w * inflation for w in w_list]
         wpre_list = [wpre * inflation for wpre in wpre_list]
+    dump = _fault_inflation(platform)
+    if dump != 1.0:  # repro: noqa[RPR004] exactly 1.0 on fault-free platforms; preserves bit-for-bit identity
+        w_list = [w * dump for w in w_list]
+        wpre_list = [wpre * dump for wpre in wpre_list]
 
     multicore = platform.is_multicore and mapping.cores_per_node > 1
     profile = platform.speed_profile
@@ -701,11 +714,15 @@ def _evaluate_group(
     # The schedule counters walk the phase tuple on each access; id-keyed
     # memoisation is safe here because `configs` keeps every spec alive.
     schedule_counts: Dict[int, Tuple[int, int, int]] = {}
+    faults = platform.faults
+    fails = faults is not None and faults.fails
     points = []
     for i, spec in enumerate(specs):
         nonwf_work = nonwf_work_list[i]
         if inflation != 1.0:  # repro: noqa[RPR004] exactly 1.0 on homogeneous platforms; preserves bit-for-bit identity
             nonwf_work *= inflation
+        if dump != 1.0:  # repro: noqa[RPR004] exactly 1.0 on fault-free platforms; preserves bit-for-bit identity
+            nonwf_work *= dump
         if heterogeneous and slowest_list[i] != 1.0:  # repro: noqa[RPR004] trivial profile yields exactly 1.0; skip to keep identity
             nonwf_work *= slowest_list[i]
         tnonwavefront = nonwf_work + nonwf_comm_list[i]
@@ -714,20 +731,37 @@ def _evaluate_group(
             counts = (spec.ndiag, spec.nfull, spec.nsweeps)
             schedule_counts[id(spec)] = counts
         ndiag, nfull, nsweeps = counts
+        trework = 0.0
+        if fails:
+            # Same operation order as iteration_prediction's base_time so
+            # the guard and correction agree with the scalar model.
+            base_time = (
+                ndiag * tdiag_list[i]
+                + nfull * tfull_list[i]
+                + nsweeps * stack_total_list[i]
+                + nonwf_work
+                + nonwf_comm_list[i]
+            )
+            rework_guard(faults, base_time)
+            trework = expected_rework_us(faults, base_time)
         pipeline_fill = ndiag * tdiag_list[i] + nfull * tfull_list[i]
         stack_phase = nsweeps * stack_total_list[i]
         points.append(
             PointValues(
-                time_per_iteration=pipeline_fill + stack_phase + tnonwavefront,
+                time_per_iteration=(
+                    pipeline_fill + stack_phase + tnonwavefront + trework
+                ),
                 computation_per_iteration=(
                     ndiag * tdiag_work_list[i]
                     + nfull * tfull_work_list[i]
                     + nsweeps * stack_work_list[i]
                     + nonwf_work
+                    + trework
                 ),
                 pipeline_fill=pipeline_fill,
                 stack_phase=stack_phase,
                 nonwavefront_phase=tnonwavefront,
+                rework=trework,
             )
         )
     return points

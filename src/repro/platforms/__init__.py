@@ -23,8 +23,10 @@ from repro.platforms.custom import custom_platform, platform_registry, get_platf
 from repro.platforms.spec import (
     PlatformSpec,
     describe_platform,
+    parse_fault_model,
     parse_noise_model,
     parse_placement,
+    parse_slowdown_windows,
     parse_speed_profile,
 )
 
@@ -39,7 +41,9 @@ __all__ = [
     "get_platform",
     "PlatformSpec",
     "describe_platform",
+    "parse_fault_model",
     "parse_noise_model",
     "parse_placement",
+    "parse_slowdown_windows",
     "parse_speed_profile",
 ]

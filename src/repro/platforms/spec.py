@@ -6,14 +6,20 @@ platform plus the heterogeneity extensions of :mod:`repro.core.hetero`:
 * a hierarchical interconnect (``cores_per_chip`` + intra-node LogGP
   parameters - messages then resolve per hop to intra-chip, intra-node or
   inter-node costs by rank placement);
-* a per-node compute-speed profile (stragglers / slow nodes);
-* a background-noise model (none / fixed-quantum OS jitter / sampled).
+* a per-node compute-speed profile (stragglers / slow nodes), optionally
+  with time-varying slowdown windows;
+* a background-noise model (none / fixed-quantum OS jitter / sampled);
+* a fault model (MTBF / repair / checkpoint interval and dump cost, see
+  :mod:`repro.core.faults` and ``docs/faults.md``).
 
 The string forms parsed by :func:`parse_speed_profile`,
-:func:`parse_noise_model` and :func:`parse_placement` are the campaign-axis
-and CLI syntax (``--speed-profile stragglers:1x2.0``,
-``--noise quantum:50/1000``, ``--placement 2x1``); see ``docs/platforms.md``
-for the schema and a worked straggler example.
+:func:`parse_noise_model`, :func:`parse_placement`,
+:func:`parse_fault_model` and :func:`parse_slowdown_windows` are the
+campaign-axis and CLI syntax (``--speed-profile stragglers:1x2.0``,
+``--noise quantum:50/1000``, ``--placement 2x1``,
+``--faults mtbf:2e9/interval:1e6/dump:5e3``,
+``--slowdown-windows 0-1e6x2.0@0``); see ``docs/platforms.md`` and
+``docs/faults.md`` for the schema and worked examples.
 
 >>> spec = PlatformSpec(base="cray-xt4",
 ...                     speed_profile="stragglers:1x2.0",
@@ -27,14 +33,17 @@ False
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Any, Mapping, Optional, Union
+from typing import Any, Mapping, Optional, Tuple, Union
 
 from repro.core.decomposition import CoreMapping
+from repro.core.faults import FaultModel
 from repro.core.hetero import (
     FixedQuantumNoise,
     NoiseModel,
     SampledNoise,
+    SlowdownWindow,
     SpeedProfile,
 )
 from repro.core.loggp import OffNodeParams, Platform
@@ -44,6 +53,8 @@ __all__ = [
     "parse_speed_profile",
     "parse_noise_model",
     "parse_placement",
+    "parse_fault_model",
+    "parse_slowdown_windows",
     "describe_platform",
 ]
 
@@ -180,6 +191,106 @@ def parse_placement(
     )
 
 
+_FAULT_KEYS = {
+    "mtbf": "mtbf_us",
+    "repair": "repair_us",
+    "restart": "restart_us",
+    "interval": "checkpoint_interval_us",
+    "dump": "checkpoint_cost_us",
+}
+
+
+def parse_fault_model(
+    text: Union[str, FaultModel, None],
+) -> Optional[FaultModel]:
+    """Parse the campaign/CLI fault-model syntax.
+
+    The form is slash-separated ``key:value`` pairs (microseconds), any
+    subset of ``mtbf`` (mean time between failures), ``repair`` (downtime
+    per failure), ``restart`` (restart cost per failure), ``interval``
+    (checkpoint period) and ``dump`` (cost per checkpoint dump); ``None``
+    and ``"none"`` mean the fault-free machine.
+
+    >>> parse_fault_model("mtbf:2e9/repair:1e6/interval:1e6/dump:5e3").mtbf_us
+    2000000000.0
+    >>> parse_fault_model("interval:1e6/dump:5e3").fails
+    False
+    >>> parse_fault_model("none") is None
+    True
+    """
+    if text is None or isinstance(text, FaultModel):
+        return text
+    cleaned = text.strip().lower()
+    if cleaned in ("", "none"):
+        return None
+    kwargs = {}
+    for item in cleaned.split("/"):
+        key, sep, value = item.partition(":")
+        if not sep or key not in _FAULT_KEYS:
+            raise ValueError(
+                f"unknown fault model {text!r}; expected 'none' or "
+                "slash-separated 'key:value' pairs with keys "
+                "'mtbf', 'repair', 'restart', 'interval', 'dump' "
+                "(all microseconds), e.g. 'mtbf:2e9/interval:1e6/dump:5e3'"
+            )
+        try:
+            kwargs[_FAULT_KEYS[key]] = float(value)
+        except ValueError as exc:
+            raise ValueError(f"invalid fault model {text!r}: {exc}") from exc
+    return FaultModel(**kwargs)
+
+
+def parse_slowdown_windows(
+    text: Union[str, Tuple[SlowdownWindow, ...], None],
+) -> Tuple[SlowdownWindow, ...]:
+    """Parse the campaign/CLI time-varying slowdown-window syntax.
+
+    Each semicolon-separated entry is ``"<start>-<end>x<factor>"`` with an
+    optional ``"@<i,j,...>"`` node-index suffix (no suffix applies to every
+    node); times are microseconds.  ``None`` and ``"none"`` mean no windows.
+
+    >>> [w.factor for w in parse_slowdown_windows("0-1e6x2.0;2e6-3e6x1.5@0,3")]
+    [2.0, 1.5]
+    >>> parse_slowdown_windows("0-1e6x2.0@1")[0].nodes
+    (1,)
+    >>> parse_slowdown_windows("none")
+    ()
+    """
+    if text is None:
+        return ()
+    if isinstance(text, tuple):
+        return text
+    cleaned = text.strip().lower()
+    if cleaned in ("", "none"):
+        return ()
+    windows = []
+    for entry in cleaned.split(";"):
+        body, _, nodes_text = entry.partition("@")
+        span, sep, factor = body.partition("x")
+        start, span_sep, end = span.partition("-")
+        if not sep or not span_sep:
+            raise ValueError(
+                f"unknown slowdown window {entry!r}; expected "
+                "'<start_us>-<end_us>x<factor>[@<i,j,...>]' entries "
+                "separated by ';' (or 'none')"
+            )
+        try:
+            nodes = tuple(
+                int(item) for item in nodes_text.split(",") if item
+            )
+            windows.append(
+                SlowdownWindow(
+                    start_us=float(start),
+                    end_us=float(end),
+                    factor=float(factor),
+                    nodes=nodes,
+                )
+            )
+        except ValueError as exc:
+            raise ValueError(f"invalid slowdown window {entry!r}: {exc}") from exc
+    return tuple(windows)
+
+
 # ---------------------------------------------------------------------------
 # Declarative composition
 # ---------------------------------------------------------------------------
@@ -204,6 +315,8 @@ class PlatformSpec:
     intra_node_gap_per_byte_us: Optional[float] = None
     speed_profile: Union[str, SpeedProfile, None] = None
     noise: Union[str, NoiseModel, None] = None
+    slowdown_windows: Union[str, Tuple[SlowdownWindow, ...], None] = None
+    faults: Union[str, FaultModel, None] = None
 
     def build(self) -> Platform:
         """Resolve the spec into a concrete :class:`Platform`."""
@@ -228,11 +341,19 @@ class PlatformSpec:
             )
             platform = platform.with_hierarchy(self.cores_per_chip, intra)
         profile = parse_speed_profile(self.speed_profile)
+        windows = parse_slowdown_windows(self.slowdown_windows)
+        if windows:
+            from dataclasses import replace
+
+            profile = replace(profile or SpeedProfile(), windows=windows)
         if profile is not None:
             platform = platform.with_speed_profile(profile)
         noise = parse_noise_model(self.noise)
         if noise is not None:
             platform = platform.with_noise(noise)
+        fault_model = parse_fault_model(self.faults)
+        if fault_model is not None:
+            platform = platform.with_faults(fault_model)
         if self.name is not None:
             from dataclasses import replace
 
@@ -297,11 +418,36 @@ def describe_platform(platform: Platform) -> dict[str, Any]:
             "slowdown": platform.speed_profile.slowdown,
             "slow_nodes": list(platform.speed_profile.slow_nodes),
         }
+        if platform.speed_profile.windows:
+            record["speed_profile"]["windows"] = [
+                {
+                    "start_us": window.start_us,
+                    "end_us": window.end_us,
+                    "factor": window.factor,
+                    "nodes": list(window.nodes),
+                }
+                for window in platform.speed_profile.windows
+            ]
     if platform.noise is not None:
         noise = platform.noise
         record["noise"] = {
             "model": type(noise).__name__,
             "mean_inflation": noise.mean_inflation(),
             "stochastic": noise.is_stochastic,
+        }
+    if platform.faults is not None:
+        faults = platform.faults
+        record["faults"] = {
+            # infinities become null so the record stays strict JSON
+            "mtbf_us": None if math.isinf(faults.mtbf_us) else faults.mtbf_us,
+            "repair_us": faults.repair_us,
+            "restart_us": faults.restart_us,
+            "checkpoint_interval_us": (
+                None
+                if math.isinf(faults.checkpoint_interval_us)
+                else faults.checkpoint_interval_us
+            ),
+            "checkpoint_cost_us": faults.checkpoint_cost_us,
+            "checkpoint_inflation": faults.checkpoint_inflation(),
         }
     return record

@@ -67,8 +67,15 @@ def aggregation_unsupported_reason(simulator: "WavefrontSimulator") -> Optional[
     if simulator.noise_model is not None:
         return "background noise applies per-tile jitter to compute times"
     profile = simulator.platform.speed_profile
+    if profile is not None and profile.has_windows:
+        return "time-varying slowdown windows make compute costs depend on event times"
     if profile is not None and not profile.is_trivial:
         return "heterogeneous speed profile gives ranks position-dependent work"
+    faults = simulator.platform.faults
+    if faults is not None and not faults.is_null:
+        return "fault injection and checkpoint costs depend on each rank's timeline"
+    if getattr(simulator, "link_contention", False):
+        return "per-link FIFO contention makes message costs depend on event order"
     if (
         simulator.platform.on_chip is not None
         and simulator.core_mapping.cores_per_node > 1

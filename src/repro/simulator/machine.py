@@ -23,13 +23,16 @@ builds the per-rank programs for LU / Sweep3D / Chimaera and
 
 from __future__ import annotations
 
+import math
 from collections import defaultdict, deque
 from dataclasses import dataclass, field
+from random import Random
 from typing import Callable, Deque, Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
 
+from repro.core.faults import FAULT_STREAM_STRIDE
 from repro.core.loggp import Platform
 from repro.simulator.engine import SimulationError, Simulator
-from repro.simulator.resources import FifoBus, NodeResources
+from repro.simulator.resources import FifoBus, LinkResources, NodeResources
 
 __all__ = [
     "Compute",
@@ -107,6 +110,9 @@ class RankStats:
     messages_sent: int = 0
     bytes_sent: float = 0.0
     finish_time: float = 0.0
+    fault_time: float = 0.0
+    failures: int = 0
+    checkpoints: int = 0
 
     @property
     def comm_time(self) -> float:
@@ -122,6 +128,8 @@ class MachineStats:
     events: int
     bus_queue_delay: float
     bus_transfers: int
+    link_queue_delay: float = 0.0
+    link_transfers: int = 0
 
     @property
     def total_compute_time(self) -> float:
@@ -202,6 +210,20 @@ class SimulatedMachine:
         When False the shared-bus queueing is skipped, giving the
         contention-free timings of Table 1 exactly (useful for unit tests and
         for quantifying the contention effect).
+    link_contention:
+        When True, off-node (and intra-node) payload transfers additionally
+        queue on a per-directed-link FIFO (:class:`LinkResources`), so
+        overlapping messages between the same node pair serialise instead of
+        the paper's contention-free network.  Off by default - the paper's
+        model, and the conformance baseline, assume a contention-free
+        interconnect.
+    fault_seed:
+        Seed of the per-rank failure streams when the platform carries a
+        non-null :class:`~repro.core.faults.FaultModel`.  Rank ``r`` draws
+        its exponential inter-failure times from
+        ``Random(fault_seed * FAULT_STREAM_STRIDE + r)`` - a different
+        stride from the noise streams, so fault schedules never depend on
+        noise seeds.
     """
 
     def __init__(
@@ -212,6 +234,8 @@ class SimulatedMachine:
         *,
         rank_to_chip: Optional[List[int]] = None,
         enable_contention: bool = True,
+        link_contention: bool = False,
+        fault_seed: int = 0,
     ) -> None:
         if total_ranks < 1:
             raise ValueError("total_ranks must be positive")
@@ -233,6 +257,34 @@ class SimulatedMachine:
             platform.node_speed_multiplier(node) for node in self.rank_to_node
         ]
         self.enable_contention = enable_contention
+        self.link_contention = link_contention
+        self._links: Optional[LinkResources] = (
+            LinkResources() if link_contention else None
+        )
+        # Time-varying slowdown windows sample the profile at each compute
+        # operation's start time; None when no window can change anything,
+        # so the homogeneous fast path stays untouched bit for bit.
+        profile = platform.speed_profile
+        self._window_profile = (
+            profile if profile is not None and profile.has_windows else None
+        )
+        # Fault state: per-rank seeded failure streams plus work-since-last-
+        # checkpoint accounting.  None when the model is absent or null so
+        # the fault-free path never constructs an RNG or touches a float.
+        faults = platform.faults
+        self.faults = faults if faults is not None and not faults.is_null else None
+        self._work_since_checkpoint = [0.0] * total_ranks
+        self._fault_rngs: List[Random] = []
+        self._next_failure: List[float] = []
+        if self.faults is not None and self.faults.fails:
+            self._fault_rngs = [
+                Random(fault_seed * FAULT_STREAM_STRIDE + rank)
+                for rank in range(total_ranks)
+            ]
+            rate = 1.0 / self.faults.mtbf_us
+            self._next_failure = [
+                rng.expovariate(rate) for rng in self._fault_rngs
+            ]
         self.sim = Simulator()
 
         # Build per-node shared resources and per-rank core indices.
@@ -364,6 +416,12 @@ class SimulatedMachine:
             events=self.sim.events_processed,
             bus_queue_delay=sum(n.total_queue_delay for n in self._nodes.values()),
             bus_transfers=sum(n.total_transfers for n in self._nodes.values()),
+            link_queue_delay=(
+                self._links.total_queue_delay if self._links is not None else 0.0
+            ),
+            link_transfers=(
+                self._links.total_transfers if self._links is not None else 0
+            ),
         )
 
     def _schedule_advance(self, rank: int, time: float) -> None:
@@ -397,8 +455,19 @@ class SimulatedMachine:
             scale = self._work_scale[rank]
             if scale != 1.0:  # repro: noqa[RPR004] homogeneous ranks carry exactly 1.0; multiply only when heterogeneity is configured
                 duration *= scale
-            self.stats[rank].compute_time += duration
-            return self.sim.now + duration
+            if self._window_profile is not None:
+                factor = self._window_profile.window_factor(
+                    self.rank_to_node[rank], self.sim.now
+                )
+                if factor != 1.0:  # repro: noqa[RPR004] outside every window the factor is exactly 1.0 (bit-for-bit identity)
+                    duration *= factor
+            if self.faults is None:
+                self.stats[rank].compute_time += duration
+                return self.sim.now + duration
+            end = self._faulted_compute(rank, self.sim.now, duration)
+            self.stats[rank].compute_time += end - self.sim.now
+            self.stats[rank].fault_time += (end - self.sim.now) - duration
+            return end
         if isinstance(op, Send):
             return self._handle_send(rank, op)
         if isinstance(op, Recv):
@@ -414,6 +483,54 @@ class SimulatedMachine:
             self._barrier_waiters[op.key].append((rank, self.sim.now))
             return None
         raise SimulationError(f"unknown operation {op!r}")
+
+    # -- fault path --------------------------------------------------------------------
+
+    def _faulted_compute(self, rank: int, start: float, duration: float) -> float:
+        """Wall-clock end of ``duration`` µs of work starting at ``start``.
+
+        Replays the rank's compute timeline through the platform's
+        :class:`~repro.core.faults.FaultModel`: every
+        ``checkpoint_interval_us`` of accumulated work pays one
+        ``checkpoint_cost_us`` dump, and when the rank's seeded failure
+        stream strikes, the rank pays ``repair_us + restart_us`` of
+        downtime and *redoes* everything computed since the last
+        checkpoint.  A failure whose timestamp passed while the rank was
+        communicating or idle still costs the downtime and the rework at
+        the next compute operation (the node lost its state either way).
+        """
+        fm = self.faults
+        interval = fm.checkpoint_interval_us
+        checkpointing = interval != math.inf
+        fails = bool(self._fault_rngs)
+        now = start
+        remaining = duration
+        work = self._work_since_checkpoint[rank]
+        stats = self.stats[rank]
+        while remaining > 0.0:
+            step = min(remaining, interval - work) if checkpointing else remaining
+            if fails and self._next_failure[rank] < now + step:
+                failure = self._next_failure[rank]
+                # The step's progress up to the failure cancels against its
+                # own rework; on top of that, work from *earlier* operations
+                # since the last checkpoint is lost and must be redone.
+                remaining += work
+                now = max(now, failure) + fm.repair_us + fm.restart_us
+                work = 0.0
+                stats.failures += 1
+                self._next_failure[rank] = now + self._fault_rngs[rank].expovariate(
+                    1.0 / fm.mtbf_us
+                )
+                continue
+            now += step
+            remaining -= step
+            work += step
+            if checkpointing and work >= interval:
+                now += fm.checkpoint_cost_us
+                work = 0.0
+                stats.checkpoints += 1
+        self._work_since_checkpoint[rank] = work
+        return now
 
     # -- send path ---------------------------------------------------------------------
 
@@ -431,6 +548,21 @@ class SimulatedMachine:
         if node.cores_per_bus <= 1:
             return 0.0
         return self.bus_of(rank).queueing_delay(request_time, self._dma_duration(nbytes))
+
+    def _link_delay(
+        self, src: int, dst: int, request_time: float, duration: float
+    ) -> float:
+        """FIFO queueing delay on the directed link between two nodes.
+
+        Exactly 0.0 when link contention is disabled (the contention-free
+        LogGP network of the paper); same-node chip-to-chip messages share
+        the node's ``(n, n)`` intra-node link.
+        """
+        if self._links is None:
+            return 0.0
+        return self._links.queueing_delay(
+            self.rank_to_node[src], self.rank_to_node[dst], request_time, duration
+        )
 
     def _handle_send(self, rank: int, op: Send) -> Optional[float]:
         if not 0 <= op.dst < self.total_ranks:
@@ -466,8 +598,14 @@ class SimulatedMachine:
                 sender_resume + op.nbytes * params_off.gap_per_byte + params_off.latency
             )
             delay_src = self._bus_delay(rank, sender_resume, op.nbytes)
-            delay_dst = self._bus_delay(op.dst, base_ready + delay_src, op.nbytes)
-            data_ready = base_ready + delay_src + delay_dst
+            delay_link = self._link_delay(
+                rank, op.dst, sender_resume + delay_src,
+                op.nbytes * params_off.gap_per_byte,
+            )
+            delay_dst = self._bus_delay(
+                op.dst, base_ready + delay_src + delay_link, op.nbytes
+            )
+            data_ready = base_ready + delay_src + delay_link + delay_dst
             self._deliver(key, _Delivered(data_ready, params_off.overhead, op.nbytes))
             self.stats[rank].send_time += sender_resume - now
             return sender_resume
@@ -513,8 +651,14 @@ class SimulatedMachine:
         transfer_start = reply_arrives + params.overhead
         base_ready = transfer_start + nbytes * params.gap_per_byte + params.latency
         delay_src = self._bus_delay(sender, transfer_start, nbytes)
-        delay_dst = self._bus_delay(receiver, base_ready + delay_src, nbytes)
-        data_ready = base_ready + delay_src + delay_dst
+        delay_link = self._link_delay(
+            sender, receiver, transfer_start + delay_src,
+            nbytes * params.gap_per_byte,
+        )
+        delay_dst = self._bus_delay(
+            receiver, base_ready + delay_src + delay_link, nbytes
+        )
+        data_ready = base_ready + delay_src + delay_link + delay_dst
 
         blocked_since = self._send_blocked_since.pop(sender, send_init)
         self.stats[sender].send_time += sender_resume - blocked_since

@@ -11,14 +11,21 @@ Table 6.
 A node may have several independent buses (Section 5.3's 16-core node with
 one bus per group of four cores); :class:`NodeResources` owns one
 :class:`FifoBus` per bus group and routes each core to its group's bus.
+
+:class:`LinkResources` extends the same FIFO mechanism to the *network*:
+one :class:`FifoBus` per directed node pair, so overlapping off-node
+payloads on a shared link serialise instead of the contention-free LogGP
+assumption.  It is opt-in (``link_contention`` on the simulator) because
+the paper's model - and therefore the conformance baseline - is
+contention-free off-node.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import Dict, List, Tuple
 
-__all__ = ["FifoBus", "NodeResources"]
+__all__ = ["FifoBus", "NodeResources", "LinkResources"]
 
 
 @dataclass
@@ -90,3 +97,37 @@ class NodeResources:
     @property
     def total_transfers(self) -> int:
         return sum(bus.transfers for bus in self.buses)
+
+
+@dataclass
+class LinkResources:
+    """Per-link FIFO queues for contention-aware off-node communication.
+
+    Each *directed* ``(src_node, dst_node)`` pair owns one
+    :class:`FifoBus`; a payload transfer occupies its link for the
+    payload's serialisation time, so overlapping messages between the same
+    node pair queue in FIFO order.  Links are created lazily on first use.
+    """
+
+    links: Dict[Tuple[int, int], FifoBus] = field(default_factory=dict)
+
+    def link_for(self, src_node: int, dst_node: int) -> FifoBus:
+        key = (src_node, dst_node)
+        link = self.links.get(key)
+        if link is None:
+            link = self.links[key] = FifoBus()
+        return link
+
+    def queueing_delay(
+        self, src_node: int, dst_node: int, request_time: float, duration: float
+    ) -> float:
+        """Reserve the directed link and return the queueing delay incurred."""
+        return self.link_for(src_node, dst_node).queueing_delay(request_time, duration)
+
+    @property
+    def total_queue_delay(self) -> float:
+        return sum(link.total_queue_delay for link in self.links.values())
+
+    @property
+    def total_transfers(self) -> int:
+        return sum(link.transfers for link in self.links.values())

@@ -143,6 +143,16 @@ class WavefrontSimulator:
         :class:`random.Random` instances derived from this seed (see
         :meth:`rank_jitter_stream`); no module-level random state is
         consulted, so two runs with the same seed are bit-identical.
+    fault_seed:
+        Seed for the per-rank failure streams consumed when the platform
+        carries a non-null :class:`~repro.core.faults.FaultModel`.
+        Derived with a different stride than the noise streams, so fault
+        schedules are independent of ``noise_seed`` (and vice versa).
+    link_contention:
+        Queue overlapping off-node payloads on per-directed-link FIFOs
+        instead of the paper's contention-free network (see
+        :class:`~repro.simulator.resources.LinkResources`).  Forces the
+        event engine.
     engine:
         Execution engine: ``"auto"`` (default) selects the
         diagonal-aggregated fast path for noise-free homogeneous runs and
@@ -164,6 +174,8 @@ class WavefrontSimulator:
         compute_noise: float = 0.0,
         noise_model: Optional[NoiseModel] = None,
         noise_seed: int = 0,
+        fault_seed: int = 0,
+        link_contention: bool = False,
         engine: str = "auto",
     ) -> None:
         if (grid is None) == (total_cores is None):
@@ -187,6 +199,8 @@ class WavefrontSimulator:
         self.enable_contention = enable_contention
         self.compute_noise = compute_noise
         self.noise_seed = noise_seed
+        self.fault_seed = fault_seed
+        self.link_contention = link_contention
         # Effective background-noise model: legacy compute_noise > explicit
         # noise_model > the platform's own noise field > quiet.  A null
         # model is normalised to None so the engine choice and the jitter
@@ -429,6 +443,8 @@ class WavefrontSimulator:
             rank_to_node=self.rank_to_node(),
             rank_to_chip=self.rank_to_chip(),
             enable_contention=self.enable_contention,
+            link_contention=self.link_contention,
+            fault_seed=self.fault_seed,
         )
 
         sweep_completion: Dict[Tuple[int, int], float] = {}
@@ -464,6 +480,8 @@ def simulate_wavefront(
     compute_noise: float = 0.0,
     noise_model: Optional[NoiseModel] = None,
     noise_seed: int = 0,
+    fault_seed: int = 0,
+    link_contention: bool = False,
     engine: str = "auto",
     max_events: Optional[int] = None,
 ) -> WavefrontSimulationResult:
@@ -480,6 +498,8 @@ def simulate_wavefront(
         compute_noise=compute_noise,
         noise_model=noise_model,
         noise_seed=noise_seed,
+        fault_seed=fault_seed,
+        link_contention=link_contention,
         engine=engine,
     )
     return simulator.run(max_events=max_events)

@@ -31,6 +31,7 @@ EXPECTED_RECORDS = {
     "BENCH_simulator.json": "benchmarks/test_bench_simulator_fastpath.py",
     "BENCH_optimize.json": "benchmarks/test_bench_optimize.py",
     "BENCH_vec.json": "benchmarks/test_bench_vec.py",
+    "BENCH_faults.json": "benchmarks/test_bench_faults.py",
 }
 
 
@@ -134,6 +135,90 @@ class TestVecRecord:
         # Internal consistency: the ratio matches the recorded timings.
         recomputed = record["analytic_fast_s"] / record["analytic_vec_s"]
         assert record["speedup"] == pytest.approx(recomputed, rel=1e-9)
+
+
+class TestFaultsRecord:
+    def test_schema(self):
+        record = _load("BENCH_faults.json")
+        _require(
+            record,
+            "BENCH_faults.json",
+            {
+                "benchmark": str,
+                "application": str,
+                "platform": str,
+                "total_cores": int,
+                "fault_free_limit_max_abs_deviation_us": (int, float),
+                "mtbf_curve": list,
+                "interval_curve": list,
+                "interval_optimum_index": int,
+                "harsh_simulator": dict,
+                "contract_fault_free_max_abs_deviation_us": (int, float),
+            },
+        )
+        assert record["benchmark"] == "fault_tolerance"
+        for point in record["mtbf_curve"]:
+            _require(
+                point,
+                "BENCH_faults.json mtbf_curve point",
+                {"mtbf_us": (int, float), "analytic_time_us": (int, float)},
+            )
+        for point in record["interval_curve"]:
+            _require(
+                point,
+                "BENCH_faults.json interval_curve point",
+                {
+                    "checkpoint_interval_us": (int, float),
+                    "analytic_time_us": (int, float),
+                },
+            )
+        _require(
+            record["harsh_simulator"],
+            "BENCH_faults.json harsh_simulator",
+            {
+                "fault_model": str,
+                "fault_seed": int,
+                "fault_free_time_us": (int, float),
+                "faulty_time_us": (int, float),
+                "injected_failures": int,
+                "checkpoints": int,
+            },
+        )
+
+    def test_fault_free_limit_contract(self):
+        """The committed record still claims the bit-identical fault-free limit."""
+        record = _load("BENCH_faults.json")
+        assert record["contract_fault_free_max_abs_deviation_us"] == 0.0
+        assert record["fault_free_limit_max_abs_deviation_us"] == 0.0, (
+            "a null fault model perturbed a backend's result - the "
+            "fault-free limit must be bit-identical"
+        )
+
+    def test_fault_tolerance_curve_contract(self):
+        """At a fixed checkpoint interval, dropping MTBF strictly raises the
+        analytic time-to-solution; the interval sweep keeps an interior
+        (Daly/Young) optimum; the harsh simulator run injected failures."""
+        record = _load("BENCH_faults.json")
+        curve = record["mtbf_curve"]
+        assert len(curve) >= 3
+        mtbfs = [point["mtbf_us"] for point in curve]
+        times = [point["analytic_time_us"] for point in curve]
+        assert all(a > b for a, b in zip(mtbfs, mtbfs[1:])), (
+            "mtbf_curve must sweep MTBF in decreasing order"
+        )
+        assert all(a < b for a, b in zip(times, times[1:])), (
+            "committed fault-tolerance curve is not strictly increasing as "
+            "MTBF drops - regenerate BENCH_faults.json or fix the regression"
+        )
+        interval_times = [
+            point["analytic_time_us"] for point in record["interval_curve"]
+        ]
+        optimum = record["interval_optimum_index"]
+        assert 0 < optimum < len(interval_times) - 1
+        assert interval_times[optimum] == min(interval_times)
+        harsh = record["harsh_simulator"]
+        assert harsh["injected_failures"] > 0
+        assert harsh["faulty_time_us"] > harsh["fault_free_time_us"]
 
 
 class TestOptimizeRecord:

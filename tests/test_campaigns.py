@@ -461,6 +461,7 @@ class TestBuiltins:
             "multicore-design",
             "heterogeneity-study",
             "optimization-study",
+            "fault-tolerance-study",
         }
 
     def test_unknown_name_lists_alternatives(self):

@@ -14,9 +14,11 @@ Three families of contracts over the registered prediction backends:
   "measurement" (the paper's <5%/<10% validation claim, with head-room for
   the small grids exercised here);
 * **homogeneous limit**: a heterogeneous platform description whose knobs
-  are all trivial - speed multipliers 1.0, null noise, one chip per node -
-  reproduces the plain platform's prediction **bit-identically** through
-  every registered backend.
+  are all trivial - speed multipliers 1.0, null noise, one chip per node,
+  a null fault model (infinite MTBF, zero dump cost) and factor-1.0
+  slowdown windows - reproduces the plain platform's prediction
+  **bit-identically** through every registered backend (the fault-free
+  limit of the dynamic-failure layer, see ``docs/faults.md``).
 
 Plus two cross-cutting families:
 
@@ -40,7 +42,8 @@ from repro.backends.registry import available_backends
 from repro.backends.service import predict_one
 from repro.backends.simulator import simulation_cache_info
 from repro.core.comm import CommunicationCosts
-from repro.core.hetero import NoNoise, SampledNoise, SpeedProfile
+from repro.core.faults import FaultModel
+from repro.core.hetero import NoNoise, SampledNoise, SlowdownWindow, SpeedProfile
 from repro.core.predictor import (
     clear_prediction_cache,
     prediction_cache_info,
@@ -99,8 +102,17 @@ class TestFastEqualsExact:
             lambda: cray_xt4_quad_chip()
             .with_speed_profile(SpeedProfile.stragglers(1, 3.0))
             .with_noise(SampledNoise(0.05)),
+            lambda: cray_xt4().with_faults(
+                FaultModel(
+                    mtbf_us=1e8,
+                    repair_us=1e6,
+                    restart_us=1e5,
+                    checkpoint_interval_us=1e6,
+                    checkpoint_cost_us=5e3,
+                )
+            ),
         ],
-        ids=["stragglers", "sampled-noise", "hierarchical", "combined"],
+        ids=["stragglers", "sampled-noise", "hierarchical", "combined", "faulty"],
     )
     def test_scenario_platforms(self, platform_builder):
         platform = platform_builder()
@@ -146,8 +158,17 @@ class TestVecEqualsFast:
             lambda: cray_xt4_quad_chip()
             .with_speed_profile(SpeedProfile.stragglers(1, 3.0))
             .with_noise(SampledNoise(0.05)),
+            lambda: cray_xt4().with_faults(
+                FaultModel(
+                    mtbf_us=1e8,
+                    repair_us=1e6,
+                    restart_us=1e5,
+                    checkpoint_interval_us=1e6,
+                    checkpoint_cost_us=5e3,
+                )
+            ),
         ],
-        ids=["stragglers", "sampled-noise", "hierarchical", "combined"],
+        ids=["stragglers", "sampled-noise", "hierarchical", "combined", "faulty"],
     )
     def test_scenario_platforms(self, platform_builder):
         platform = platform_builder()
@@ -263,6 +284,18 @@ def _trivial_variants(platform):
         ),
         "null-noise": platform.with_noise(NoNoise()),
         "all-trivial": platform.with_speed_profile(SpeedProfile()).with_noise(NoNoise()),
+        "null-faults": platform.with_faults(FaultModel()),
+        "zero-cost-checkpoints": platform.with_faults(
+            FaultModel(checkpoint_interval_us=1e6, checkpoint_cost_us=0.0)
+        ),
+        "trivial-window": platform.with_speed_profile(
+            SpeedProfile(windows=(SlowdownWindow(0.0, 1e6, 1.0, nodes=(0,)),))
+        ),
+        "all-trivial-faults": platform.with_speed_profile(
+            SpeedProfile(windows=(SlowdownWindow(0.0, 1e6, 1.0),))
+        )
+        .with_noise(NoNoise())
+        .with_faults(FaultModel()),
     }
 
 
@@ -303,6 +336,44 @@ class TestHomogeneousLimit:
             _spec("chimaera-240"), decorated, total_cores=16, backend="analytic-fast"
         )
         assert result.time_per_iteration_us == reference.time_per_iteration_us
+
+
+class TestFaultFreeLimit:
+    """The fault-free limit of the dynamic-failure layer, over the matrix.
+
+    Every new knob at its trivial value - infinite MTBF, zero dump cost,
+    factor-1.0 slowdown windows - must leave the prediction bit-identical
+    on the full 18-config matrix, through the simulator and both analytic
+    engines (``docs/faults.md`` states this as the layer's first contract).
+    """
+
+    BACKENDS = ("analytic-fast", "analytic-vec", "simulator")
+
+    @pytest.mark.parametrize("entry", MATRIX, ids=_matrix_id)
+    def test_null_knobs_are_bit_identical(self, entry):
+        app, platform_name, cores = entry
+        plain = PLATFORMS[platform_name]()
+        decorated = plain.with_speed_profile(
+            SpeedProfile(windows=(SlowdownWindow(0.0, 1e6, 1.0),))
+        ).with_faults(FaultModel(checkpoint_interval_us=1e6, checkpoint_cost_us=0.0))
+        assert decorated.is_homogeneous
+        for backend in self.BACKENDS:
+            reference = predict_one(
+                _spec(app), plain, total_cores=cores, backend=backend
+            )
+            result = predict_one(
+                _spec(app), decorated, total_cores=cores, backend=backend
+            )
+            assert result.time_per_iteration_us == reference.time_per_iteration_us, (
+                f"null fault knobs drifted through {backend}"
+            )
+            assert (
+                result.computation_per_iteration_us
+                == reference.computation_per_iteration_us
+            ), f"null fault knobs drifted through {backend}"
+            assert result.phases == reference.phases, (
+                f"null fault knobs changed the phase breakdown through {backend}"
+            )
 
 
 class TestMetamorphicContracts:

@@ -50,6 +50,7 @@ DOCTEST_MODULES = [
     "repro.campaigns.runner",
     "repro.campaigns.spec",
     "repro.campaigns.store",
+    "repro.core.faults",
     "repro.core.hetero",
     "repro.core.model_vec",
     "repro.devtools.lint",
@@ -85,6 +86,7 @@ def test_docs_tree_exists():
         "platforms.md",
         "optimize.md",
         "lint.md",
+        "faults.md",
     }
     present = {path.name for path in DOCS_DIR.glob("*.md")}
     assert expected <= present, f"missing docs pages: {sorted(expected - present)}"

@@ -4,7 +4,10 @@
 every configuration of the ``paper-validation`` built-in campaign (the
 Tables 4-7 matrix): the analytic prediction for all 18 configurations, and
 the simulated "measurement" for the 16-core subset (kept small so the suite
-stays fast).  Any refactor that silently drifts the model - a reordered
+stays fast).  A fault-scenario block pins the analytic entries of the
+``fault-tolerance-study`` campaign - the checkpoint-dump inflation and
+bounded expected-rework numbers of ``docs/faults.md``.  Any refactor that
+silently drifts the model - a reordered
 floating-point expression, a changed constant, a broken cost table - fails
 here with the exact configuration and quantity that moved.
 
@@ -53,8 +56,28 @@ def _golden_points():
         yield point
 
 
+def _fault_scenario_points():
+    """The analytic entries of the fault-tolerance-study campaign.
+
+    These pin the checkpoint-dump inflation and the bounded expected-rework
+    correction (``docs/faults.md``) - the deterministic analytic numbers
+    for every fault model the built-in campaign sweeps.  The simulator's
+    fault injection is seeded (covered by ``tests/test_determinism.py``),
+    so only the seed-free analytic side is pinned here.
+    """
+    for point in get_campaign("fault-tolerance-study").points():
+        if point.backend != "analytic-fast" or point.fault_model is None:
+            continue
+        if point.total_cores > SIMULATOR_MAX_CORES:
+            continue
+        yield point
+
+
 def _entry_key(point) -> str:
-    return f"{point.app}|{point.platform}|P{point.total_cores}|{point.backend}"
+    key = f"{point.app}|{point.platform}|P{point.total_cores}|{point.backend}"
+    if point.fault_model is not None:
+        key += f"|faults={point.fault_model}"
+    return key
 
 
 def _evaluate(point) -> dict[str, float]:
@@ -69,7 +92,11 @@ def _evaluate(point) -> dict[str, float]:
 
 
 def _current_values() -> dict[str, dict[str, float]]:
-    return {_entry_key(point): _evaluate(point) for point in _golden_points()}
+    entries = {_entry_key(point): _evaluate(point) for point in _golden_points()}
+    entries.update(
+        {_entry_key(point): _evaluate(point) for point in _fault_scenario_points()}
+    )
+    return entries
 
 
 def test_golden_predictions(update_golden):

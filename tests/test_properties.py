@@ -29,6 +29,7 @@ from repro.core.decomposition import (
     decompose,
     default_core_mapping,
 )
+from repro.core.faults import FaultModel, expected_failures, expected_rework_us
 from repro.core.hetero import FixedQuantumNoise, SpeedProfile
 from repro.core.loggp import NodeArchitecture, OffNodeParams, OnChipParams, Platform
 from repro.core.model import fill_times, iteration_prediction, stack_time
@@ -435,6 +436,137 @@ class TestScenarioProperties:
         assert send_cost(platform, size, level="node") <= send_cost(
             platform, size, level="machine"
         ) + 1e-9
+
+
+# --------------------------------------------------------------------------
+# Dynamic-failure layer: fault models, rework correction, link contention
+# --------------------------------------------------------------------------
+
+class TestFaultProperties:
+    """Invariants of the fault/checkpoint layer (``docs/faults.md``)."""
+
+    @given(
+        mtbf=st.floats(1e5, 1e12),
+        factor=st.floats(1.0, 1e4),
+        base=st.floats(0.0, 5e4),
+        repair=st.floats(0.0, 1e6),
+        interval=st.floats(1e3, 1e7),
+    )
+    def test_rework_nonnegative_and_monotone_in_fault_rate(
+        self, mtbf, factor, base, repair, interval
+    ):
+        frequent = FaultModel(
+            mtbf_us=mtbf, repair_us=repair, checkpoint_interval_us=interval
+        )
+        rare = FaultModel(
+            mtbf_us=mtbf * factor, repair_us=repair, checkpoint_interval_us=interval
+        )
+        assert expected_rework_us(rare, base) >= 0.0
+        assert expected_rework_us(frequent, base) >= expected_rework_us(rare, base)
+
+    @given(
+        mtbf=st.floats(1e5, 1e12),
+        scale=st.floats(2.0, 1e6),
+        base=st.floats(1.0, 5e4),
+        repair=st.floats(0.0, 1e6),
+    )
+    def test_rework_vanishes_as_mtbf_grows(self, mtbf, scale, base, repair):
+        """The correction is inverse-proportional to MTBF (the mean rework
+        per failure does not depend on MTBF), hence it vanishes in the
+        fault-free limit - exactly 0.0 at infinite MTBF."""
+        model = FaultModel(mtbf_us=mtbf, repair_us=repair, checkpoint_interval_us=1e4)
+        scaled = FaultModel(
+            mtbf_us=mtbf * scale, repair_us=repair, checkpoint_interval_us=1e4
+        )
+        assert math.isclose(
+            expected_rework_us(scaled, base),
+            expected_rework_us(model, base) / scale,
+            rel_tol=1e-12,
+            abs_tol=1e-12,
+        )
+        never_fails = FaultModel(repair_us=repair, checkpoint_interval_us=1e4)
+        assert expected_failures(never_fails, base) == 0.0
+        assert expected_rework_us(never_fails, base) == 0.0
+
+    @settings(max_examples=25, deadline=None)
+    @given(mtbf=st.floats(5e7, 1e10), factor=st.floats(1.0, 50.0))
+    def test_predicted_time_monotone_in_fault_rate(self, mtbf, factor):
+        """More frequent failures never make the analytic prediction faster,
+        and any (non-null) fault model never beats the fault-free machine."""
+        from repro.backends.service import predict_one
+        from repro.platforms import cray_xt4
+
+        def _faults(mtbf_us):
+            return FaultModel(
+                mtbf_us=mtbf_us,
+                repair_us=1e6,
+                restart_us=1e5,
+                checkpoint_interval_us=1e6,
+                checkpoint_cost_us=5e3,
+            )
+
+        plain = cray_xt4()
+        spec = _scenario_spec()
+        base = predict_one(spec, plain, total_cores=16).time_per_iteration_us
+        rare = predict_one(
+            spec, plain.with_faults(_faults(mtbf * factor)), total_cores=16
+        ).time_per_iteration_us
+        frequent = predict_one(
+            spec, plain.with_faults(_faults(mtbf)), total_cores=16
+        ).time_per_iteration_us
+        assert rare >= base - 1e-9
+        assert frequent >= rare - 1e-9
+
+    @given(
+        mtbf=st.floats(1e5, 2e5),
+        dump=st.floats(50.0, 200.0),
+    )
+    def test_checkpoint_interval_has_interior_optimum(self, mtbf, dump):
+        """The Daly/Young trade-off: short checkpoint intervals pay dumps,
+        long intervals pay rework, so in a regime where the optimum
+        ``sqrt(2 x dump x MTBF)`` sits inside the sweep the total overhead
+        has an interior minimum."""
+        base = 2e4
+        sweep = [1e3 * 2.0**k for k in range(7)]  # 1 ms .. 64 ms
+
+        def _total(interval):
+            model = FaultModel(
+                mtbf_us=mtbf,
+                checkpoint_interval_us=interval,
+                checkpoint_cost_us=dump,
+            )
+            inflated = base * model.checkpoint_inflation()
+            return inflated + expected_rework_us(model, inflated)
+
+        totals = [_total(interval) for interval in sweep]
+        optimum = totals.index(min(totals))
+        assert 0 < optimum < len(sweep) - 1, (
+            f"no interior optimum: {list(zip(sweep, totals))}"
+        )
+
+    @settings(max_examples=8, deadline=None)
+    @given(gap_scale=st.floats(1.0, 500.0), cores=st.sampled_from([4, 16]))
+    def test_fifo_links_never_faster_than_contention_free(self, gap_scale, cores):
+        """Per-link FIFO serialisation only ever adds queueing delay."""
+        from dataclasses import replace
+
+        from repro.backends.simulator import SimulatorBackend
+        from repro.core.decomposition import decompose
+        from repro.platforms import cray_xt4
+
+        plain = cray_xt4()
+        platform = replace(
+            plain,
+            off_node=replace(
+                plain.off_node, gap_per_byte=plain.off_node.gap_per_byte * gap_scale
+            ),
+        )
+        spec = _scenario_spec()
+        grid = decompose(cores)
+        free = SimulatorBackend().evaluate(spec, platform, grid)
+        fifo = SimulatorBackend(link_contention=True).evaluate(spec, platform, grid)
+        assert fifo.time_per_iteration_us >= free.time_per_iteration_us - 1e-9
+        assert fifo.simulation.stats.link_queue_delay >= 0.0
 
 
 # --------------------------------------------------------------------------
