@@ -5,9 +5,10 @@ This example walks the full campaign life-cycle on a deliberately small
 matrix so it finishes in seconds:
 
 1. declare a ``CampaignSpec`` (a validation matrix: model vs simulator);
-2. run it into a persistent JSON-lines store;
-3. simulate an interruption by truncating the store, then re-run and watch
-   the runner compute *only* the missing points;
+2. run it into a persistent sharded result store;
+3. simulate an interruption by rebuilding a store that holds only the first
+   three results, then re-run and watch the runner compute *only* the
+   missing points;
 4. render the Markdown report with the paper-style error columns, and
    write the CSV data files.
 
@@ -48,19 +49,27 @@ spec = CampaignSpec(
 )
 
 workdir = Path(tempfile.mkdtemp(prefix="repro-campaign-"))
-store_path = workdir / "example-validation.jsonl"
+store_path = workdir / "example-validation.store"
 
 # 2. First run: every point is computed and persisted as it lands.
 summary = run_campaign(spec, store=store_path)
 print(f"first run:  computed {summary.computed}, cached {summary.cached}")
 
-# 3. Simulate an interrupted campaign: chop the store down to its header
-#    plus the first three results, then re-run.  Only the five lost points
-#    are recomputed - the store is keyed by a content hash of each point.
-lines = store_path.read_text().splitlines()
-store_path.write_text("\n".join(lines[:4]) + "\n")
-summary = run_campaign(spec, store=store_path)
+# 3. Simulate an interrupted campaign: build a second store holding only
+#    the spec header and the first three results - exactly what a run
+#    killed after three commits leaves behind - then re-run against it.
+#    Only the five lost points are recomputed; the store is keyed by a
+#    content hash of each point.
+full = ResultStore(store_path)
+interrupted_path = workdir / "interrupted.store"
+interrupted = ResultStore(interrupted_path)
+interrupted.set_spec(spec.to_dict())
+interrupted.put_many(
+    (point.key(), full.get(point.key())) for point in spec.points()[:3]
+)
+summary = run_campaign(spec, store=interrupted_path)
 print(f"resumed:    computed {summary.computed}, cached {summary.cached}")
+store_path = interrupted_path
 
 # A third run performs zero backend computations.
 summary = run_campaign(spec, store=store_path)

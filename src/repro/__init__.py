@@ -110,7 +110,7 @@ from repro.platforms import (
     parse_speed_profile,
 )
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "BackendResult",

@@ -13,14 +13,23 @@ reportable:
     data (:mod:`repro.campaigns.builtin`).
 
 **Store** (:mod:`repro.campaigns.store`)
-    :class:`ResultStore` persists every evaluated point as one JSON line
-    under ``.repro-cache/`` (or any ``--store`` path).  Keys are content
-    hashes, so re-runs and interrupted campaigns compute only the delta.
+    :class:`ResultStore` persists every evaluated point as one JSON line in
+    a sharded segment log under ``.repro-cache/<name>.store`` (or any
+    ``--store`` path; ``$REPRO_CACHE_DIR`` overrides the cache directory).
+    Records are routed to 16 segment files by content-hash prefix, each with
+    an index sidecar, so opening a store parses the indexes - not the record
+    bodies - and concurrent appenders never interleave torn lines.  Keys are
+    content hashes, so re-runs and interrupted campaigns compute only the
+    delta; single-file v1 stores migrate in place on first open.
 
 **Runner** (:mod:`repro.campaigns.runner`)
     :class:`CampaignRunner` diffs the spec against the store and batches the
     missing points through :func:`repro.backends.service.predict_many` (one
-    call per backend group, preserving dedup/caching/pool fan-out).
+    call per backend group, preserving dedup/caching/pool fan-out), group-
+    committing each batch via :meth:`ResultStore.put_many`.  ``shards=K``
+    fans the pending points out across ``K`` worker processes partitioned by
+    stable content hash; ``resume=True`` salvages the scratch stores of a
+    killed fan-out run.
 
 **Report** (:mod:`repro.campaigns.report`)
     :func:`campaign_report` renders Markdown tables - including the
@@ -35,7 +44,7 @@ End to end:
 ...     name="mini", apps=("lu-classA",), total_cores=(4, 16),
 ...     backends=("analytic-fast", "analytic-exact"), baseline="analytic-exact",
 ... )
->>> store = os.path.join(tempfile.mkdtemp(), "mini.jsonl")
+>>> store = os.path.join(tempfile.mkdtemp(), "mini.store")
 >>> run_campaign(spec, store=store).computed
 4
 >>> run_campaign(spec, store=store).computed   # second run: all cached
@@ -58,8 +67,15 @@ from repro.campaigns.spec import (
     CampaignSpec,
     apply_htile,
     load_campaign_file,
+    partition_points,
+    shard_of,
 )
-from repro.campaigns.store import ResultStore, default_store_path
+from repro.campaigns.store import (
+    ResultStore,
+    default_store_path,
+    find_project_root,
+    repro_cache_dir,
+)
 
 __all__ = [
     "CampaignPoint",
@@ -71,8 +87,12 @@ __all__ = [
     "builtin_campaigns",
     "campaign_report",
     "default_store_path",
+    "find_project_root",
     "get_campaign",
     "load_campaign_file",
+    "partition_points",
+    "repro_cache_dir",
     "run_campaign",
+    "shard_of",
     "write_report",
 ]

@@ -10,14 +10,21 @@ semantics on top:
    :class:`~repro.campaigns.store.ResultStore` (this is what makes re-runs
    free and interrupted campaigns resumable);
 3. batch the remaining points through ``predict_many`` - one call per
-   backend group, so a mixed model+simulator campaign still gets batch
-   deduplication within each engine;
-4. append each result to the store as soon as its batch completes.
+   backend group, chunked so results land on disk incrementally - and
+   group-commit each chunk via :meth:`ResultStore.put_many` (one fsync per
+   touched segment per chunk, not one per record);
+4. with ``shards=K``, partition the pending points across ``K`` worker
+   *processes* by stable content-hash (:func:`repro.campaigns.spec.shard_of`).
+   Each worker writes its own scratch store under ``<store>/shards/``; the
+   parent merges the scratch segments into the main store as workers finish.
+   A killed fan-out run leaves its scratch intact - ``run(resume=True)``
+   (CLI: ``--resume``) salvages every committed scratch record before
+   computing only the still-missing delta.
 
 >>> import tempfile, os
 >>> from repro.campaigns.spec import CampaignSpec
 >>> spec = CampaignSpec(name="demo", apps=("lu-classA",), total_cores=(4, 16))
->>> store_path = os.path.join(tempfile.mkdtemp(), "demo.jsonl")
+>>> store_path = os.path.join(tempfile.mkdtemp(), "demo.store")
 >>> summary = run_campaign(spec, store=store_path)
 >>> (summary.total_points, summary.computed, summary.cached)
 (2, 2, 0)
@@ -27,16 +34,28 @@ semantics on top:
 
 from __future__ import annotations
 
+import multiprocessing
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Optional, Union
+from typing import Any, Optional, Sequence, Union
 
 from repro.backends.base import BackendResult
 from repro.backends.service import predict_many
-from repro.campaigns.spec import CampaignPoint, CampaignSpec
+from repro.campaigns.spec import CampaignPoint, CampaignSpec, partition_points
 from repro.campaigns.store import ResultStore, as_store, default_store_path
 
-__all__ = ["CampaignRunSummary", "CampaignRunner", "result_record", "run_campaign"]
+__all__ = [
+    "CampaignRunSummary",
+    "CampaignRunner",
+    "DEFAULT_BATCH_SIZE",
+    "result_record",
+    "run_campaign",
+]
+
+#: How many points each ``predict_many`` -> ``put_many`` chunk carries.  One
+#: group commit (fsync per touched segment) per chunk; a crash loses at most
+#: the chunk in flight.
+DEFAULT_BATCH_SIZE = 1024
 
 
 def result_record(point: CampaignPoint, result: BackendResult) -> dict[str, Any]:
@@ -73,8 +92,10 @@ class CampaignRunSummary:
     """What one :meth:`CampaignRunner.run` call did.
 
     ``computed`` counts points actually evaluated this run; ``cached``
-    counts points satisfied from the store.  ``computed == 0`` on a re-run
-    is the resumability contract the tests pin down.
+    counts points satisfied from the store - including any ``salvaged``
+    from interrupted shard workers' scratch stores when resuming.
+    ``computed == 0`` on a re-run is the resumability contract the tests
+    pin down.
     """
 
     campaign: str
@@ -82,6 +103,8 @@ class CampaignRunSummary:
     computed: int
     cached: int
     store_path: str
+    shards: int = 1
+    salvaged: int = 0
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -90,7 +113,73 @@ class CampaignRunSummary:
             "computed": self.computed,
             "cached": self.cached,
             "store_path": self.store_path,
+            "shards": self.shards,
+            "salvaged": self.salvaged,
         }
+
+
+def _compute_into(
+    store: ResultStore,
+    points: Sequence[CampaignPoint],
+    *,
+    workers: Optional[int],
+    executor: str,
+    batch_size: int,
+) -> None:
+    """Evaluate ``points`` and persist them into ``store``, chunk by chunk.
+
+    Shared by the in-process path and every shard worker.  All requests are
+    built up front so an invalid point (unknown app or platform name,
+    unrealisable Sweep3D Htile, ...) fails the run before any backend
+    computation starts; value objects are memoised per configuration, so
+    this stays cheap even at large point counts.
+    """
+    keys = [point.key() for point in points]
+    requests = [point.request() for point in points]
+
+    # One predict_many call per backend group keeps each engine's batch
+    # deduplication and cache locality intact.
+    groups: dict[tuple, list[int]] = {}
+    for index, point in enumerate(points):
+        groups.setdefault(point.backend_group(), []).append(index)
+
+    for indices in groups.values():
+        backend = points[indices[0]].backend_spec()
+        for start in range(0, len(indices), batch_size):
+            chunk = indices[start : start + batch_size]
+            results = predict_many(
+                [requests[index] for index in chunk],
+                backend=backend,
+                workers=workers,
+                executor=executor,
+            )
+            store.put_many(
+                (keys[index], result_record(points[index], result))
+                for index, result in zip(chunk, results)
+            )
+
+
+def _shard_worker(
+    scratch_path: str,
+    point_dicts: list[dict[str, Any]],
+    workers: Optional[int],
+    executor: str,
+    batch_size: int,
+) -> None:
+    """Entry point of one ``--shards`` worker process.
+
+    Evaluates its stable partition of the pending points into a private
+    scratch store.  Records already present in the scratch (left by a
+    previous, killed run of the same shard) are skipped by the store's own
+    idempotence, so a re-spawned worker computes only its own delta.
+    """
+    scratch = ResultStore(scratch_path)
+    points = [CampaignPoint.from_dict(data) for data in point_dicts]
+    pending = [point for point in points if point.key() not in scratch]
+    _compute_into(
+        scratch, pending, workers=workers, executor=executor, batch_size=batch_size
+    )
+    scratch.close()
 
 
 class CampaignRunner:
@@ -98,7 +187,10 @@ class CampaignRunner:
 
     ``workers``/``executor`` are passed straight to
     :func:`repro.backends.service.predict_many` for pool fan-out of each
-    backend batch.
+    backend batch; ``shards`` additionally partitions the pending points
+    across that many worker *processes*, each with its own scratch store
+    merged on completion.  ``batch_size`` bounds how many results ride in
+    one group commit.
     """
 
     def __init__(
@@ -108,43 +200,48 @@ class CampaignRunner:
         *,
         workers: Optional[int] = None,
         executor: str = "thread",
+        shards: Optional[int] = None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
     ):
+        if shards is not None and shards < 1:
+            raise ValueError("shards must be positive")
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
         self.spec = spec
         self.store = as_store(store if store is not None else default_store_path(spec.name))
         self.workers = workers
         self.executor = executor
+        self.shards = shards or 1
+        self.batch_size = batch_size
 
     def pending(self) -> list[CampaignPoint]:
         """The points of the campaign not yet present in the store."""
         return [point for point in self.spec.points() if point.key() not in self.store]
 
-    def run(self) -> CampaignRunSummary:
-        """Compute the missing points, persisting each batch as it lands."""
+    def run(self, *, resume: bool = False) -> CampaignRunSummary:
+        """Compute the missing points, persisting each batch as it lands.
+
+        With ``resume=True``, scratch stores left behind by a killed
+        sharded run are merged into the main store first, so their already-
+        computed records count as cached and only the true delta is
+        evaluated.  Without it, leftover scratch is discarded and the
+        corresponding points are recomputed (a deliberate fresh start).
+        """
         self.store.set_spec(self.spec.to_dict())
+        salvaged = self._reconcile_scratch(resume)
         points = self.spec.points()
         pending = [point for point in points if point.key() not in self.store]
 
-        # Build every request up front so an invalid point (unknown app or
-        # platform name, unrealisable Sweep3D Htile, ...) fails the run
-        # before any backend computation starts.
-        requests = [point.request() for point in pending]
-
-        # One predict_many call per backend group keeps each engine's batch
-        # deduplication and cache locality intact.
-        groups: dict[tuple[str, Optional[int]], list[int]] = {}
-        for index, point in enumerate(pending):
-            groups.setdefault(point.backend_group(), []).append(index)
-
-        for indices in groups.values():
-            backend = pending[indices[0]].backend_spec()
-            results = predict_many(
-                [requests[index] for index in indices],
-                backend=backend,
+        if pending and self.shards > 1:
+            self._run_sharded(pending)
+        elif pending:
+            _compute_into(
+                self.store,
+                pending,
                 workers=self.workers,
                 executor=self.executor,
+                batch_size=self.batch_size,
             )
-            for index, result in zip(indices, results):
-                self.store.put(pending[index].key(), result_record(pending[index], result))
 
         return CampaignRunSummary(
             campaign=self.spec.name,
@@ -152,7 +249,70 @@ class CampaignRunner:
             computed=len(pending),
             cached=len(points) - len(pending),
             store_path=str(self.store.path),
+            shards=self.shards,
+            salvaged=salvaged,
         )
+
+    # -- sharded fan-out -------------------------------------------------------------
+
+    def _reconcile_scratch(self, resume: bool) -> int:
+        """Deal with scratch stores parked by an interrupted sharded run."""
+        salvaged = 0
+        for scratch_path in self.store.scratch_stores():
+            if resume:
+                salvaged += self.store.merge_from(scratch_path)
+            ResultStore(scratch_path).clean()
+        root = self.store.scratch_root()
+        if root.is_dir() and not any(root.iterdir()):
+            root.rmdir()
+        return salvaged
+
+    def _scratch_path(self, shard: int) -> Path:
+        return self.store.scratch_root() / f"shard-{shard}.store"
+
+    def _run_sharded(self, pending: Sequence[CampaignPoint]) -> None:
+        # Validate every request in the parent before any worker spawns, so
+        # a bad point fails the run with zero scratch left behind.
+        for point in pending:
+            point.request()
+        partitions = partition_points(pending, self.shards)
+        context = multiprocessing.get_context()
+        processes: list[tuple[int, Any]] = []
+        for shard, partition in enumerate(partitions):
+            if not partition:
+                continue
+            process = context.Process(
+                target=_shard_worker,
+                args=(
+                    str(self._scratch_path(shard)),
+                    [point.to_dict() for point in partition],
+                    self.workers,
+                    self.executor,
+                    self.batch_size,
+                ),
+                name=f"campaign-shard-{shard}",
+            )
+            process.start()
+            processes.append((shard, process))
+        failures = []
+        for shard, process in processes:
+            process.join()
+            if process.exitcode != 0:
+                failures.append((shard, process.exitcode))
+        if failures:
+            detail = ", ".join(f"shard {s} exit code {c}" for s, c in failures)
+            raise RuntimeError(
+                f"{len(failures)} shard worker(s) failed ({detail}); completed "
+                f"results are preserved under {self.store.scratch_root()} - "
+                "re-run with resume=True (--resume) to salvage them"
+            )
+        for shard, _process in processes:
+            scratch_path = self._scratch_path(shard)
+            self.store.merge_from(scratch_path)
+            ResultStore(scratch_path).clean()
+        root = self.store.scratch_root()
+        if root.is_dir() and not any(root.iterdir()):
+            root.rmdir()
 
 
 def run_campaign(
@@ -161,9 +321,21 @@ def run_campaign(
     store: Optional[Union[str, Path, ResultStore]] = None,
     workers: Optional[int] = None,
     executor: str = "thread",
+    shards: Optional[int] = None,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    resume: bool = False,
 ) -> CampaignRunSummary:
     """Convenience wrapper: build a :class:`CampaignRunner` and run it.
 
-    ``store`` defaults to ``.repro-cache/<campaign-name>.jsonl``.
+    ``store`` defaults to :func:`repro.campaigns.store.default_store_path`
+    (``$REPRO_CACHE_DIR`` or ``<project root>/.repro-cache``).
     """
-    return CampaignRunner(spec, store, workers=workers, executor=executor).run()
+    runner = CampaignRunner(
+        spec,
+        store,
+        workers=workers,
+        executor=executor,
+        shards=shards,
+        batch_size=batch_size,
+    )
+    return runner.run(resume=resume)

@@ -29,6 +29,7 @@ import hashlib
 import itertools
 import json
 from dataclasses import dataclass, replace
+from functools import lru_cache
 from pathlib import Path
 from typing import Any, Mapping, Optional, Sequence, Tuple, Union
 
@@ -45,12 +46,15 @@ from repro.platforms import (
     parse_placement,
     parse_speed_profile,
 )
+from repro.util.caching import register_cache_clearer
 
 __all__ = [
     "CampaignPoint",
     "CampaignSpec",
     "apply_htile",
     "load_campaign_file",
+    "partition_points",
+    "shard_of",
 ]
 
 
@@ -77,6 +81,88 @@ def apply_htile(spec: WavefrontSpec, htile: float) -> WavefrontSpec:
     if spec.name == "sweep3d":
         return spec.with_htile(Sweep3DConfig.for_htile(htile).htile)
     return spec.with_htile(htile)
+
+
+def shard_of(key: str, shards: int) -> int:
+    """The shard a store key belongs to under a ``shards``-way partition.
+
+    The assignment is a pure function of the content-hash key, so it is
+    stable across runs, processes and orderings - a killed ``--shards K``
+    campaign resumes with every pending point routed back to the same
+    worker's partition.
+
+    >>> shard_of("ab12cd34ef56ab78", 4) in range(4)
+    True
+    >>> shard_of("ab12cd34ef56ab78", 4) == shard_of("ab12cd34ef56ab78", 4)
+    True
+    """
+    if shards < 1:
+        raise ValueError("shards must be positive")
+    try:
+        value = int(key, 16)
+    except ValueError:
+        value = int(hashlib.sha256(key.encode("utf-8")).hexdigest(), 16)
+    return value % shards
+
+
+def partition_points(
+    points: Sequence["CampaignPoint"], shards: int
+) -> list[list["CampaignPoint"]]:
+    """Split ``points`` into ``shards`` stable partitions by content hash.
+
+    Every point lands in partition :func:`shard_of` of its key; partitions
+    preserve the input order.  Empty partitions are kept so the caller can
+    zip the result against worker slots.
+    """
+    partitions: list[list[CampaignPoint]] = [[] for _ in range(shards)]
+    for point in points:
+        partitions[shard_of(point.key(), shards)].append(point)
+    return partitions
+
+
+# Campaign matrices repeat the same few (app, htile) and (platform, scenario)
+# combinations across thousands of core counts; memoising the built value
+# objects keeps million-point expansion cheap *and* maximises request dedup
+# in the backend service (shared frozen instances hash once - see
+# repro.util.caching.cached_field_hash).
+@lru_cache(maxsize=1024)
+def _build_workload(app: str, htile: Optional[float]) -> WavefrontSpec:
+    registry = standard_workloads()
+    try:
+        spec = registry[app]()
+    except KeyError:
+        known = ", ".join(sorted(registry))
+        raise KeyError(f"unknown application {app!r}; choose from: {known}") from None
+    if htile is not None:
+        spec = apply_htile(spec, htile)
+    return spec
+
+
+@lru_cache(maxsize=1024)
+def _build_platform(
+    platform: str,
+    speed_profile: Optional[str],
+    noise_model: Optional[str],
+    fault_model: Optional[str],
+):
+    built = get_platform(platform)
+    profile = parse_speed_profile(speed_profile)
+    if profile is not None:
+        built = built.with_speed_profile(profile)
+    noise = parse_noise_model(noise_model)
+    if noise is not None:
+        built = built.with_noise(noise)
+    faults = parse_fault_model(fault_model)
+    if faults is not None:
+        built = built.with_faults(faults)
+    return built
+
+
+@register_cache_clearer
+def clear_point_build_cache() -> None:
+    """Drop the memoised workload/platform value objects for campaign points."""
+    _build_workload.cache_clear()
+    _build_platform.cache_clear()
 
 
 @dataclass(frozen=True)
@@ -169,37 +255,29 @@ class CampaignPoint:
         )
 
     def build_spec(self) -> WavefrontSpec:
-        """The workload spec, with the point's tile height applied."""
-        registry = standard_workloads()
-        try:
-            spec = registry[self.app]()
-        except KeyError:
-            known = ", ".join(sorted(registry))
-            raise KeyError(
-                f"unknown application {self.app!r}; choose from: {known}"
-            ) from None
-        if self.htile is not None:
-            spec = apply_htile(spec, self.htile)
-        return spec
+        """The workload spec, with the point's tile height applied.
+
+        Built values are memoised per ``(app, htile)`` - campaign matrices
+        repeat the same workload across many core counts, and the shared
+        frozen instance also maximises request dedup downstream.
+        """
+        return _build_workload(self.app, self.htile)
 
     def build_platform(self):
         """The platform, with the point's scenario fields applied.
 
-        The speed profile and noise model become part of the platform
-        description (see :mod:`repro.platforms.spec`), so every backend sees
-        the same degraded machine.
+        The speed profile, noise model and fault model become part of the
+        platform description (see :mod:`repro.platforms.spec`), so every
+        backend sees the same degraded machine.  Memoised per scenario
+        tuple, like :meth:`build_spec`.
         """
-        platform = get_platform(self.platform)
-        profile = parse_speed_profile(self.speed_profile)
-        if profile is not None:
-            platform = platform.with_speed_profile(profile)
-        noise = parse_noise_model(self.noise_model)
-        if noise is not None:
-            platform = platform.with_noise(noise)
-        faults = parse_fault_model(self.fault_model)
-        if faults is not None:
-            platform = platform.with_faults(faults)
-        return platform
+        return _build_platform(
+            self.platform, self.speed_profile, self.noise_model, self.fault_model
+        )
+
+    def shard(self, shards: int) -> int:
+        """The stable :func:`shard_of` partition this point belongs to."""
+        return shard_of(self.key(), shards)
 
     def request(self) -> PredictionRequest:
         """The :class:`PredictionRequest` this point evaluates."""

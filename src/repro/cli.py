@@ -382,8 +382,14 @@ def _campaign_store_path(args: argparse.Namespace, spec=None):
 def _cmd_campaign_run(args: argparse.Namespace) -> int:
     spec = _campaign_spec(args)
     store = ResultStore(_campaign_store_path(args, spec))
-    runner = CampaignRunner(spec, store, workers=args.workers, executor=args.executor)
-    summary = runner.run()
+    runner = CampaignRunner(
+        spec,
+        store,
+        workers=args.workers,
+        executor=args.executor,
+        shards=args.shards,
+    )
+    summary = runner.run(resume=args.resume)
     if args.json:
         print(json.dumps(summary.to_dict(), indent=2))
         return 0
@@ -392,6 +398,8 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
         f"points:   {summary.total_points} "
         f"(computed {summary.computed}, cached {summary.cached})"
     )
+    if summary.shards > 1 or summary.salvaged:
+        print(f"shards:   {summary.shards} (salvaged {summary.salvaged})")
     print(f"store:    {summary.store_path}")
     return 0
 
@@ -773,7 +781,8 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--store",
             default=None,
-            help="result store path (default: .repro-cache/<campaign>.jsonl)",
+            help="result store path (default: <project>/.repro-cache/"
+            "<campaign>.store, override the directory with $REPRO_CACHE_DIR)",
         )
 
     p_crun = campaign_sub.add_parser(
@@ -786,6 +795,19 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="drop core counts above this cap (reduced-scale smoke runs)",
+    )
+    p_crun.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="partition the pending points across this many worker processes "
+        "(stable content-hash partitioning; scratch stores merged on completion)",
+    )
+    p_crun.add_argument(
+        "--resume",
+        action="store_true",
+        help="salvage the scratch stores of a previously killed --shards run "
+        "before computing only the still-missing delta",
     )
     add_pool_flags(p_crun)
     add_json_flag(p_crun)

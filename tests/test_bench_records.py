@@ -32,6 +32,7 @@ EXPECTED_RECORDS = {
     "BENCH_optimize.json": "benchmarks/test_bench_optimize.py",
     "BENCH_vec.json": "benchmarks/test_bench_vec.py",
     "BENCH_faults.json": "benchmarks/test_bench_faults.py",
+    "BENCH_store.json": "benchmarks/test_bench_store.py",
 }
 
 
@@ -219,6 +220,92 @@ class TestFaultsRecord:
         harsh = record["harsh_simulator"]
         assert harsh["injected_failures"] > 0
         assert harsh["faulty_time_us"] > harsh["fault_free_time_us"]
+
+
+class TestStoreRecord:
+    def test_schema(self):
+        record = _load("BENCH_store.json")
+        _require(
+            record,
+            "BENCH_store.json",
+            {
+                "benchmark": str,
+                "records": int,
+                "open_sidecar_s": (int, float),
+                "open_fullparse_s": (int, float),
+                "open_ratio": (int, float),
+                "commit_records": int,
+                "per_record_commit_s": (int, float),
+                "group_commit_s": (int, float),
+                "per_record_records_per_s": (int, float),
+                "group_commit_records_per_s": (int, float),
+                "put_many_speedup": (int, float),
+                "shard_merge": dict,
+                "kill_resume": dict,
+                "contract_min_open_ratio": (int, float),
+                "contract_min_put_many_speedup": (int, float),
+            },
+        )
+        assert record["benchmark"] == "store"
+        assert record["records"] >= 10_000, (
+            "the O(index) open contract is measured on a >= 10,000-record store"
+        )
+        _require(
+            record["shard_merge"],
+            "BENCH_store.json shard_merge",
+            {"shards": int, "records": int, "wall_s": (int, float)},
+        )
+        _require(
+            record["kill_resume"],
+            "BENCH_store.json kill_resume",
+            {
+                "total_points": int,
+                "shards": int,
+                "child_finished_before_kill": bool,
+                "salvaged": int,
+                "resumed_computed": int,
+                "resume_wall_s": (int, float),
+                "rerun_computed": int,
+            },
+        )
+
+    def test_open_and_commit_contracts(self):
+        """The committed record still claims the O(index) open and the
+        group-commit speedup."""
+        record = _load("BENCH_store.json")
+        assert record["contract_min_open_ratio"] >= 2.0
+        assert record["open_ratio"] >= record["contract_min_open_ratio"], (
+            f"committed sidecar-open ratio {record['open_ratio']:.1f}x is "
+            f"below the {record['contract_min_open_ratio']:.0f}x contract - "
+            "regenerate BENCH_store.json or fix the regression"
+        )
+        assert record["contract_min_put_many_speedup"] >= 3.0
+        assert (
+            record["put_many_speedup"] >= record["contract_min_put_many_speedup"]
+        ), (
+            f"committed put_many speedup {record['put_many_speedup']:.1f}x is "
+            f"below the {record['contract_min_put_many_speedup']:.0f}x contract"
+        )
+        # Internal consistency: the ratios match the recorded timings.
+        assert record["open_ratio"] == pytest.approx(
+            record["open_fullparse_s"] / record["open_sidecar_s"], rel=1e-9
+        )
+        assert record["put_many_speedup"] == pytest.approx(
+            record["per_record_commit_s"] / record["group_commit_s"], rel=1e-9
+        )
+
+    def test_kill_resume_contract(self):
+        """The committed kill/resume run lost nothing: the resumed run
+        covered the whole campaign and the final re-run computed zero."""
+        record = _load("BENCH_store.json")
+        kill = record["kill_resume"]
+        assert kill["rerun_computed"] == 0
+        assert kill["resumed_computed"] + kill["salvaged"] <= kill["total_points"]
+        if not kill["child_finished_before_kill"]:
+            assert kill["salvaged"] >= 1, (
+                "the SIGKILLed run committed nothing salvageable - widen the "
+                "kill window in benchmarks/test_bench_store.py"
+            )
 
 
 class TestOptimizeRecord:

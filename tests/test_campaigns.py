@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import logging
 from dataclasses import dataclass, replace
 
 import pytest
@@ -17,10 +18,19 @@ from repro.campaigns import (
     campaign_report,
     get_campaign,
     load_campaign_file,
+    partition_points,
     run_campaign,
+    shard_of,
     write_report,
 )
+from repro.campaigns.segments import SegmentCorruption, segment_of
 from repro.campaigns.spec import CampaignPoint
+from repro.campaigns.store import (
+    CACHE_DIR_ENV,
+    default_store_path,
+    find_project_root,
+    repro_cache_dir,
+)
 from repro.cli import main
 
 # -- a counting backend: the instrument for the resumability contract ------------------
@@ -166,9 +176,14 @@ class TestCampaignSpec:
 # -- store -----------------------------------------------------------------------------
 
 
+def _segment_file(store_path, key):
+    """The segment file a key's record line lands in."""
+    return store_path / f"seg-{segment_of(key)}.jsonl"
+
+
 class TestResultStore:
     def test_put_get_persists_across_instances(self, tmp_path):
-        path = tmp_path / "s.jsonl"
+        path = tmp_path / "s.store"
         store = ResultStore(path)
         store.put("k1", {"point": {}, "result": {"x": 1}})
         assert "k1" in store and len(store) == 1
@@ -176,44 +191,293 @@ class TestResultStore:
         assert reopened.get("k1")["result"]["x"] == 1
 
     def test_put_is_idempotent_per_key(self, tmp_path):
-        path = tmp_path / "s.jsonl"
+        path = tmp_path / "s.store"
         store = ResultStore(path)
         store.put("k", {"result": {"x": 1}})
         store.put("k", {"result": {"x": 2}})
         assert store.get("k")["result"]["x"] == 1
-        assert len(path.read_text().splitlines()) == 1
+        assert len(_segment_file(path, "k").read_text().splitlines()) == 1
+
+    def test_put_many_group_commits_and_skips_existing(self, tmp_path):
+        store = ResultStore(tmp_path / "s.store")
+        store.put("a0a0", {"result": {"x": 0}})
+        added = store.put_many(
+            [
+                ("a0a0", {"result": {"x": 99}}),   # already stored: skipped
+                ("b1b1", {"result": {"x": 1}}),
+                ("b1b1", {"result": {"x": 2}}),    # duplicate in batch: skipped
+                ("c2c2", {"result": {"x": 3}}),
+            ]
+        )
+        assert added == 2
+        assert store.get("a0a0")["result"]["x"] == 0
+        assert store.get("b1b1")["result"]["x"] == 1
+        assert len(store) == 3
+
+    def test_put_rejects_malformed_keys(self, tmp_path):
+        store = ResultStore(tmp_path / "s.store")
+        with pytest.raises(ValueError, match="non-empty and space-free"):
+            store.put("bad key", {"result": {}})
+        with pytest.raises(ValueError, match="non-empty and space-free"):
+            store.put("", {"result": {}})
+
+    def test_open_parses_sidecars_not_record_bodies(self, tmp_path):
+        """Reopening trusts the index sidecars: a garbled body (same byte
+        length, so the index still matches) goes unnoticed until read."""
+        path = tmp_path / "s.store"
+        store = ResultStore(path)
+        store.put("a1a1", {"result": {"x": 1}})
+        seg = _segment_file(path, "a1a1")
+        original = seg.read_bytes()
+        seg.write_bytes(b"#" * (len(original) - 1) + b"\n")
+        reopened = ResultStore(path)
+        assert reopened.keys() == ["a1a1"]          # open never parsed the body
+        with pytest.raises(SegmentCorruption, match="compact"):
+            reopened.get("a1a1")                     # the read does
 
     def test_truncated_final_line_ignored(self, tmp_path):
-        path = tmp_path / "s.jsonl"
+        path = tmp_path / "s.store"
         store = ResultStore(path)
-        store.put("k1", {"result": {}})
-        store.put("k2", {"result": {}})
-        # Simulate a crash mid-append.
-        path.write_text(path.read_text() + '{"kind": "result", "key": "k3", "res')
+        store.put("a111", {"result": {}})
+        store.put("a222", {"result": {}})
+        # Simulate a crash mid-append: torn bytes past the indexed region.
+        with _segment_file(path, "a999").open("ab") as seg:
+            seg.write(b'{"kind": "result", "key": "a999", "res')
         reopened = ResultStore(path)
-        assert sorted(reopened.keys()) == ["k1", "k2"]
+        assert sorted(reopened.keys()) == ["a111", "a222"]
+        assert reopened.quarantined == 0
 
-    def test_corrupt_middle_line_raises(self, tmp_path):
-        path = tmp_path / "s.jsonl"
-        path.write_text('garbage\n{"kind": "result", "key": "k"}\n')
-        with pytest.raises(ValueError, match="corrupt at line 1"):
-            ResultStore(path)
+    def test_unindexed_tail_is_recovered_on_open(self, tmp_path):
+        """A crash between the data fsync and the index append loses no
+        records: the tail is rescanned and re-indexed."""
+        path = tmp_path / "s.store"
+        store = ResultStore(path)
+        store.put("a111", {"result": {"x": 1}})
+        store.put("a222", {"result": {"x": 2}})
+        sidecar = path / f"seg-{segment_of('a222')}.idx"
+        lines = sidecar.read_text().splitlines(keepends=True)
+        sidecar.write_text(lines[0])  # drop the second index entry
+        reopened = ResultStore(path)
+        assert sorted(reopened.keys()) == ["a111", "a222"]
+        assert reopened.get("a222")["result"]["x"] == 2
+        # The repair is persisted: the sidecar is whole again.
+        assert len(sidecar.read_text().splitlines()) == 2
+
+    def test_corrupt_middle_line_costs_exactly_one_record(self, tmp_path, caplog):
+        """The torn-write regression: a garbled interior line is quarantined,
+        every record around it is salvaged."""
+        path = tmp_path / "s.store"
+        store = ResultStore(path)
+        store.put_many(
+            [(key, {"result": {"key": key}}) for key in ("a111", "a222", "a333")]
+        )
+        seg = _segment_file(path, "a111")
+        good, mangled, also_good = seg.read_bytes().splitlines(keepends=True)
+        mangled = b"#" * (len(mangled) - 1) + b"\n"
+        seg.write_bytes(good + mangled + also_good)
+        (path / f"seg-{segment_of('a111')}.idx").unlink()  # force the rescan
+        with caplog.at_level(logging.WARNING, logger="repro.campaigns.store"):
+            reopened = ResultStore(path)
+        assert sorted(reopened.keys()) == ["a111", "a333"]
+        assert reopened.get("a333")["result"]["key"] == "a333"
+        assert reopened.quarantined == 1
+        quarantined = json.loads(reopened.quarantine_path.read_text())
+        assert quarantined["line"].startswith("#")
+        assert any("quarantined 1" in record.getMessage() for record in caplog.records)
+
+    def test_corrupt_line_raises_in_strict_mode(self, tmp_path):
+        path = tmp_path / "s.store"
+        store = ResultStore(path)
+        store.put_many([(key, {"result": {}}) for key in ("a111", "a222")])
+        seg = _segment_file(path, "a111")
+        first, second = seg.read_bytes().splitlines(keepends=True)
+        seg.write_bytes(first + b"#" * (len(second) - 1) + b"\n")
+        (path / f"seg-{segment_of('a111')}.idx").unlink()
+        with pytest.raises(SegmentCorruption, match="unparsable line"):
+            ResultStore(path, strict=True)
+        # Salvage mode still works on the very same store afterwards.
+        assert ResultStore(path).keys() == ["a111"]
+
+    def test_concurrent_duplicate_appends_resolve_last_wins(self, tmp_path):
+        """Two writers that raced the same key leave two lines; the loader
+        keeps the later one and compact() reclaims the dead bytes."""
+        path = tmp_path / "s.store"
+        first = ResultStore(path)
+        second = ResultStore(path)  # opened before `first` wrote anything
+        first.put("a1f3", {"result": {"x": 1}})
+        second.put("a1f3", {"result": {"x": 2}})
+        reopened = ResultStore(path)
+        assert len(reopened) == 1
+        assert reopened.get("a1f3")["result"]["x"] == 2
+        stats = reopened.compact()
+        assert stats["records"] == 1
+        assert stats["bytes_reclaimed"] > 0
+        assert ResultStore(path).get("a1f3")["result"]["x"] == 2
+
+    def test_compact_drops_quarantine_and_preserves_records(self, tmp_path):
+        path = tmp_path / "s.store"
+        store = ResultStore(path)
+        store.put_many([(key, {"result": {"key": key}}) for key in ("a111", "b222")])
+        seg = _segment_file(path, "a111")
+        with seg.open("ab") as handle:
+            handle.write(b"garbage\n")
+        (path / f"seg-{segment_of('a111')}.idx").unlink()
+        reopened = ResultStore(path)
+        assert reopened.quarantined == 1
+        reopened.compact()
+        assert not reopened.quarantine_path.exists()
+        final = ResultStore(path)
+        assert sorted(final.keys()) == ["a111", "b222"]
+        assert final.quarantined == 0
+
+    def test_merge_from_copies_missing_records_and_spec(self, tmp_path):
+        main_store = ResultStore(tmp_path / "main.store")
+        main_store.put("a111", {"result": {"x": 1}})
+        scratch = ResultStore(tmp_path / "scratch.store")
+        scratch.set_spec({"name": "merged"})
+        scratch.put_many(
+            [("a111", {"result": {"x": 99}}), ("b222", {"result": {"x": 2}})]
+        )
+        assert main_store.merge_from(scratch) == 1
+        assert main_store.get("a111")["result"]["x"] == 1   # existing wins
+        assert main_store.get("b222")["result"]["x"] == 2
+        assert main_store.spec_dict == {"name": "merged"}
 
     def test_spec_header_round_trip(self, tmp_path):
-        path = tmp_path / "s.jsonl"
+        path = tmp_path / "s.store"
         store = ResultStore(path)
         store.set_spec({"name": "x"})
-        store.set_spec({"name": "x"})  # unchanged: no extra header line
-        assert len(path.read_text().splitlines()) == 1
+        store.set_spec({"name": "x"})  # unchanged: header untouched
+        assert json.loads((path / "header.json").read_text())["spec"] == {"name": "x"}
         assert ResultStore(path).spec_dict == {"name": "x"}
 
-    def test_clean_removes_file(self, tmp_path):
-        path = tmp_path / "s.jsonl"
+    def test_clean_removes_store_directory(self, tmp_path):
+        path = tmp_path / "s.store"
         store = ResultStore(path)
-        store.put("k", {"result": {}})
+        store.put("a1", {"result": {}})
         assert store.clean() is True
         assert not path.exists()
         assert ResultStore(path).clean() is False
+
+    def test_clean_refuses_directories_that_are_not_stores(self, tmp_path):
+        path = tmp_path / "precious"
+        path.mkdir()
+        (path / "thesis.txt").write_text("do not delete")
+        with pytest.raises(ValueError, match="does not look"):
+            ResultStore(path).clean()
+        assert (path / "thesis.txt").exists()
+
+    def test_clean_prunes_empty_repro_cache_dir(self, tmp_path):
+        cache = tmp_path / ".repro-cache"
+        first = ResultStore(cache / "a.store")
+        first.put("a1", {"result": {}})
+        second = ResultStore(cache / "b.store")
+        second.put("b2", {"result": {}})
+        assert first.clean() is True
+        assert cache.is_dir()            # b.store still lives there
+        assert second.clean() is True
+        assert not cache.exists()        # last store out turns off the lights
+
+
+class TestLegacyMigration:
+    def _legacy_file(self, tmp_path, lines):
+        path = tmp_path / "old.jsonl"
+        path.write_text("".join(line + "\n" for line in lines))
+        return path
+
+    def test_v1_file_migrates_in_place(self, tmp_path):
+        path = self._legacy_file(
+            tmp_path,
+            [
+                json.dumps({"kind": "campaign", "spec": {"name": "legacy"}}),
+                json.dumps({"kind": "result", "key": "a111", "result": {"x": 1}}),
+                json.dumps({"kind": "result", "key": "b222", "result": {"x": 2}}),
+            ],
+        )
+        store = ResultStore(path)
+        assert path.is_dir()
+        assert sorted(store.keys()) == ["a111", "b222"]
+        assert store.get("a111")["result"]["x"] == 1
+        assert store.spec_dict == {"name": "legacy"}
+        assert (path / "legacy-v1.jsonl.migrated").is_file()
+        # A reopen is a plain v2 open: nothing migrates twice.
+        assert sorted(ResultStore(path).keys()) == ["a111", "b222"]
+
+    def test_v1_corrupt_line_is_quarantined_by_default(self, tmp_path):
+        path = self._legacy_file(
+            tmp_path,
+            [
+                json.dumps({"kind": "result", "key": "a111", "result": {}}),
+                "garbage",
+                json.dumps({"kind": "result", "key": "b222", "result": {}}),
+            ],
+        )
+        store = ResultStore(path)
+        assert sorted(store.keys()) == ["a111", "b222"]
+        assert store.quarantined == 1
+        quarantined = [
+            json.loads(line)
+            for line in store.quarantine_path.read_text().splitlines()
+        ]
+        assert quarantined == [
+            {"source": "old.jsonl", "line_number": 2, "line": "garbage"}
+        ]
+
+    def test_v1_corrupt_line_raises_in_strict_mode(self, tmp_path):
+        path = self._legacy_file(
+            tmp_path,
+            ["garbage", json.dumps({"kind": "result", "key": "a1", "result": {}})],
+        )
+        with pytest.raises(SegmentCorruption, match="corrupt at line 1"):
+            ResultStore(path, strict=True)
+        assert path.is_file()  # strict failure leaves the original untouched
+
+    def test_v1_truncated_final_line_is_dropped_silently(self, tmp_path):
+        path = self._legacy_file(
+            tmp_path,
+            [json.dumps({"kind": "result", "key": "a111", "result": {}})],
+        )
+        with path.open("a") as handle:
+            handle.write('{"kind": "result", "key": "b222", "res')
+        store = ResultStore(path)
+        assert store.keys() == ["a111"]
+        assert not store.quarantine_path.exists()
+
+
+class TestDefaultStorePath:
+    def test_env_override_wins(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "elsewhere"))
+        assert repro_cache_dir() == tmp_path / "elsewhere"
+        assert default_store_path("c") == tmp_path / "elsewhere" / "c.store"
+
+    def test_two_working_directories_hit_the_same_store(self, tmp_path, monkeypatch):
+        """The CWD-relative store bug: running from a subdirectory used to
+        silently recompute into a second store."""
+        monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+        (tmp_path / "pyproject.toml").write_text("[project]\n")
+        sub = tmp_path / "docs" / "deep"
+        sub.mkdir(parents=True)
+        monkeypatch.chdir(tmp_path)
+        from_root = default_store_path("c")
+        monkeypatch.chdir(sub)
+        assert default_store_path("c") == from_root
+        assert find_project_root() == tmp_path
+
+    def test_falls_back_to_cwd_without_a_root(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+        lonely = tmp_path / "lonely"
+        lonely.mkdir()
+        monkeypatch.chdir(lonely)
+        if find_project_root() is None:  # tmp dirs can sit under markers
+            assert repro_cache_dir() == lonely / ".repro-cache"
+
+    def test_existing_legacy_file_is_preferred(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path))
+        legacy = tmp_path / "c.jsonl"
+        legacy.write_text("")
+        assert default_store_path("c") == legacy
+        (tmp_path / "c.store").mkdir()
+        assert default_store_path("c") == tmp_path / "c.store"
 
 
 # -- runner: the resumability contract -------------------------------------------------
@@ -221,7 +485,7 @@ class TestResultStore:
 
 class TestCampaignRunner:
     def test_full_run_then_rerun_computes_zero(self, tmp_path, counting_backend, small_spec):
-        store_path = tmp_path / "small.jsonl"
+        store_path = tmp_path / "small.store"
         summary = run_campaign(small_spec, store=store_path)
         assert (summary.total_points, summary.computed, summary.cached) == (6, 6, 0)
         assert len(_CALLS) == 6
@@ -234,17 +498,20 @@ class TestCampaignRunner:
         self, tmp_path, counting_backend, small_spec
     ):
         # Reference: an uninterrupted run in store A.
-        store_a = tmp_path / "a.jsonl"
+        store_a = tmp_path / "a.store"
         run_campaign(small_spec, store=store_a)
         reference_report = campaign_report(store_a)
 
-        # Store B: run fully, then "kill" it after 2 results.
-        store_b = tmp_path / "b.jsonl"
-        run_campaign(small_spec, store=store_b)
-        lines = store_b.read_text().splitlines()
-        assert lines[0].startswith('{"kind": "campaign"')
+        # Store B holds what a run killed after 2 committed results leaves:
+        # the spec header plus the first 2 records of the reference store.
+        reference = ResultStore(store_a)
+        keys = [point.key() for point in small_spec.points()]
         kept = 2
-        store_b.write_text("\n".join(lines[: 1 + kept]) + "\n")
+        store_b = tmp_path / "b.store"
+        partial = ResultStore(store_b)
+        partial.set_spec(small_spec.to_dict())
+        partial.put_many((key, reference.get(key)) for key in keys[:kept])
+        partial.close()
 
         _CALLS.clear()
         summary = run_campaign(small_spec, store=store_b)
@@ -283,17 +550,17 @@ class TestCampaignRunner:
                 htiles=(1.0, 2.0),
                 backends=("counting-batch",),
             )
-            summary = run_campaign(spec, store=tmp_path / "batched.jsonl")
+            summary = run_campaign(spec, store=tmp_path / "batched.store")
             assert (summary.total_points, summary.computed) == (6, 6)
             assert batches == [6]  # one evaluate_batch call, whole campaign
 
             reference = run_campaign(
                 replace(spec, backends=("analytic-fast",)),
-                store=tmp_path / "reference.jsonl",
+                store=tmp_path / "reference.store",
             )
             assert reference.computed == 6
-            batched_report = campaign_report(tmp_path / "batched.jsonl")
-            reference_report = campaign_report(tmp_path / "reference.jsonl")
+            batched_report = campaign_report(tmp_path / "batched.store")
+            reference_report = campaign_report(tmp_path / "reference.store")
             assert (
                 batched_report.replace("counting-batch", "analytic-fast")
                 == reference_report
@@ -302,7 +569,7 @@ class TestCampaignRunner:
             _FACTORIES.pop("counting-batch", None)
 
     def test_pending_lists_missing_points(self, tmp_path, counting_backend, small_spec):
-        store = ResultStore(tmp_path / "p.jsonl")
+        store = ResultStore(tmp_path / "p.store")
         runner = CampaignRunner(small_spec, store)
         assert len(runner.pending()) == 6
         runner.run()
@@ -319,14 +586,14 @@ class TestCampaignRunner:
             htiles=(2.2,),   # fine for LU, unrealisable for Sweep3D
             backends=("counting-analytic",),
         )
-        store_path = tmp_path / "bad.jsonl"
+        store_path = tmp_path / "bad.store"
         with pytest.raises(ValueError, match="not representable"):
             run_campaign(spec, store=store_path)
         assert len(_CALLS) == 0                      # nothing was computed
         assert len(ResultStore(store_path)) == 0     # nothing was persisted
 
     def test_overlapping_campaigns_share_results(self, tmp_path, counting_backend):
-        store_path = tmp_path / "shared.jsonl"
+        store_path = tmp_path / "shared.store"
         first = CampaignSpec(
             name="first", apps=("lu-classA",), total_cores=(4, 16),
             backends=("counting-analytic",),
@@ -340,6 +607,109 @@ class TestCampaignRunner:
         summary = run_campaign(wider, store=store_path)
         assert (summary.computed, summary.cached) == (1, 2)
         assert len(_CALLS) == 3
+
+    def test_runner_rejects_bad_shards_and_batch_size(self, tmp_path, small_spec):
+        with pytest.raises(ValueError, match="shards"):
+            CampaignRunner(small_spec, tmp_path / "x.store", shards=0)
+        with pytest.raises(ValueError, match="batch_size"):
+            CampaignRunner(small_spec, tmp_path / "x.store", batch_size=0)
+
+
+# -- sharded fan-out -------------------------------------------------------------------
+
+
+class TestShardPartitioning:
+    def test_shard_of_is_stable_content_hash_arithmetic(self):
+        assert shard_of("000000000000000f", 4) == 15 % 4
+        assert shard_of("a0", 3) == int("a0", 16) % 3
+        assert shard_of("not-hex", 5) == shard_of("not-hex", 5)  # deterministic
+        assert 0 <= shard_of("not-hex", 5) < 5
+        with pytest.raises(ValueError, match="positive"):
+            shard_of("a0", 0)
+
+    def test_partition_points_is_stable_and_complete(self):
+        spec = get_campaign("paper-validation")
+        points = spec.points()
+        partitions = partition_points(points, 4)
+        assert len(partitions) == 4
+        assert sorted(p.key() for part in partitions for p in part) == sorted(
+            p.key() for p in points
+        )
+        for shard, part in enumerate(partitions):
+            for point in part:
+                assert shard_of(point.key(), 4) == shard
+                assert point.shard(4) == shard
+        # Stable: a second expansion partitions identically.
+        assert [
+            [p.key() for p in part] for part in partition_points(spec.points(), 4)
+        ] == [[p.key() for p in part] for part in partitions]
+
+    def test_partition_points_keeps_empty_partitions(self):
+        assert partition_points([], 3) == [[], [], []]
+
+
+class TestShardedRunner:
+    def test_sharded_run_matches_single_process(self, tmp_path, counting_backend, small_spec):
+        reference_path = tmp_path / "reference.store"
+        run_campaign(small_spec, store=reference_path)
+        reference_report = campaign_report(reference_path)
+
+        sharded_path = tmp_path / "sharded.store"
+        summary = run_campaign(small_spec, store=sharded_path, shards=2)
+        assert (summary.total_points, summary.computed, summary.cached) == (6, 6, 0)
+        assert summary.shards == 2
+        assert campaign_report(sharded_path) == reference_report
+        # No scratch left behind after a clean merge.
+        assert not (sharded_path / "shards").exists()
+
+        rerun = run_campaign(small_spec, store=sharded_path, shards=2)
+        assert (rerun.computed, rerun.cached) == (0, 6)
+
+    def test_resume_salvages_scratch_of_a_killed_run(
+        self, tmp_path, counting_backend, small_spec
+    ):
+        """A killed --shards run leaves scratch stores; --resume folds their
+        committed records in and computes only the true delta."""
+        reference_path = tmp_path / "reference.store"
+        run_campaign(small_spec, store=reference_path)
+        reference = ResultStore(reference_path)
+        keys = [point.key() for point in small_spec.points()]
+
+        # Fabricate the aftermath of a kill: 2 records parked in one shard's
+        # scratch store, nothing in the main store.
+        main_store = ResultStore(tmp_path / "killed.store")
+        scratch = ResultStore(main_store.scratch_root() / "shard-0.store")
+        scratch.put_many((key, reference.get(key)) for key in keys[:2])
+        scratch.close()
+
+        _CALLS.clear()
+        summary = run_campaign(
+            small_spec, store=main_store, shards=2, resume=True
+        )
+        assert summary.salvaged == 2
+        assert (summary.computed, summary.cached) == (4, 2)
+        assert not main_store.scratch_root().exists()
+        assert campaign_report(tmp_path / "killed.store") == campaign_report(
+            reference_path
+        )
+
+    def test_without_resume_scratch_is_discarded(
+        self, tmp_path, counting_backend, small_spec
+    ):
+        reference_path = tmp_path / "reference.store"
+        run_campaign(small_spec, store=reference_path)
+        reference = ResultStore(reference_path)
+        keys = [point.key() for point in small_spec.points()]
+
+        main_store = ResultStore(tmp_path / "fresh.store")
+        scratch = ResultStore(main_store.scratch_root() / "shard-1.store")
+        scratch.put_many((key, reference.get(key)) for key in keys[:3])
+        scratch.close()
+
+        summary = run_campaign(small_spec, store=main_store)  # no resume
+        assert summary.salvaged == 0
+        assert (summary.computed, summary.cached) == (6, 0)
+        assert not main_store.scratch_root().exists()
 
 
 # -- report ----------------------------------------------------------------------------
@@ -355,7 +725,7 @@ class TestReport:
             backends=("counting-analytic", "analytic-fast"),
             baseline="analytic-fast",
         )
-        store_path = tmp_path / "sections.jsonl"
+        store_path = tmp_path / "sections.store"
         run_campaign(spec, store=store_path)
         report = campaign_report(store_path)
         assert report.splitlines()[0] == "# Campaign report: sections"
@@ -368,11 +738,16 @@ class TestReport:
         assert "max |error| 0.00%" in report
 
     def test_incomplete_store_is_flagged(self, tmp_path, counting_backend, small_spec):
-        store_path = tmp_path / "partial.jsonl"
+        store_path = tmp_path / "partial.store"
         run_campaign(small_spec, store=store_path)
-        lines = store_path.read_text().splitlines()
-        store_path.write_text("\n".join(lines[:3]) + "\n")
-        assert "**Incomplete:** 4 of 6" in campaign_report(store_path)
+        full = ResultStore(store_path)
+        keys = [point.key() for point in small_spec.points()]
+        partial_path = tmp_path / "cut.store"
+        partial = ResultStore(partial_path)
+        partial.set_spec(small_spec.to_dict())
+        partial.put_many((key, full.get(key)) for key in keys[:2])
+        partial.close()
+        assert "**Incomplete:** 4 of 6" in campaign_report(partial_path)
 
     def test_write_report_emits_figure_files(self, tmp_path, counting_backend):
         spec = CampaignSpec(
@@ -382,7 +757,7 @@ class TestReport:
             htiles=(1.0, 2.0),
             backends=("counting-analytic",),
         )
-        store_path = tmp_path / "files.jsonl"
+        store_path = tmp_path / "files.store"
         run_campaign(spec, store=store_path)
         written = {p.name for p in write_report(store_path, tmp_path / "out")}
         assert written == {
@@ -398,7 +773,7 @@ class TestReport:
         assert len(scaling) == 1 + 4  # 2 htile curves x 2 core counts
 
     def test_empty_store_reports_gracefully(self, tmp_path):
-        report = campaign_report(tmp_path / "empty.jsonl")
+        report = campaign_report(tmp_path / "empty.store")
         assert "no results yet" in report
 
     def test_noisy_baseline_pairs_every_seed(self, tmp_path):
@@ -412,7 +787,7 @@ class TestReport:
             noise_seeds=(0, 1),
             compute_noise=0.05,
         )
-        store_path = tmp_path / "noisy.jsonl"
+        store_path = tmp_path / "noisy.store"
         run_campaign(spec, store=store_path)
         report = campaign_report(store_path)
         assert "## Model vs measurement (baseline: simulator)" in report
@@ -522,7 +897,21 @@ class TestCampaignCLI:
         assert main(["campaign", "run", "--spec", str(spec_file), "--json"]) == 0
         summary = json.loads(capsys.readouterr().out)
         assert summary["computed"] == 1
-        assert (tmp_path / ".repro-cache" / "from-file.jsonl").exists()
+        assert (tmp_path / ".repro-cache" / "from-file.store").is_dir()
+
+    def test_run_with_shards_and_resume_flags(self, tmp_path, capsys):
+        store = str(tmp_path / "s.store")
+        args = ["campaign", "run", "--name", "paper-validation", "--store", store,
+                "--max-cores", "16", "--shards", "2", "--resume", "--json"]
+        assert main(args) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["shards"] == 2
+        assert summary["salvaged"] == 0
+        assert summary["computed"] == summary["total_points"] > 0
+
+        assert main(args) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert second["computed"] == 0
 
     def test_report_output_directory(self, tmp_path, capsys):
         store = str(tmp_path / "s.jsonl")
@@ -565,7 +954,9 @@ class TestCampaignCLI:
         assert capsys.readouterr().out.startswith("# Campaign report: spec-store")
         assert main(["campaign", "clean", "--spec", str(spec_file)]) == 0
         assert "removed" in capsys.readouterr().out
-        assert not (tmp_path / ".repro-cache" / "spec-store.jsonl").exists()
+        assert not (tmp_path / ".repro-cache" / "spec-store.store").exists()
+        # The last store out also removes the now-empty cache directory.
+        assert not (tmp_path / ".repro-cache").exists()
 
     def test_unknown_campaign_name_fails_helpfully(self):
         with pytest.raises(SystemExit, match="paper-validation"):

@@ -124,18 +124,23 @@ class TestCampaignResumeBitIdentity:
 
     def test_resumed_run_matches_uninterrupted(self, tmp_path):
         spec = self._spec()
-        full_path = tmp_path / "full.jsonl"
+        full_path = tmp_path / "full.store"
         run_campaign(spec, store=full_path)
+        full_store = ResultStore(full_path)
         full = {
-            record["key"]: record["result"]
-            for record in ResultStore(full_path).records()
+            record["key"]: record["result"] for record in full_store.records()
         }
         assert len(full) == len(spec.points())
 
-        # Interrupt: keep the header plus the first three result lines.
-        resumed_path = tmp_path / "resumed.jsonl"
-        lines = full_path.read_text().splitlines()
-        resumed_path.write_text("\n".join(lines[:4]) + "\n")
+        # Interrupt: keep the spec header plus the first three results.
+        resumed_path = tmp_path / "resumed.store"
+        partial = ResultStore(resumed_path)
+        partial.set_spec(spec.to_dict())
+        partial.put_many(
+            (point.key(), full_store.get(point.key()))
+            for point in spec.points()[:3]
+        )
+        partial.close()
         clear_prediction_cache()  # the resumed run starts in a fresh process
 
         summary = run_campaign(spec, store=resumed_path)
@@ -288,18 +293,23 @@ class TestFaultCampaignResume:
 
     def test_resumed_fault_campaign_matches_uninterrupted(self, tmp_path):
         spec = self._spec()
-        full_path = tmp_path / "full.jsonl"
+        full_path = tmp_path / "full.store"
         run_campaign(spec, store=full_path)
+        full_store = ResultStore(full_path)
         full = {
-            record["key"]: record["result"]
-            for record in ResultStore(full_path).records()
+            record["key"]: record["result"] for record in full_store.records()
         }
         assert len(full) == len(spec.points())
 
-        # Interrupt: keep the header plus the first three result lines.
-        resumed_path = tmp_path / "resumed.jsonl"
-        lines = full_path.read_text().splitlines()
-        resumed_path.write_text("\n".join(lines[:4]) + "\n")
+        # Interrupt: keep the spec header plus the first three results.
+        resumed_path = tmp_path / "resumed.store"
+        partial = ResultStore(resumed_path)
+        partial.set_spec(spec.to_dict())
+        partial.put_many(
+            (point.key(), full_store.get(point.key()))
+            for point in spec.points()[:3]
+        )
+        partial.close()
         clear_prediction_cache()  # the resumed run starts in a fresh process
 
         summary = run_campaign(spec, store=resumed_path)
